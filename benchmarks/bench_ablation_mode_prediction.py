@@ -1,0 +1,75 @@
+"""Ablation: transportation-mode-aware prediction (the paper's future work).
+
+§4.B.3 anticipates that Geolife's hit ratio "can be improved with advanced
+prediction techniques such as transportation mode inference".  This
+ablation compares the deployed linear SVR against a per-mode SVR ensemble
+(windows classified walk/bike/vehicle by average speed).
+
+Honest finding on the synthetic traces: near-constant-velocity legs make
+next-position prediction mode-independent in coordinate space, so the
+per-mode ensemble only fragments the training data and does *not* improve
+accuracy here — the gain the paper anticipates requires real GPS tracks
+where modes differ in noise and road-following behaviour.  The benchmark
+asserts the two stay comparable and reports the measured deltas.
+"""
+
+import numpy as np
+
+from repro.geo.hexgrid import HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.mobility.evaluation import evaluate_predictor
+from repro.mobility.modes import ModeAwareSVRPredictor
+from repro.mobility.svr import SVRPredictor
+from repro.trajectories.synthetic import geolife_like
+
+from conftest import FULL_SCALE, format_table
+
+
+def run_comparison():
+    rng = np.random.default_rng(64)
+    users = 138 if FULL_SCALE else 50
+    steps = 900 if FULL_SCALE else 600
+    dataset = geolife_like(rng, num_users=users, duration_steps=steps).subsample(4)
+    grid = HexGrid(50.0)
+    registry = EdgeServerRegistry.from_visited_points(grid, dataset.all_points())
+    train, test = dataset.split_users(0.3, rng)
+    plain = SVRPredictor(rng=rng).fit(train)
+    mode_aware = ModeAwareSVRPredictor(rng=rng).fit(train)
+    return (
+        evaluate_predictor(plain, test, registry),
+        evaluate_predictor(mode_aware, test, registry),
+        mode_aware.mode_counts_,
+    )
+
+
+def test_ablation_mode_aware_prediction(benchmark, report):
+    plain, mode_aware, counts = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    rows = [("predictor", "top-1 %", "top-2 %", "MAE (m)")]
+    for accuracy in (plain, mode_aware):
+        rows.append(
+            (
+                accuracy.predictor,
+                f"{accuracy.top_k_accuracy[1]:.1f}",
+                f"{accuracy.top_k_accuracy[2]:.1f}",
+                f"{accuracy.mae_meters:.1f}",
+            )
+        )
+    lines = format_table(rows)
+    lines.append("")
+    lines.append(f"training windows per mode: {counts}")
+    lines.append(
+        "finding: on smooth synthetic traces the per-mode split does not "
+        "beat the single linear SVR (constant-velocity extrapolation is "
+        "mode-independent); the paper's anticipated gain needs real GPS"
+    )
+    report("Ablation: transportation-mode-aware mobility prediction", lines)
+
+    # All modes actually observed in the multi-modal dataset.
+    assert all(counts[mode] > 0 for mode in ("walk", "bike", "vehicle"))
+    # The ensemble stays in the same accuracy regime as the deployed SVR.
+    assert abs(
+        plain.top_k_accuracy[2] - mode_aware.top_k_accuracy[2]
+    ) < 10.0
+    assert mode_aware.mae_meters < 2.0 * plain.mae_meters

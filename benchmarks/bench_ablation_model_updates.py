@@ -1,0 +1,94 @@
+"""Ablation: model retraining churn and client energy (the §I motivations).
+
+Two extensions of the paper's evaluation:
+
+1. **Model updates** — §I motivates versatile edge servers with clients
+   that retrain/replace their personal models after deployment.  Retrained
+   weights invalidate every cached copy, so frequent updates erode the hit
+   ratio PerDNN buys and force re-migration.  This sweep quantifies that.
+2. **Client energy** — §I motivates offloading with wearable battery life;
+   the energy model reports client joules per query, local vs offloaded,
+   for all three models.
+"""
+
+import numpy as np
+
+from repro.core.master import MigrationPolicy
+from repro.profiling.energy import energy_savings_ratio, local_energy, plan_energy
+from repro.partitioning.shortest_path import optimal_plan
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.trajectories.synthetic import kaist_like
+
+from conftest import FULL_SCALE, format_table
+
+UPDATE_PERIODS = (None, 10, 5, 2)  # intervals between retrainings
+
+
+def run_update_sweep(partitioner, dataset, max_steps):
+    out = {}
+    for period in UPDATE_PERIODS:
+        settings = SimulationSettings(
+            policy=MigrationPolicy.PERDNN, migration_radius_m=100.0,
+            max_steps=max_steps, seed=27, model_update_every=period,
+        )
+        out[period] = run_large_scale(dataset, partitioner, settings)
+    return out
+
+
+def test_ablation_model_updates_and_energy(benchmark, partitioners, report):
+    rng = np.random.default_rng(12)
+    if FULL_SCALE:
+        dataset, max_steps = kaist_like(rng), None
+    else:
+        dataset = kaist_like(rng, num_users=20, duration_steps=300)
+        max_steps = 60
+    results = benchmark.pedantic(
+        run_update_sweep, args=(partitioners["inception"], dataset, max_steps),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        ("retrain every", "hit ratio", "migrated (GB)", "model updates")
+    ]
+    for period, result in results.items():
+        rows.append(
+            (
+                "never" if period is None else f"{period} intervals",
+                f"{result.hit_ratio:.2f}",
+                f"{result.migrated_bytes / 1e9:6.2f}",
+                result.extras.get("model_updates", 0),
+            )
+        )
+    lines = ["model-update churn (Inception, KAIST-like):"]
+    lines.extend(format_table(rows))
+    lines.append("")
+    lines.append("client energy per query (local vs optimally partitioned):")
+    rows2 = [("model", "local (J)", "offloaded (J)", "savings")]
+    for name, partitioner in partitioners.items():
+        costs = partitioner.partition(1.0).costs
+        plan = optimal_plan(costs)
+        offloaded = plan_energy(costs, plan).total_joules
+        rows2.append(
+            (
+                name,
+                f"{local_energy(costs):6.2f}",
+                f"{offloaded:6.2f}",
+                f"{energy_savings_ratio(costs, plan):5.0%}",
+            )
+        )
+    lines.extend(format_table(rows2))
+    lines.append("")
+    lines.append(
+        "expected: hit ratio monotone in retrain period; large models save "
+        "the most client energy by offloading (the §I motivation)"
+    )
+    report("Ablation: model retraining churn and client energy", lines)
+
+    # Churn erodes the hit ratio monotonically (None = no churn is best).
+    ordered = [results[None]] + [results[p] for p in (10, 5, 2)]
+    hit_ratios = [r.hit_ratio for r in ordered]
+    assert all(a >= b - 0.03 for a, b in zip(hit_ratios, hit_ratios[1:]))
+    assert results[2].hit_ratio < results[None].hit_ratio
+    # Offloading saves client energy for every model.
+    for name, partitioner in partitioners.items():
+        costs = partitioner.partition(1.0).costs
+        assert energy_savings_ratio(costs, optimal_plan(costs)) > 0.0

@@ -1,0 +1,93 @@
+"""Ablation: TTL and migration radius (the §3.B.2 / §3.C.2 design knobs).
+
+The paper fixes TTL = 5 intervals and evaluates r in {50, 100} m.  This
+ablation sweeps both on the KAIST-like dataset: larger TTL keeps migrated
+layers alive through prediction misses and slow approaches (higher hit
+ratio, more standing cache); larger radius blankets more candidate servers
+(higher hit ratio, more backhaul traffic).
+"""
+
+import numpy as np
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.simulation.large_scale import (
+    SimulationSettings,
+    run_large_scale,
+    train_default_estimator,
+    train_default_predictor,
+)
+from repro.trajectories.synthetic import kaist_like
+
+from conftest import FULL_SCALE, format_table
+
+TTLS = (1, 2, 5, 10)
+RADII = (50.0, 100.0, 150.0)
+
+
+def run_sweep(partitioner, dataset, max_steps):
+    rng = np.random.default_rng(3)
+    train, _ = dataset.split_time(0.4)
+    predictor = train_default_predictor(train, history=5, rng=rng)
+    estimator = train_default_estimator(partitioner, rng)
+
+    def run(ttl, radius):
+        config = PerDNNConfig(ttl_intervals=ttl, migration_radius_m=radius)
+        settings = SimulationSettings(
+            policy=MigrationPolicy.PERDNN, migration_radius_m=radius,
+            max_steps=max_steps, seed=31,
+        )
+        return run_large_scale(
+            dataset, partitioner, settings, config=config,
+            predictor=predictor, contention_estimator=estimator,
+        )
+
+    ttl_results = {ttl: run(ttl, 100.0) for ttl in TTLS}
+    radius_results = {radius: run(5, radius) for radius in RADII}
+    return ttl_results, radius_results
+
+
+def test_ablation_ttl_and_radius(benchmark, partitioners, report):
+    rng = np.random.default_rng(99)
+    if FULL_SCALE:
+        dataset, max_steps = kaist_like(rng), None
+    else:
+        dataset = kaist_like(rng, num_users=25, duration_steps=300)
+        max_steps = 70
+    ttl_results, radius_results = benchmark.pedantic(
+        run_sweep, args=(partitioners["inception"], dataset, max_steps),
+        rounds=1, iterations=1,
+    )
+    rows = [("TTL (intervals)", "hit ratio", "migrated (GB)")]
+    for ttl, result in ttl_results.items():
+        rows.append(
+            (ttl, f"{result.hit_ratio:.2f}",
+             f"{result.migrated_bytes / 1e9:6.2f}")
+        )
+    lines = ["TTL sweep (r = 100 m):"]
+    lines.extend(format_table(rows))
+    rows2 = [("radius (m)", "hit ratio", "migrated (GB)", "peak up (Mbps)")]
+    for radius, result in radius_results.items():
+        rows2.append(
+            (
+                int(radius), f"{result.hit_ratio:.2f}",
+                f"{result.migrated_bytes / 1e9:6.2f}",
+                f"{result.uplink.peak_mbps:6.0f}",
+            )
+        )
+    lines.append("")
+    lines.append("radius sweep (TTL = 5):")
+    lines.extend(format_table(rows2))
+    lines.append("")
+    lines.append(
+        "expected: hit ratio grows with both knobs; radius buys hits with "
+        "extra backhaul (the Fig 9 r=50 vs r=100 trade-off)"
+    )
+    report("Ablation: cache TTL and migration radius", lines)
+
+    ttl_hits = [ttl_results[ttl].hit_ratio for ttl in TTLS]
+    assert ttl_hits[-1] >= ttl_hits[0]  # longer TTL never hurts hits
+    radius_hits = [radius_results[r].hit_ratio for r in RADII]
+    assert all(a <= b + 0.02 for a, b in zip(radius_hits, radius_hits[1:]))
+    migrated = [radius_results[r].migrated_bytes for r in RADII]
+    assert migrated == sorted(migrated)  # wider radius -> more traffic

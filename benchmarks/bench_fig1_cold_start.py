@@ -1,0 +1,40 @@
+"""Fig 1: IONN's cold-start spike when changing edge servers.
+
+The paper's setup: 40 consecutive Inception-21k queries, 0.5 s apart, with
+the client switching to a fresh edge server at query 21.  Execution time
+drops as layers upload, spikes back to the local latency at the switch,
+then recovers — the cold-start problem PerDNN removes.
+"""
+
+from repro.simulation.single_client import simulate_handoff
+
+from conftest import format_table
+
+
+def test_fig1_ionn_cold_start(benchmark, partitioners, config, report):
+    partitioner = partitioners["inception"]
+    result = benchmark.pedantic(
+        simulate_handoff,
+        args=(partitioner, config),
+        kwargs=dict(num_queries=40, switch_after=20, premigrated_bytes=0.0),
+        rounds=3,
+        iterations=1,
+    )
+    rows = [("query", "latency (ms)")]
+    for i, latency in enumerate(result.latencies, start=1):
+        marker = "  <- server change" if i == 21 else ""
+        rows.append((i, f"{latency * 1000:7.1f}{marker}"))
+    lines = format_table(rows)
+    lines.append("")
+    lines.append(
+        "paper: latency decreases during upload, soars at the 21st query "
+        "(server change), then recovers via incremental offloading"
+    )
+    report("Fig 1: DNN execution time across a server change (IONN)", lines)
+
+    latencies = result.latencies
+    # Shape assertions: warm-up decline, spike at the switch, recovery.
+    assert latencies[0] == max(latencies[:20])
+    assert latencies[19] < 0.6 * latencies[0]
+    assert latencies[20] > 2.0 * latencies[19]  # the cold-start spike
+    assert latencies[-1] < 0.6 * latencies[20]  # recovery

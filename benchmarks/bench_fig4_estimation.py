@@ -1,0 +1,81 @@
+"""Fig 4: MAE of layer execution-time estimation under GPU contention.
+
+Left panel: MAE of conv-layer time estimates versus the number of
+concurrent clients, for the NeuroSurgeon baseline (LL), LL with GPU
+workload features, and PerDNN's random forest with workload features.
+Right panel: feature importances of the random forest.
+
+Paper findings: LL's error surges with client count; adding GPU statistics
+helps; the random forest is best; workload features dominate importances.
+"""
+
+import numpy as np
+
+from repro.dnn.models import build_model
+from repro.estimation.evaluation import compare_estimators
+from repro.profiling.hardware import titan_xp_server
+from repro.profiling.profiler import generate_contention_dataset
+
+from conftest import FULL_SCALE, format_table
+
+CLIENT_COUNTS = (1, 2, 4, 6, 8, 10, 12, 14, 16)
+
+
+def run_comparison():
+    rng = np.random.default_rng(17)
+    graph = build_model("resnet")
+    server = titan_xp_server()
+    rounds = 30 if FULL_SCALE else 14
+    train = generate_contention_dataset(
+        graph, server, rng, client_counts=CLIENT_COUNTS, rounds_per_count=rounds
+    )
+    test = generate_contention_dataset(
+        graph, server, rng, client_counts=CLIENT_COUNTS, rounds_per_count=5
+    )
+    return compare_estimators(train, test, rng)
+
+
+def test_fig4_estimation_mae(benchmark, report):
+    comparison = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows = [("clients", "LL (us)", "LL w/ load (us)", "RF w/ load (us)")]
+    ll = comparison.mae_by_estimator["LL"]
+    ll_load = comparison.mae_by_estimator["LL w/ server load info"]
+    rf = comparison.mae_by_estimator["RF w/ server load info"]
+    for count in comparison.client_counts:
+        rows.append(
+            (
+                count,
+                f"{ll[count] * 1e6:8.1f}",
+                f"{ll_load[count] * 1e6:8.1f}",
+                f"{rf[count] * 1e6:8.1f}",
+            )
+        )
+    lines = format_table(rows)
+    lines.append("")
+    lines.append("feature importances (RF, conv layers):")
+    for name, value in sorted(
+        comparison.feature_importances.items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {name:<22s} {value:.3f}")
+    lines.append("")
+    lines.append(
+        "paper: LL MAE surges with client count (up to ~800 us); "
+        "RF w/ load info lowest; workload features most important"
+    )
+    report("Fig 4: execution-time estimation MAE (conv layers)", lines)
+
+    heavy = comparison.client_counts[-1]
+    light = comparison.client_counts[0]
+    # LL degrades with load; RF stays much better at heavy load.
+    assert ll[heavy] > 3.0 * ll[light]
+    assert rf[heavy] < ll[heavy]
+    # Aggregate MAE over heavy loads: RF must be the best family.
+    heavy_counts = [c for c in comparison.client_counts if c >= 10]
+    assert sum(rf[c] for c in heavy_counts) < sum(ll[c] for c in heavy_counts)
+    workload = sum(
+        value
+        for name, value in comparison.feature_importances.items()
+        if name
+        in ("num_clients", "kernel_utilization", "memory_utilization", "temperature")
+    )
+    assert workload > 0.5

@@ -1,0 +1,105 @@
+"""Fig 6: choosing the trajectory length n and prediction interval t.
+
+Left: prediction error (MAE, metres) of the SVR predictor versus the
+trajectory length n, for time intervals t in {15, 20, 25, 30} s.  Paper
+finding: the error drops sharply at n = 2 (the last two positions carry
+the signal) and plateaus around n = 5.
+
+Right: futile-prediction ratio and MAE versus t.  Larger t means fewer
+futile predictions but larger errors; the benefit/cost ratio
+a * (p - f) / p selects t = 20 s for Geolife.
+"""
+
+import numpy as np
+
+from repro.geo.hexgrid import HexGrid
+from repro.mobility.evaluation import (
+    benefit_cost_ratio,
+    futile_prediction_ratio,
+    point_prediction_mae,
+)
+from repro.mobility.svr import SVRPredictor
+from repro.trajectories.synthetic import geolife_like
+
+from conftest import FULL_SCALE, format_table
+
+BASE_INTERVAL = 5.0
+T_FACTORS = {15: 3, 20: 4, 25: 5, 30: 6}  # t seconds -> subsample factor
+HISTORY_LENGTHS = (1, 2, 3, 5, 8)
+
+
+def run_analysis():
+    rng = np.random.default_rng(31)
+    users = 138 if FULL_SCALE else 40
+    steps = 900 if FULL_SCALE else 600
+    base = geolife_like(rng, num_users=users, duration_steps=steps)
+    epochs = 120 if FULL_SCALE else 60
+    mae_by_t_n: dict[int, dict[int, float]] = {}
+    futile_by_t: dict[int, float] = {}
+    grid = HexGrid(50.0)
+    for t_seconds, factor in T_FACTORS.items():
+        dataset = base.subsample(factor)
+        train, test = dataset.split_users(0.3, rng)
+        futile_by_t[t_seconds] = futile_prediction_ratio(test, grid)
+        mae_by_t_n[t_seconds] = {}
+        for history in HISTORY_LENGTHS:
+            predictor = SVRPredictor(history=history, epochs=epochs, rng=rng)
+            predictor.fit(train)
+            mae_by_t_n[t_seconds][history] = point_prediction_mae(
+                predictor, test, history
+            )
+    return mae_by_t_n, futile_by_t
+
+
+def test_fig6_parameter_selection(benchmark, report):
+    mae_by_t_n, futile_by_t = benchmark.pedantic(
+        run_analysis, rounds=1, iterations=1
+    )
+    rows = [("n \\ t", *(f"{t}s" for t in T_FACTORS))]
+    for history in HISTORY_LENGTHS:
+        rows.append(
+            (
+                history,
+                *(f"{mae_by_t_n[t][history]:6.1f}" for t in T_FACTORS),
+            )
+        )
+    lines = ["prediction MAE (m) vs trajectory length n:"]
+    lines.extend(format_table(rows))
+    lines.append("")
+    lines.append("futile ratio and benefit/cost vs interval t (n = 5):")
+    rows2 = [("t (s)", "futile ratio", "MAE (m)", "benefit/cost")]
+    ratios = {}
+    for t_seconds in T_FACTORS:
+        futile = futile_by_t[t_seconds]
+        mae = mae_by_t_n[t_seconds][5]
+        # Proxy accuracy: predictions within a cell radius of the truth.
+        accuracy = max(0.0, min(1.0, 50.0 / max(mae, 1e-9)))
+        ratios[t_seconds] = benefit_cost_ratio(min(accuracy, 1.0), futile)
+        rows2.append(
+            (
+                t_seconds,
+                f"{futile:.2f}",
+                f"{mae:6.1f}",
+                f"{ratios[t_seconds]:.3f}",
+            )
+        )
+    lines.extend(format_table(rows2))
+    lines.append("")
+    lines.append(
+        "paper: error drops at n=2 and plateaus ~n=5; larger t lowers the "
+        "futile ratio but raises the error; best benefit/cost at t=20 s"
+    )
+    report("Fig 6: trajectory length and prediction-interval selection", lines)
+
+    for t_seconds in T_FACTORS:
+        per_n = mae_by_t_n[t_seconds]
+        # n=2 must be much better than n=1 (the paper's key observation).
+        assert per_n[2] < 0.8 * per_n[1]
+        # And n=5 must not be much worse than n=2 (plateau).
+        assert per_n[5] < 1.3 * per_n[2]
+    # Futility strictly drops as the interval grows.
+    futiles = [futile_by_t[t] for t in sorted(T_FACTORS)]
+    assert all(a >= b for a, b in zip(futiles, futiles[1:]))
+    # Error grows with the interval (predicting further into the future).
+    maes = [mae_by_t_n[t][5] for t in sorted(T_FACTORS)]
+    assert maes[-1] > maes[0]

@@ -1,0 +1,102 @@
+"""Fig 8: user trajectories and edge-server distribution.
+
+The paper visualizes Geolife trajectories over the Beijing rectangle with
+an edge server allocated per visited 50 m hex cell.  This bench regenerates
+the allocation and renders an ASCII density map plus coverage statistics.
+"""
+
+import numpy as np
+
+from repro.geo.hexgrid import HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.trajectories.stats import dataset_statistics
+from repro.trajectories.synthetic import geolife_like, kaist_like
+
+from conftest import FULL_SCALE, format_table
+
+
+def build_world():
+    rng = np.random.default_rng(2026)
+    if FULL_SCALE:
+        geolife = geolife_like(rng)
+        kaist = kaist_like(rng)
+    else:
+        geolife = geolife_like(rng, num_users=60, duration_steps=400)
+        kaist = kaist_like(rng, num_users=31, duration_steps=300)
+    grid = HexGrid(50.0)
+    registries = {
+        "geolife-like": EdgeServerRegistry.from_visited_points(
+            grid, geolife.all_points()
+        ),
+        "kaist-like": EdgeServerRegistry.from_visited_points(
+            grid, kaist.all_points()
+        ),
+    }
+    return {"geolife-like": geolife, "kaist-like": kaist}, registries
+
+
+def ascii_density_map(dataset, width=72, height=22) -> list[str]:
+    box = dataset.bbox
+    grid_counts = np.zeros((height, width), dtype=int)
+    points = dataset.all_points()
+    xs = np.clip(
+        ((points[:, 0] - box.min_x) / box.width * (width - 1)).astype(int),
+        0, width - 1,
+    )
+    ys = np.clip(
+        ((points[:, 1] - box.min_y) / box.height * (height - 1)).astype(int),
+        0, height - 1,
+    )
+    np.add.at(grid_counts, (ys, xs), 1)
+    shades = " .:*#@"
+    peak = grid_counts.max() or 1
+    lines = []
+    for row in grid_counts[::-1]:
+        line = "".join(
+            shades[min(len(shades) - 1, int(v / peak * (len(shades) - 1) * 3))]
+            for v in row
+        )
+        lines.append(line)
+    return lines
+
+
+def test_fig8_coverage(benchmark, report):
+    datasets, registries = benchmark.pedantic(build_world, rounds=1, iterations=1)
+    rows = [
+        (
+            "dataset", "users", "region (km)", "avg speed (m/s)",
+            "edge servers (visited cells)",
+        )
+    ]
+    for name, dataset in datasets.items():
+        stats = dataset_statistics(dataset)
+        rows.append(
+            (
+                name,
+                stats.num_users,
+                f"{stats.region_km[0]:.1f} x {stats.region_km[1]:.1f}",
+                f"{stats.average_speed_mps:.2f}",
+                registries[name].num_servers,
+            )
+        )
+    lines = format_table(rows)
+    lines.append("")
+    lines.append("trajectory density (geolife-like region):")
+    lines.extend(ascii_density_map(datasets["geolife-like"]))
+    lines.append("")
+    lines.append(
+        "paper: Geolife users inside 7.2 x 5.6 km Beijing rectangle, one "
+        "server per visited 50 m hex cell; KAIST ~0.5 m/s vs Geolife ~3.9 m/s"
+    )
+    report("Fig 8: trajectories and edge-server distribution", lines)
+
+    geolife_stats = dataset_statistics(datasets["geolife-like"])
+    kaist_stats = dataset_statistics(datasets["kaist-like"])
+    assert geolife_stats.average_speed_mps > 4 * kaist_stats.average_speed_mps
+    assert registries["geolife-like"].num_servers > registries[
+        "kaist-like"
+    ].num_servers
+    # Every trace point must be covered by an allocated server.
+    registry = registries["kaist-like"]
+    for point in datasets["kaist-like"].all_points()[::97]:
+        assert registry.server_at((point[0], point[1])) is not None

@@ -1,0 +1,143 @@
+"""Fig 9: large-scale simulation — cold-start queries and hit ratios.
+
+For each dataset (KAIST-like, Geolife-like) and model, four systems run
+over the replayed traces:
+
+* IONN (baseline: no proactive transmission, hit ratio 0%),
+* PerDNN with migration radius r = 50 m and r = 100 m,
+* Optimal (all layers always everywhere, hit ratio 100%).
+
+Reported per run: the number of queries executed during the interval right
+after each server change (the paper's optimization target) and the hit
+ratio.  Paper: hit ratios 37/90% (KAIST r=50/100) and 43/70% (Geolife);
+query counts grow with the hit ratio, and large models have far more
+optimizable queries than MobileNet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.master import MigrationPolicy
+from repro.simulation.large_scale import (
+    SimulationSettings,
+    run_large_scale,
+    train_default_estimator,
+    train_default_predictor,
+)
+from repro.trajectories.synthetic import geolife_like, kaist_like
+
+from conftest import FULL_SCALE, format_table
+
+MODELS = ("mobilenet", "inception", "resnet")
+SYSTEMS = (
+    ("IONN", MigrationPolicy.NONE, 100.0),
+    ("PerDNN r=50", MigrationPolicy.PERDNN, 50.0),
+    ("PerDNN r=100", MigrationPolicy.PERDNN, 100.0),
+    ("Optimal", MigrationPolicy.OPTIMAL, 100.0),
+)
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    rng = np.random.default_rng(101)
+    if FULL_SCALE:
+        return {
+            "kaist": (kaist_like(rng), None),
+            "geolife": (geolife_like(rng).subsample(4), None),
+        }
+    return {
+        "kaist": (kaist_like(rng, num_users=31, duration_steps=360), 90),
+        "geolife": (
+            geolife_like(rng, num_users=50, duration_steps=600).subsample(4),
+            60,
+        ),
+    }
+
+
+def run_dataset(dataset, max_steps, partitioners):
+    """All systems x models on one dataset, sharing trained components."""
+    rng = np.random.default_rng(7)
+    train, _ = dataset.split_time(0.4)
+    predictor = train_default_predictor(train, history=5, rng=rng)
+    results = {}
+    for model in MODELS:
+        partitioner = partitioners[model]
+        estimator = train_default_estimator(partitioner, rng)
+        for label, policy, radius in SYSTEMS:
+            settings = SimulationSettings(
+                policy=policy,
+                migration_radius_m=radius,
+                max_steps=max_steps,
+                seed=11,
+            )
+            results[(model, label)] = run_large_scale(
+                dataset,
+                partitioner,
+                settings,
+                predictor=predictor if policy is MigrationPolicy.PERDNN else None,
+                contention_estimator=estimator,
+            )
+    return results
+
+
+def test_fig9_large_scale(benchmark, partitioners, datasets, report):
+    def run_all():
+        return {
+            name: run_dataset(dataset, max_steps, partitioners)
+            for name, (dataset, max_steps) in datasets.items()
+        }
+
+    all_results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [("dataset", "model", "system", "cold-start queries", "hit ratio")]
+    for dataset_name, results in all_results.items():
+        for model in MODELS:
+            for label, *_ in SYSTEMS:
+                result = results[(model, label)]
+                rows.append(
+                    (
+                        dataset_name,
+                        model,
+                        label,
+                        result.coldstart_queries,
+                        f"{result.hit_ratio:.2f}",
+                    )
+                )
+    lines = format_table(rows)
+    lines.append("")
+    lines.append(
+        "paper hit ratios: KAIST 0.37 (r=50) / 0.90 (r=100), "
+        "Geolife 0.43 / 0.70; query counts grow with hit ratio; "
+        "MobileNet has few optimizable queries"
+    )
+    report("Fig 9: executed queries and hit ratios (large-scale)", lines)
+
+    for dataset_name, results in all_results.items():
+        for model in MODELS:
+            baseline = results[(model, "IONN")]
+            r50 = results[(model, "PerDNN r=50")]
+            r100 = results[(model, "PerDNN r=100")]
+            optimal = results[(model, "Optimal")]
+            assert baseline.hit_ratio == 0.0
+            assert optimal.hit_ratio == 1.0
+            assert 0.0 < r50.hit_ratio <= 1.0
+            assert r50.hit_ratio <= r100.hit_ratio + 0.05
+            assert (
+                baseline.coldstart_queries
+                <= r100.coldstart_queries + 2
+            )
+            assert r100.coldstart_queries <= optimal.coldstart_queries + 2
+        # Optimizable queries (optimal - baseline) are much larger for the
+        # big models than for MobileNet.
+        def optimizable(model):
+            return (
+                results[(model, "Optimal")].coldstart_queries
+                - results[(model, "IONN")].coldstart_queries
+            )
+
+        assert optimizable("inception") > 2 * optimizable("mobilenet")
+        assert optimizable("resnet") > 2 * optimizable("mobilenet")
+    # The paper's KAIST-vs-Geolife gap: slow walkers are easier to predict.
+    kaist_hit = all_results["kaist"][("inception", "PerDNN r=100")].hit_ratio
+    geolife_hit = all_results["geolife"][("inception", "PerDNN r=100")].hit_ratio
+    assert kaist_hit >= 0.5
+    assert geolife_hit >= 0.3

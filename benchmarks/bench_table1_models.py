@@ -1,0 +1,46 @@
+"""Table I: the evaluation model zoo (# layers, size).
+
+Paper values: MobileNet 110 layers / 16 MB, Inception 312 / 128,
+ResNet 245 / 98.
+"""
+
+from repro.dnn.models import build_model
+
+from conftest import format_table
+
+PAPER = {
+    "mobilenet": (110, 16),
+    "inception": (312, 128),
+    "resnet": (245, 98),
+}
+
+
+def build_all():
+    return {name: build_model(name) for name in PAPER}
+
+
+def test_table1_model_zoo(benchmark, report):
+    graphs = benchmark(build_all)
+    rows = [
+        (
+            "model", "paper layers", "ours", "paper MB", "ours",
+            "GFLOPs (ours)",
+        )
+    ]
+    for name, (paper_layers, paper_mb) in PAPER.items():
+        graph = graphs[name]
+        rows.append(
+            (
+                name,
+                paper_layers,
+                len(graph),
+                paper_mb,
+                f"{graph.size_mb:.1f}",
+                f"{graph.total_flops / 1e9:.2f}",
+            )
+        )
+    report("Table I: DNN models used for evaluation", format_table(rows))
+    for name, (paper_layers, paper_mb) in PAPER.items():
+        graph = graphs[name]
+        assert abs(len(graph) - paper_layers) / paper_layers < 0.10
+        assert abs(graph.size_mb - paper_mb) / paper_mb < 0.10

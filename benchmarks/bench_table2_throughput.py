@@ -1,0 +1,63 @@
+"""Table II: queries executed while a DNN model uploads (miss vs hit).
+
+Paper values:
+  MobileNet: upload 3.7 s, miss 4, hit 5
+  Inception: upload 29.3 s, miss 33, hit 44
+  ResNet:    upload 22.4 s, miss 14, hit 34
+"""
+
+from repro.simulation.single_client import upload_window_throughput
+
+from conftest import format_table
+
+PAPER = {
+    "mobilenet": (3.7, 4, 5),
+    "inception": (29.3, 33, 44),
+    "resnet": (22.4, 14, 34),
+}
+
+
+def run_all(partitioners, config):
+    return {
+        name: upload_window_throughput(partitioners[name], config)
+        for name in PAPER
+    }
+
+
+def test_table2_upload_throughput(benchmark, partitioners, config, report):
+    results = benchmark.pedantic(
+        run_all, args=(partitioners, config), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            "model", "upload s (paper/ours)", "miss (paper/ours)",
+            "hit (paper/ours)",
+        )
+    ]
+    for name, (paper_upload, paper_miss, paper_hit) in PAPER.items():
+        result = results[name]
+        rows.append(
+            (
+                name,
+                f"{paper_upload} / {result.upload_seconds:.1f}",
+                f"{paper_miss} / {result.miss_queries}",
+                f"{paper_hit} / {result.hit_queries}",
+            )
+        )
+    report(
+        "Table II: queries executed during model upload (miss=IONN, hit=PerDNN)",
+        format_table(rows),
+    )
+    for name, (paper_upload, paper_miss, paper_hit) in PAPER.items():
+        result = results[name]
+        # Upload times are pinned by size/35 Mbps: within 10% of the paper.
+        assert abs(result.upload_seconds - paper_upload) / paper_upload < 0.10
+        # Hit throughput within ~25% of the paper's.
+        assert abs(result.hit_queries - paper_hit) / paper_hit < 0.25
+        assert result.hit_queries >= result.miss_queries
+    # The paper's key ordering: large models gain, MobileNet barely does.
+    gain = {
+        name: results[name].hit_queries - results[name].miss_queries
+        for name in PAPER
+    }
+    assert gain["resnet"] >= gain["inception"] >= gain["mobilenet"]

@@ -1,0 +1,122 @@
+"""Table III: accuracy of the edge-server prediction algorithms.
+
+Markov / SVR / RNN top-1 and top-2 accuracy (%) plus coordinate MAE (m) on
+both datasets, counting non-futile predictions only.  Paper values:
+
+              Markov          SVR              RNN
+  KAIST   4.6 / 44.4    8.1 / 54.1 (12.9)   9.2 / 54.6 (12.4)
+  Geolife 15.0 / 32.0  38.1 / 59.6 (31.4)  36.9 / 58.1 (32.1)
+
+Expected shape: Markov clearly below SVR and RNN (it loses exact positions
+to cell discretization); SVR and RNN comparable, which is why the paper
+deploys the cheaper linear SVR.
+"""
+
+import numpy as np
+
+from repro.geo.hexgrid import HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.mobility.evaluation import evaluate_predictor
+from repro.mobility.lstm import LSTMPredictor
+from repro.mobility.markov import MarkovPredictor
+from repro.mobility.svr import SVRPredictor
+from repro.trajectories.synthetic import geolife_like, kaist_like
+
+from conftest import FULL_SCALE, format_table
+
+PAPER = {
+    "kaist-like": {
+        "Markov": (4.6, 44.4, None),
+        "SVR": (8.1, 54.1, 12.9),
+        "RNN": (9.2, 54.6, 12.4),
+    },
+    "geolife-like-x4": {
+        "Markov": (15.0, 32.0, None),
+        "SVR": (38.1, 59.6, 31.4),
+        "RNN": (36.9, 58.1, 32.1),
+    },
+}
+
+
+def run_evaluation():
+    rng = np.random.default_rng(47)
+    grid = HexGrid(50.0)
+    if FULL_SCALE:
+        kaist = kaist_like(rng)
+        geolife = geolife_like(rng).subsample(4)
+    else:
+        kaist = kaist_like(rng, num_users=20, duration_steps=400)
+        geolife = geolife_like(rng, num_users=50, duration_steps=600).subsample(4)
+    results = {}
+    for dataset, lstm_hidden in ((kaist, 32), (geolife, 16)):
+        registry = EdgeServerRegistry.from_visited_points(
+            grid, dataset.all_points()
+        )
+        train, test = dataset.split_users(0.3, rng)
+        predictors = [
+            MarkovPredictor(grid),
+            SVRPredictor(rng=rng),
+            LSTMPredictor(
+                hidden_size=lstm_hidden,
+                epochs=60 if FULL_SCALE else 35,
+                rng=rng,
+            ),
+        ]
+        results[dataset.name] = [
+            evaluate_predictor(p.fit(train), test, registry)
+            for p in predictors
+        ]
+    return results
+
+
+def test_table3_predictor_accuracy(benchmark, report):
+    results = benchmark.pedantic(run_evaluation, rounds=1, iterations=1)
+    rows = [
+        ("dataset", "predictor", "top-1 % (paper/ours)",
+         "top-2 % (paper/ours)", "MAE m (paper/ours)")
+    ]
+    for dataset_key, accuracies in results.items():
+        paper_key = (
+            "kaist-like" if "kaist" in dataset_key else "geolife-like-x4"
+        )
+        for accuracy in accuracies:
+            paper_top1, paper_top2, paper_mae = PAPER[paper_key][
+                accuracy.predictor
+            ]
+            mae = (
+                f"{paper_mae} / {accuracy.mae_meters:.1f}"
+                if accuracy.mae_meters is not None
+                else "- / -"
+            )
+            rows.append(
+                (
+                    dataset_key.replace("-train", "").replace("-test", ""),
+                    accuracy.predictor,
+                    f"{paper_top1} / {accuracy.top_k_accuracy[1]:.1f}",
+                    f"{paper_top2} / {accuracy.top_k_accuracy[2]:.1f}",
+                    mae,
+                )
+            )
+    lines = format_table(rows)
+    lines.append("")
+    lines.append(
+        "paper shape: Markov << SVR ~= RNN on both datasets; synthetic "
+        "traces are smoother than real GPS, so absolute accuracy runs higher"
+    )
+    report("Table III: accuracy of edge-server prediction", lines)
+
+    for accuracies in results.values():
+        by_name = {a.predictor: a for a in accuracies}
+        # Markov clearly below the coordinate regressors (top-2).
+        assert (
+            by_name["Markov"].top_k_accuracy[2]
+            < by_name["SVR"].top_k_accuracy[2]
+        )
+        # SVR and RNN comparable: within 20 accuracy points on top-2 (the
+        # trimmed LSTM training budget leaves the RNN slightly behind).
+        assert abs(
+            by_name["SVR"].top_k_accuracy[2]
+            - by_name["RNN"].top_k_accuracy[2]
+        ) < 20.0
+        # Coordinate MAE in the tens-of-metres regime, as in the paper.
+        assert by_name["SVR"].mae_meters < 60.0

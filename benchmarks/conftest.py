@@ -1,0 +1,95 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark regenerates one table or figure of the paper and registers a
+paper-vs-measured report; reports are printed in the terminal summary so
+they survive pytest's output capture (and land in bench_output.txt).
+
+Benchmarks default to trimmed workloads so the full suite finishes in
+minutes on one core; set ``PERDNN_BENCH_FULL=1`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.dnn.models import build_model
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+
+_REPORTS: list[tuple[str, list[str]]] = []
+
+FULL_SCALE = os.environ.get("PERDNN_BENCH_FULL", "0") == "1"
+
+
+def format_table(rows: list[tuple]) -> list[str]:
+    """Fixed-width table rendering for report blocks."""
+    text_rows = [[str(v) for v in row] for row in rows]
+    widths = [
+        max(len(row[i]) for row in text_rows if i < len(row))
+        for i in range(max(len(r) for r in text_rows))
+    ]
+    lines = []
+    for row in text_rows:
+        lines.append(
+            "  ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+    return lines
+
+
+@pytest.fixture
+def report():
+    """Call ``report(title, lines)`` to register a summary block."""
+
+    def _record(title: str, lines: list[str]) -> None:
+        _REPORTS.append((title, list(lines)))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 74)
+    terminalreporter.write_line("PerDNN reproduction: paper vs measured")
+    terminalreporter.write_line("=" * 74)
+    for title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {title} ---")
+        for line in lines:
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def config() -> PerDNNConfig:
+    return PerDNNConfig()
+
+
+@pytest.fixture(scope="session")
+def devices():
+    return odroid_xu4(), titan_xp_server()
+
+
+@pytest.fixture(scope="session")
+def partitioners(config, devices) -> dict[str, DNNPartitioner]:
+    """One partitioner per evaluation model, shared across benchmarks."""
+    client, server = devices
+    out = {}
+    for name in ("mobilenet", "inception", "resnet"):
+        profile = ExecutionProfile.build(build_model(name), client, server)
+        out[name] = DNNPartitioner(
+            profile,
+            config.network.uplink_bps,
+            config.network.downlink_bps,
+        )
+    return out
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(2026)

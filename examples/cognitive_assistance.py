@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Mobile cognitive assistance: a user walks between two edge servers.
+
+The paper's motivating application: smart glasses continuously recognize
+objects for a visually-impaired user (one DNN query every 0.5 s).  This
+example replays the Fig 1 / Fig 7 experiment: 40 ResNet-50 queries with a
+hand-off to a new edge server at query 21, comparing
+
+* IONN  — the new server starts empty; the client re-uploads from scratch,
+* PerDNN — the previous server proactively migrated layers ahead of time.
+
+Run:  python examples/cognitive_assistance.py
+"""
+
+from repro.core import PerDNNConfig
+from repro.dnn import build_model
+from repro.partitioning import DNNPartitioner
+from repro.profiling import ExecutionProfile, odroid_xu4, titan_xp_server
+from repro.simulation import simulate_handoff
+
+
+def sparkline(values, width: int = 50) -> str:
+    blocks = " .:-=+*#%@"
+    peak = max(values)
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / peak * (len(blocks) - 1)))]
+        for v in values
+    )
+
+
+def main() -> None:
+    config = PerDNNConfig()
+    profile = ExecutionProfile.build(
+        build_model("resnet"), odroid_xu4(), titan_xp_server()
+    )
+    partitioner = DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+    total = partitioner.partition(1.0).schedule.total_bytes
+
+    scenarios = {
+        "IONN (no proactive migration)": 0.0,
+        "PerDNN (20% of model migrated)": 0.2 * total,
+        "PerDNN (full model migrated)": total,
+    }
+    print("per-query latency, 40 ResNet queries, server change at query 21\n")
+    for name, migrated in scenarios.items():
+        result = simulate_handoff(
+            partitioner, config,
+            num_queries=40, switch_after=20, premigrated_bytes=migrated,
+        )
+        print(f"{name} — migrated {migrated / 1e6:.0f} MB")
+        print(f"  latency profile: |{sparkline(result.latencies)}|")
+        print(f"  peak after hand-off: "
+              f"{result.peak_latency_after_switch * 1000:6.0f} ms")
+        frame_budget = 1.0 / 3.0  # a 3 fps assistance loop
+        dropped = sum(1 for l in result.latencies if l > frame_budget)
+        print(f"  queries over the {frame_budget * 1000:.0f} ms budget: "
+              f"{dropped}/40\n")
+    print("PerDNN's proactive migration removes the cold-start spike that "
+          "IONN suffers at every server change.")
+
+
+if __name__ == "__main__":
+    main()

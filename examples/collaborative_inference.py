@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Collaborative inference with real tensors and real weight bytes.
+
+Everything the other examples *simulate*, this one actually executes:
+
+1. build MobileNet v1 with deterministic synthetic weights,
+2. partition it between the client and an edge server,
+3. serialize the server-side layers' weights into wire chunks (the bytes
+   an upload or a proactive migration would move) and "ship" them,
+4. run one query collaboratively — the client executes its prefix, sends
+   the boundary tensor, the server executes the rest and returns the
+   result — and verify the output is bit-identical to a local run.
+
+Run:  python examples/collaborative_inference.py
+"""
+
+import numpy as np
+
+from repro.core import PerDNNConfig, execute_collaboratively
+from repro.dnn import NumpyExecutor, WeightStore, build_model
+from repro.dnn.weights import deserialize_chunk, serialize_chunk
+from repro.partitioning import DNNPartitioner
+from repro.profiling import ExecutionProfile, odroid_xu4, titan_xp_server
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    config = PerDNNConfig()
+    graph = build_model("mobilenet")
+    print(f"model: {graph.name}, {len(graph)} layers, {graph.size_mb:.1f} MB")
+
+    profile = ExecutionProfile.build(graph, odroid_xu4(), titan_xp_server())
+    partitioner = DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+    result = partitioner.partition(1.0)
+    plan, schedule = result.plan, result.schedule
+    print(f"plan: {len(plan.server_indices)} layers on the server, "
+          f"{schedule.total_bytes / 1e6:.1f} MB to ship")
+
+    # --- ship the server-side weights as real bytes --------------------
+    client_store = WeightStore(graph)  # the client owns the model
+    shipped = {}
+    wire_bytes = 0
+    for chunk in schedule.chunks:
+        blob = serialize_chunk(client_store, chunk.layer_names)
+        wire_bytes += len(blob)
+        shipped.update(deserialize_chunk(blob))  # server receives + decodes
+    upload_seconds = wire_bytes * 8.0 / config.network.uplink_bps
+    print(f"shipped {wire_bytes / 1e6:.1f} MB over the wire "
+          f"(~{upload_seconds:.1f} s at 35 Mbps), "
+          f"{len(shipped)} weighted layers decoded at the server")
+
+    # The server builds its executor from the *received* weights.
+    server_store = WeightStore(graph)
+    server_store._cache.update(shipped)
+    client = NumpyExecutor(graph, client_store)
+    server = NumpyExecutor(graph, server_store)
+
+    # --- run one query collaboratively ---------------------------------
+    x = client.make_input(rng)
+    local = client.run(x)
+    collaborative = execute_collaboratively(graph, plan, x, client, server)
+    identical = np.array_equal(local, collaborative.output)
+    print(f"\ncollaborative output identical to local: {identical}")
+    print(f"tensors moved: {collaborative.num_transfers} "
+          f"({collaborative.uplink_bytes / 1e3:.0f} KB up, "
+          f"{collaborative.downlink_bytes / 1e3:.1f} KB down)")
+    print(f"predicted class: {int(collaborative.output.argmax())} "
+          f"(p = {float(collaborative.output.max()):.4f})")
+    assert identical
+
+
+if __name__ == "__main__":
+    main()

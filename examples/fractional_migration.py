@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Fractional migration: how many bytes buy how much latency?
+
+The efficiency-greedy upload order means the first megabytes of a model
+carry most of the offloading benefit.  This example sweeps the migrated
+byte budget for all three evaluation models and prints the latency a
+freshly-visited server achieves with only that prefix cached (§4.A,
+§4.B.5).
+
+Run:  python examples/fractional_migration.py
+"""
+
+from repro.core import PerDNNConfig
+from repro.dnn import build_model
+from repro.partitioning import DNNPartitioner, select_fraction
+from repro.profiling import ExecutionProfile, odroid_xu4, titan_xp_server
+
+FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0)
+
+
+def main() -> None:
+    config = PerDNNConfig()
+    client, server = odroid_xu4(), titan_xp_server()
+    for name in ("mobilenet", "inception", "resnet"):
+        profile = ExecutionProfile.build(build_model(name), client, server)
+        partitioner = DNNPartitioner(
+            profile, config.network.uplink_bps, config.network.downlink_bps
+        )
+        schedule = partitioner.partition(1.0).schedule
+        total = schedule.total_bytes
+        print(f"\n{name}: {total / 1e6:.1f} MB server-side layers")
+        print(f"  {'migrated':>9s} {'MB':>7s} {'query latency':>13s} "
+              f"{'vs full migration':>17s}")
+        for fraction in FRACTIONS:
+            selection = select_fraction(schedule, fraction * total)
+            print(
+                f"  {fraction:>8.0%} {selection.nbytes / 1e6:>7.1f} "
+                f"{selection.latency * 1000:>10.0f} ms "
+                f"{'+' + format(selection.latency_penalty, '.0%'):>17s}"
+            )
+    print(
+        "\nInception reaches near-full performance with a small fraction of "
+        "its bytes (its 85 MB classifier is nearly free to skip); that is "
+        "what lets crowded servers cut peak backhaul traffic by ~2/3 at "
+        "1-2% performance cost (Fig 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""GPU-aware partitioning: how plans shift as an edge server gets crowded.
+
+PerDNN's partitioner estimates server-side layer times from nvml-style GPU
+statistics (kernel/memory utilization, temperature, client count) via a
+random forest trained on offline profiling data (§3.C.1).  This example:
+
+1. profiles ResNet-50 under synthetic multi-client contention,
+2. trains the GPU-stats -> slowdown estimator,
+3. shows how the partitioning plan retreats toward the client as more
+   clients crowd the server's GPU — the automatic load balancing of §3.C.2.
+
+Run:  python examples/gpu_aware_partitioning.py
+"""
+
+import numpy as np
+
+from repro.core import PerDNNConfig
+from repro.dnn import build_model
+from repro.estimation import ContentionEstimator
+from repro.partitioning import DNNPartitioner
+from repro.profiling import (
+    ExecutionProfile,
+    GpuContentionModel,
+    generate_contention_dataset,
+    odroid_xu4,
+    titan_xp_server,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    config = PerDNNConfig()
+    graph = build_model("resnet")
+    server = titan_xp_server()
+    profile = ExecutionProfile.build(graph, odroid_xu4(), server)
+    partitioner = DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+
+    print("offline profiling campaign (perf_client style)...")
+    samples = generate_contention_dataset(
+        graph, server, rng, client_counts=(1, 2, 4, 8, 12, 16),
+        rounds_per_count=10,
+    )
+    estimator = ContentionEstimator(rng=rng).fit(samples)
+    print(f"  {len(samples)} samples -> GPU-stats slowdown estimator trained\n")
+
+    print(f"{'clients':>7s} {'kernel util':>11s} {'est. slowdown':>13s} "
+          f"{'server layers':>13s} {'query latency':>13s}")
+    gpu = GpuContentionModel(np.random.default_rng(1))
+    for clients in (0, 2, 4, 8, 12, 16):
+        gpu.step(clients)
+        stats = gpu.sample_stats()
+        slowdown = estimator.predict_slowdown(stats)
+        result = partitioner.partition(slowdown)
+        print(
+            f"{clients:>7d} {stats.kernel_utilization:>10.0f}% "
+            f"{slowdown:>12.2f}x {len(result.plan.server_indices):>6d}/"
+            f"{len(graph):<6d} {result.plan.latency * 1000:>10.0f} ms"
+        )
+    print("\nCrowded servers are automatically less attractive: the plan "
+          "keeps more layers on the client, and the master would pick a "
+          "less-loaded nearby server instead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pyproject.toml`` is the authoritative metadata; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks wheel
+support for PEP-660 editable installs (it enables the legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""PerDNN reproduction: offloading DNN computations to pervasive edge servers.
+
+Reproduction of Jeong et al., ICDCS 2020.  The top-level namespace
+re-exports the objects a downstream user typically needs; see the
+subpackages for the full API and ``docs/architecture.md`` for the system
+overview.
+
+Typical usage::
+
+    from repro import (
+        PerDNNConfig, build_model, ExecutionProfile,
+        odroid_xu4, titan_xp_server, DNNPartitioner,
+    )
+
+    config = PerDNNConfig()
+    profile = ExecutionProfile.build(
+        build_model("inception"), odroid_xu4(), titan_xp_server()
+    )
+    partitioner = DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+    plan = partitioner.partition(server_slowdown=1.0).plan
+"""
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MasterServer, MigrationPolicy
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+from repro.dnn.models import build_model
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.simulation.single_client import (
+    simulate_handoff,
+    upload_window_throughput,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PerDNNConfig",
+    "MasterServer",
+    "MigrationPolicy",
+    "DNNGraph",
+    "Layer",
+    "LayerKind",
+    "TensorShape",
+    "build_model",
+    "DNNPartitioner",
+    "odroid_xu4",
+    "titan_xp_server",
+    "ExecutionProfile",
+    "SimulationSettings",
+    "run_large_scale",
+    "simulate_handoff",
+    "upload_window_throughput",
+    "__version__",
+]

@@ -1,0 +1,240 @@
+"""Command-line interface: run PerDNN experiments without writing code.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro models
+    python -m repro partition --model inception --slowdown 2.0
+    python -m repro handoff --model resnet --fraction 0.2
+    python -m repro simulate --dataset kaist --model inception \
+        --policy perdnn --radius 100 --steps 60
+    python -m repro predictors --dataset geolife
+
+Every command is a thin wrapper over the library API used by the
+benchmarks; see benchmarks/ for the full paper-reproduction harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.dnn.models import MODEL_BUILDERS, build_model
+from repro.dnn.zoo_extra import EXTRA_MODEL_BUILDERS
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+
+ALL_MODELS = {**MODEL_BUILDERS, **EXTRA_MODEL_BUILDERS}
+
+
+def _make_partitioner(model: str, config: PerDNNConfig) -> DNNPartitioner:
+    profile = ExecutionProfile.build(
+        build_model(model), odroid_xu4(), titan_xp_server()
+    )
+    return DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+
+
+def _make_dataset(name: str, users: int, steps: int, seed: int):
+    from repro.trajectories.synthetic import geolife_like, kaist_like
+
+    rng = np.random.default_rng(seed)
+    if name == "kaist":
+        return kaist_like(rng, num_users=users, duration_steps=steps)
+    if name == "geolife":
+        return geolife_like(rng, num_users=users, duration_steps=steps).subsample(4)
+    raise ValueError(f"unknown dataset {name!r} (kaist | geolife)")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_models(args: argparse.Namespace) -> int:
+    print(f"{'model':<12s} {'layers':>7s} {'size MB':>8s} {'GFLOPs':>7s}")
+    for name in sorted(ALL_MODELS):
+        graph = build_model(name)
+        print(
+            f"{name:<12s} {len(graph):>7d} {graph.size_mb:>8.1f} "
+            f"{graph.total_flops / 1e9:>7.2f}"
+        )
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    config = PerDNNConfig()
+    partitioner = _make_partitioner(args.model, config)
+    result = partitioner.partition(args.slowdown)
+    plan, schedule = result.plan, result.schedule
+    print(f"model: {args.model}, server slowdown: {result.slowdown:.2f}x")
+    print(f"local latency:     {partitioner.local_latency() * 1e3:8.1f} ms")
+    print(f"plan latency:      {plan.latency * 1e3:8.1f} ms")
+    print(f"server layers:     {len(plan.server_indices)}/{len(partitioner.graph)}")
+    print(f"upload volume:     {schedule.total_bytes / 1e6:8.1f} MB "
+          f"in {len(schedule.chunks)} chunks")
+    if args.verbose:
+        for i, chunk in enumerate(schedule.chunks):
+            print(
+                f"  [{i:3d}] {chunk.layer_names[0]} .. {chunk.layer_names[-1]} "
+                f"({chunk.nbytes / 1e6:.2f} MB) -> "
+                f"{schedule.latencies[i + 1] * 1e3:.1f} ms"
+            )
+    return 0
+
+
+def cmd_handoff(args: argparse.Namespace) -> int:
+    from repro.simulation.single_client import simulate_handoff
+
+    config = PerDNNConfig()
+    partitioner = _make_partitioner(args.model, config)
+    total = partitioner.partition(1.0).schedule.total_bytes
+    result = simulate_handoff(
+        partitioner,
+        config,
+        num_queries=args.queries,
+        switch_after=args.switch_after,
+        premigrated_bytes=args.fraction * total,
+    )
+    print(
+        f"model: {args.model}, migrated ahead: {args.fraction:.0%} "
+        f"({result.migrated_bytes / 1e6:.1f} MB)"
+    )
+    for i, latency in enumerate(result.latencies, start=1):
+        marker = "  <- server change" if i == args.switch_after + 1 else ""
+        print(f"  query {i:3d}: {latency * 1e3:8.1f} ms{marker}")
+    print(f"peak after switch: {result.peak_latency_after_switch * 1e3:.1f} ms")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.large_scale import SimulationSettings, run_large_scale
+
+    config = PerDNNConfig(
+        migration_radius_m=args.radius,
+        handover_hysteresis_m=args.hysteresis,
+    )
+    partitioner = _make_partitioner(args.model, config)
+    dataset = _make_dataset(args.dataset, args.users, args.dataset_steps, args.seed)
+    settings = SimulationSettings(
+        policy=MigrationPolicy(args.policy),
+        migration_radius_m=args.radius,
+        max_steps=args.steps,
+        seed=args.seed,
+    )
+    result = run_large_scale(dataset, partitioner, settings, config=config)
+    print(f"dataset: {result.dataset}, model: {result.model}, "
+          f"policy: {result.policy}")
+    print(f"servers: {result.num_servers}, clients: {result.num_clients}, "
+          f"steps: {result.steps}")
+    print(f"hit ratio:          {result.hit_ratio:6.2f} "
+          f"({result.hits} hits / {result.misses} misses)")
+    print(f"cold-start queries: {result.coldstart_queries}")
+    print(f"total queries:      {result.total_queries}")
+    assert result.uplink is not None
+    print(f"backhaul peak:      {result.uplink.peak_mbps:.0f} Mbps uplink, "
+          f"{result.uplink.total_bytes / 1e9:.2f} GB total")
+    return 0
+
+
+def cmd_predictors(args: argparse.Namespace) -> int:
+    from repro.geo.hexgrid import HexGrid
+    from repro.geo.wifi import EdgeServerRegistry
+    from repro.mobility.evaluation import evaluate_predictor
+    from repro.mobility.markov import MarkovPredictor
+    from repro.mobility.modes import ModeAwareSVRPredictor
+    from repro.mobility.svr import SVRPredictor
+
+    rng = np.random.default_rng(args.seed)
+    dataset = _make_dataset(args.dataset, args.users, args.dataset_steps, args.seed)
+    grid = HexGrid(50.0)
+    registry = EdgeServerRegistry.from_visited_points(grid, dataset.all_points())
+    train, test = dataset.split_users(0.3, rng)
+    print(f"{'predictor':<10s} {'top-1 %':>8s} {'top-2 %':>8s} {'MAE m':>7s}")
+    for predictor in (
+        MarkovPredictor(grid),
+        SVRPredictor(rng=rng),
+        ModeAwareSVRPredictor(rng=rng),
+    ):
+        predictor.fit(train)
+        accuracy = evaluate_predictor(predictor, test, registry)
+        mae = f"{accuracy.mae_meters:7.1f}" if accuracy.mae_meters else "      -"
+        print(
+            f"{accuracy.predictor:<10s} {accuracy.top_k_accuracy[1]:>8.1f} "
+            f"{accuracy.top_k_accuracy[2]:>8.1f} {mae}"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="PerDNN reproduction experiments"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the evaluation model zoo")
+
+    partition = sub.add_parser("partition", help="partition a model")
+    partition.add_argument("--model", default="inception",
+                           choices=sorted(ALL_MODELS))
+    partition.add_argument("--slowdown", type=float, default=1.0,
+                           help="server GPU contention factor (>= 1)")
+    partition.add_argument("--verbose", action="store_true",
+                           help="print the full upload schedule")
+
+    handoff = sub.add_parser("handoff", help="single-client server change")
+    handoff.add_argument("--model", default="inception",
+                         choices=sorted(ALL_MODELS))
+    handoff.add_argument("--fraction", type=float, default=0.0,
+                         help="share of the model migrated ahead (0..1)")
+    handoff.add_argument("--queries", type=int, default=40)
+    handoff.add_argument("--switch-after", type=int, default=20)
+
+    simulate = sub.add_parser("simulate", help="large-scale simulation")
+    simulate.add_argument("--dataset", default="kaist",
+                          choices=("kaist", "geolife"))
+    simulate.add_argument("--model", default="inception",
+                          choices=sorted(ALL_MODELS))
+    simulate.add_argument("--policy", default="perdnn",
+                          choices=[p.value for p in MigrationPolicy])
+    simulate.add_argument("--radius", type=float, default=100.0)
+    simulate.add_argument("--hysteresis", type=float, default=0.0,
+                          help="handover hysteresis margin in metres")
+    simulate.add_argument("--steps", type=int, default=60,
+                          help="simulated intervals (cap)")
+    simulate.add_argument("--users", type=int, default=20)
+    simulate.add_argument("--dataset-steps", type=int, default=300)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    predictors = sub.add_parser("predictors", help="compare mobility predictors")
+    predictors.add_argument("--dataset", default="kaist",
+                            choices=("kaist", "geolife"))
+    predictors.add_argument("--users", type=int, default=20)
+    predictors.add_argument("--dataset-steps", type=int, default=300)
+    predictors.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "models": cmd_models,
+    "partition": cmd_partition,
+    "handoff": cmd_handoff,
+    "simulate": cmd_simulate,
+    "predictors": cmd_predictors,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Mobile client state.
+
+A client replays its trajectory, keeps the sliding window of recent
+positions it reports to the master (the *current trajectory* of §3.B), and
+remembers which edge server it is associated with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.mobility.trajectory import Trajectory
+
+
+class MobileClient:
+    """One trajectory-driven mobile user running a personal DNN model."""
+
+    def __init__(self, client_id: int, trajectory: Trajectory, history: int) -> None:
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.client_id = client_id
+        self.trajectory = trajectory
+        self.history = history
+        self._recent: deque[tuple[float, float]] = deque(maxlen=history)
+        self.current_server: int | None = None
+        self.step_index = -1
+        # Model generation: bumped when the client retrains/replaces its
+        # personal DNN (paper §I), invalidating all cached copies.
+        self.model_version = 0
+
+    def update_model(self) -> int:
+        """Deploy a new model generation; returns the new version."""
+        self.model_version += 1
+        return self.model_version
+
+    @property
+    def finished(self) -> bool:
+        return self.step_index >= len(self.trajectory) - 1
+
+    def advance(self) -> tuple[float, float] | None:
+        """Move to the next trajectory point; None when the trace ended."""
+        if self.finished:
+            return None
+        self.step_index += 1
+        point = self.trajectory.points[self.step_index]
+        position = (float(point[0]), float(point[1]))
+        self._recent.append(position)
+        return position
+
+    @property
+    def position(self) -> tuple[float, float]:
+        if self.step_index < 0:
+            raise RuntimeError("client has not advanced yet")
+        point = self.trajectory.points[self.step_index]
+        return (float(point[0]), float(point[1]))
+
+    def recent_window(self) -> np.ndarray | None:
+        """The last ``history`` positions, or None if not yet enough."""
+        if len(self._recent) < self.history:
+            return None
+        return np.array(self._recent)

@@ -1,0 +1,107 @@
+"""Collaborative DNN execution: run one query across client and server.
+
+This is the runtime half of the paper's §3.B.1: "the client executes
+layers one by one until the execution reaches the uploaded layer, and
+sends the input of the uploaded layer to the edge server.  The edge server
+executes the uploaded layers and returns the result to the client."
+
+:func:`execute_collaboratively` walks a partitioning plan in topological
+order with two :class:`~repro.dnn.execution.NumpyExecutor` instances,
+transferring tensors whenever a layer's input lives on the other side, and
+records every transfer.  The result must be identical to a fully local
+run — asserted by the integration tests — which validates that the
+partitioner's placements are actually executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dnn.execution import NumpyExecutor
+from repro.dnn.graph import DNNGraph
+from repro.partitioning.execution_graph import Placement
+from repro.partitioning.shortest_path import PartitionPlan
+
+
+@dataclass(frozen=True)
+class TensorTransfer:
+    """One tensor moved between the client and the server."""
+
+    tensor_of: str  # producing layer
+    nbytes: int
+    to_server: bool  # direction
+
+
+@dataclass
+class CollaborativeResult:
+    """Output of one collaboratively-executed query."""
+
+    output: np.ndarray
+    transfers: list[TensorTransfer] = field(default_factory=list)
+
+    @property
+    def uplink_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers if t.to_server)
+
+    @property
+    def downlink_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers if not t.to_server)
+
+    @property
+    def num_transfers(self) -> int:
+        return len(self.transfers)
+
+
+def execute_collaboratively(
+    graph: DNNGraph,
+    plan: PartitionPlan,
+    input_tensor: np.ndarray,
+    client: NumpyExecutor,
+    server: NumpyExecutor,
+) -> CollaborativeResult:
+    """Execute ``plan`` with the client and server executors.
+
+    The client and server executors may hold *independent* weight stores —
+    the tests exercise shipping serialized weights to the server first —
+    but both must describe the same graph.
+    """
+    if client.graph is not graph or server.graph is not graph:
+        raise ValueError("both executors must be bound to the plan's graph")
+    if tuple(graph.topo_order) != plan.layer_names:
+        raise ValueError("plan does not match the graph's topological order")
+    result = CollaborativeResult(output=np.empty(0))
+    # Which side currently holds each produced tensor (both, after a copy).
+    at_client: dict[str, np.ndarray] = {}
+    at_server: dict[str, np.ndarray] = {}
+    input_name = graph.input_name
+    at_client[input_name] = input_tensor.astype(np.float32)
+    placements = dict(zip(plan.layer_names, plan.placements))
+
+    def fetch(name: str, to_server: bool) -> np.ndarray:
+        """Make a tensor available on the requested side, logging moves."""
+        here, there = (at_server, at_client) if to_server else (at_client, at_server)
+        if name in here:
+            return here[name]
+        tensor = there[name]
+        result.transfers.append(
+            TensorTransfer(
+                tensor_of=name, nbytes=tensor.nbytes, to_server=to_server
+            )
+        )
+        here[name] = tensor
+        return tensor
+
+    for name in graph.topo_order[1:]:
+        on_server = placements[name] is Placement.SERVER
+        executor = server if on_server else client
+        inputs = [
+            fetch(pred, to_server=on_server)
+            for pred in graph.predecessors(name)
+        ]
+        output = executor.execute_layer(name, inputs)
+        (at_server if on_server else at_client)[name] = output
+    final = graph.output_name
+    result.output = fetch(final, to_server=False)  # result returns to client
+    return result

@@ -1,0 +1,149 @@
+"""Edge server: GPU state plus a TTL'd per-client layer cache.
+
+Each hex cell's computing node holds, per client, the bytes of that
+client's server-side DNN layers it has received so far (from the client's
+own incremental upload or from another server's proactive migration).
+Because both senders follow the same efficiency-greedy schedule, the cached
+bytes always form a *prefix* of the client's upload schedule, so a single
+byte counter fully describes the cache state (see DESIGN.md).
+
+Cached models expire after a TTL measured in simulation intervals; the TTL
+is refreshed whenever new bytes arrive or the owning client is associated
+with the server (§3.B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.hexgrid import HexCell
+from repro.profiling.contention import GpuContentionModel
+from repro.profiling.gpu_stats import GpuStats
+
+
+@dataclass
+class CachedModel:
+    """Bytes of one client's server-side layers present at a server.
+
+    ``version`` tracks the client's model generation: clients may retrain
+    or replace their personal models after deployment (paper §I), which
+    invalidates every cached copy of the old weights.
+    """
+
+    received_bytes: float
+    expires_at_interval: int
+    version: int = 0
+
+    def refresh(self, now_interval: int, ttl_intervals: int) -> None:
+        self.expires_at_interval = now_interval + ttl_intervals
+
+
+class EdgeServer:
+    """One computing node in a hex cell."""
+
+    def __init__(
+        self,
+        server_id: int,
+        cell: HexCell,
+        rng: np.random.Generator,
+    ) -> None:
+        self.server_id = server_id
+        self.cell = cell
+        self.contention = GpuContentionModel(rng)
+        self._cache: dict[int, CachedModel] = {}
+        self._active_clients: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # GPU state
+    # ------------------------------------------------------------------
+    @property
+    def active_clients(self) -> set[int]:
+        return set(self._active_clients)
+
+    def associate(self, client_id: int) -> None:
+        self._active_clients.add(client_id)
+
+    def dissociate(self, client_id: int) -> None:
+        self._active_clients.discard(client_id)
+
+    def step_gpu(self) -> None:
+        """Advance the contention model one interval."""
+        self.contention.step(len(self._active_clients))
+
+    def sample_stats(self) -> GpuStats:
+        """What the master's ping observes (§3.C.1)."""
+        return self.contention.sample_stats()
+
+    def slowdown(self) -> float:
+        return self.contention.slowdown()
+
+    # ------------------------------------------------------------------
+    # Layer cache
+    # ------------------------------------------------------------------
+    def cached_bytes(self, client_id: int, version: int = 0) -> float:
+        """Cached bytes of the client's model at ``version`` (stale = 0)."""
+        entry = self._cache.get(client_id)
+        if entry is None or entry.version != version:
+            return 0.0
+        return entry.received_bytes
+
+    def add_bytes(
+        self,
+        client_id: int,
+        nbytes: float,
+        now_interval: int,
+        ttl_intervals: int,
+        version: int = 0,
+    ) -> float:
+        """Receive ``nbytes`` more of a client's layers; returns new total.
+
+        Bytes of a newer model version replace any stale cached copy.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        entry = self._cache.get(client_id)
+        if entry is None or entry.version != version:
+            entry = CachedModel(
+                received_bytes=0.0, expires_at_interval=0, version=version
+            )
+            self._cache[client_id] = entry
+        entry.received_bytes += nbytes
+        entry.refresh(now_interval, ttl_intervals)
+        return entry.received_bytes
+
+    def refresh_ttl(
+        self,
+        client_id: int,
+        now_interval: int,
+        ttl_intervals: int,
+        version: int = 0,
+    ) -> None:
+        entry = self._cache.get(client_id)
+        if entry is not None and entry.version == version:
+            entry.refresh(now_interval, ttl_intervals)
+
+    def clear_client(self, client_id: int) -> None:
+        """Drop a client's cached layers (the IONN baseline keeps nothing
+        across server changes — clients re-upload from scratch)."""
+        self._cache.pop(client_id, None)
+
+    def expire(self, now_interval: int) -> list[int]:
+        """Drop expired cache entries; returns the evicted client ids.
+
+        Entries of currently-associated clients never expire.
+        """
+        evicted = [
+            client_id
+            for client_id, entry in self._cache.items()
+            if entry.expires_at_interval <= now_interval
+            and client_id not in self._active_clients
+        ]
+        for client_id in evicted:
+            del self._cache[client_id]
+        return evicted
+
+    @property
+    def num_cached_models(self) -> int:
+        return len(self._cache)

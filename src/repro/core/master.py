@@ -1,0 +1,240 @@
+"""The master server: planning, prediction, and proactive migration (§3.B).
+
+The master keeps the global view: the server registry (Wi-Fi database), a
+lazily-instantiated :class:`~repro.core.edge_server.EdgeServer` per
+allocated cell, the GPU-aware execution-time estimator, one
+:class:`~repro.partitioning.partitioner.DNNPartitioner` per DNN profile,
+and the mobility predictor.  Every simulation interval it:
+
+1. answers *current partitioning plan* requests using the pinged GPU
+   statistics of the client's current server, and
+2. predicts each client's next location, derives *future partitioning
+   plans* for all servers within the migration radius of the prediction,
+   and schedules backhaul transfers of the server-side layers from the
+   client's current server (fractionally, for crowded servers).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.core.client import MobileClient
+from repro.core.config import PerDNNConfig
+from repro.core.edge_server import EdgeServer
+from repro.estimation.estimator import ContentionEstimator
+from repro.geo.wifi import EdgeServerRegistry
+from repro.mobility.predictor import PointPredictor
+from repro.network.traffic import TrafficMeter
+from repro.partitioning.partitioner import DNNPartitioner, PartitionResult
+
+
+class MigrationPolicy(str, Enum):
+    """What the system does ahead of a client's next move."""
+
+    NONE = "none"  # IONN baseline: no proactive transmission
+    PERDNN = "perdnn"  # predict + migrate within the radius
+    OPTIMAL = "optimal"  # oracle: every server always holds every model
+    ROUTING = "routing"  # §3.A alternative: stay on the first server,
+    # relay queries over the backhaul as the user moves
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One proactive backhaul transfer."""
+
+    client_id: int
+    source_server: int
+    target_server: int
+    nbytes: float
+    interval: int
+
+
+class MasterServer:
+    """Global controller for one simulated region."""
+
+    def __init__(
+        self,
+        registry: EdgeServerRegistry,
+        partitioner: DNNPartitioner | Mapping[int, DNNPartitioner],
+        config: PerDNNConfig,
+        rng: np.random.Generator,
+        predictor: PointPredictor | None = None,
+        contention_estimator: ContentionEstimator | None = None,
+        policy: MigrationPolicy = MigrationPolicy.PERDNN,
+        traffic_meter: TrafficMeter | None = None,
+        crowded_servers: frozenset[int] = frozenset(),
+        crowded_byte_budget: float = float("inf"),
+    ) -> None:
+        if policy is MigrationPolicy.PERDNN and predictor is None:
+            raise ValueError("PERDNN policy requires a mobility predictor")
+        self.registry = registry
+        self.partitioner = partitioner
+        self.config = config
+        self.policy = policy
+        self.predictor = predictor
+        self.contention_estimator = contention_estimator
+        self.traffic_meter = traffic_meter
+        self.crowded_servers = crowded_servers
+        self.crowded_byte_budget = crowded_byte_budget
+        self._rng = rng
+        self._servers: dict[int, EdgeServer] = {}
+        self.migrations: list[MigrationRecord] = []
+        self._slowdown_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Server management
+    # ------------------------------------------------------------------
+    def server(self, server_id: int) -> EdgeServer:
+        existing = self._servers.get(server_id)
+        if existing is not None:
+            return existing
+        cell = self.registry.cell_of_server(server_id)
+        server = EdgeServer(server_id, cell, self._rng)
+        self._servers[server_id] = server
+        return server
+
+    @property
+    def instantiated_servers(self) -> list[EdgeServer]:
+        return list(self._servers.values())
+
+    def server_at(self, point: tuple[float, float]) -> int | None:
+        return self.registry.server_at(point)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def begin_interval(self) -> None:
+        """Reset per-interval memoization (GPU stats are re-pinged once per
+        server per interval, matching the 'stable within 30 s' assumption)."""
+        self._slowdown_cache.clear()
+
+    def estimate_slowdown(self, server: EdgeServer) -> float:
+        """The master's view of a server's GPU contention.
+
+        With a trained estimator, the master pings the server for nvml
+        statistics and predicts the slowdown (the paper's GPU-aware path);
+        without one it falls back to the analytic expectation.  Memoized per
+        interval — call :meth:`begin_interval` at each simulation step.
+        """
+        cached = self._slowdown_cache.get(server.server_id)
+        if cached is not None:
+            return cached
+        if self.contention_estimator is not None:
+            slowdown = self.contention_estimator.predict_slowdown(
+                server.sample_stats()
+            )
+        else:
+            slowdown = server.contention.expected_slowdown_for_clients(
+                len(server.active_clients)
+            )
+        self._slowdown_cache[server.server_id] = slowdown
+        return slowdown
+
+    def partitioner_for(self, client_id: int | None = None) -> DNNPartitioner:
+        """The partitioner of one client's DNN model.
+
+        Every client has its own (personal, non-shared) model in the paper;
+        homogeneous simulations pass a single partitioner, heterogeneous
+        ones a mapping from client id to that client's partitioner.
+        """
+        if isinstance(self.partitioner, Mapping):
+            if client_id is None:
+                raise ValueError(
+                    "client_id required with per-client partitioners"
+                )
+            return self.partitioner[client_id]
+        return self.partitioner
+
+    def plan_for(
+        self, server: EdgeServer, client_id: int | None = None
+    ) -> PartitionResult:
+        """Current partitioning plan for a client at ``server`` (§3.B.1)."""
+        return self.partitioner_for(client_id).partition(
+            self.estimate_slowdown(server)
+        )
+
+    def plan_bytes(self, server: EdgeServer, client_id: int | None = None) -> float:
+        return self.plan_for(server, client_id).server_bytes
+
+    # ------------------------------------------------------------------
+    # Proactive migration
+    # ------------------------------------------------------------------
+    def _byte_budget(self, source_id: int, target_id: int, plan_bytes: float) -> float:
+        """Fractional migration: crowded endpoints cap the transfer."""
+        if source_id in self.crowded_servers or target_id in self.crowded_servers:
+            return min(plan_bytes, self.crowded_byte_budget)
+        return plan_bytes
+
+    def proactive_migrate(self, client: MobileClient, interval: int) -> list[MigrationRecord]:
+        """Predict the client's next location and push layers ahead (§3.B.2)."""
+        if self.policy is not MigrationPolicy.PERDNN:
+            return []
+        assert self.predictor is not None
+        window = client.recent_window()
+        if window is None or client.current_server is None:
+            return []
+        predicted = self.predictor.predict_point(window)
+        targets = self.registry.servers_within(
+            predicted, self.config.migration_radius_m
+        )
+        source = self.server(client.current_server)
+        version = client.model_version
+        source_bytes = source.cached_bytes(client.client_id, version)
+        if source_bytes <= 0:
+            return []  # nothing to send yet (client still uploading)
+        records: list[MigrationRecord] = []
+        for target_id in targets:
+            if target_id == source.server_id:
+                continue
+            target = self.server(target_id)
+            # Future partitioning plan, with the *current* GPU workload of
+            # the target (assumed stable over the next interval, §3.C.2).
+            future_plan = self.partitioner_for(client.client_id).partition(
+                self.estimate_slowdown(target)
+            )
+            needed = self._byte_budget(
+                source.server_id, target_id, future_plan.server_bytes
+            )
+            already = target.cached_bytes(client.client_id, version)
+            if already >= needed - 1e-6:
+                # Duplicate send avoided; just reset the TTL (§3.B.2).
+                target.refresh_ttl(
+                    client.client_id, interval, self.config.ttl_intervals,
+                    version,
+                )
+                continue
+            # Send as much as the source holds, up to what is needed.
+            sendable = min(needed, source_bytes)
+            delta = sendable - already
+            if delta <= 0:
+                target.refresh_ttl(
+                    client.client_id, interval, self.config.ttl_intervals,
+                    version,
+                )
+                continue
+            target.add_bytes(
+                client.client_id, delta, interval, self.config.ttl_intervals,
+                version,
+            )
+            if self.traffic_meter is not None:
+                self.traffic_meter.record(
+                    interval, source.server_id, target_id, delta
+                )
+            record = MigrationRecord(
+                client_id=client.client_id,
+                source_server=source.server_id,
+                target_server=target_id,
+                nbytes=delta,
+                interval=interval,
+            )
+            records.append(record)
+            self.migrations.append(record)
+        return records
+
+    def expire_caches(self, interval: int) -> None:
+        for server in self._servers.values():
+            server.expire(interval)

@@ -1,0 +1,74 @@
+"""The routing alternative to server hand-offs (paper §3.A).
+
+When a client moves to another hotspot it can either re-offload to the new
+computing node (PerDNN's choice) or *keep its connection to the previous
+server and route input/output data through the backhaul*.  The paper
+rejects routing as its default because it "leads to sub-optimal offloading
+with increased latency and constantly consumes backhaul traffics", and
+leaves it as future work — this module implements it so the trade-off can
+be quantified (``benchmarks/bench_ablation_routing.py``).
+
+A routed query pays, on top of the plan's normal latency:
+
+* per-hop forwarding latency over the backhaul path between the access
+  cell and the serving cell, once per direction, and
+* the serialization time of the offloaded tensors over the backhaul link,
+
+and the routed tensor bytes count as backhaul traffic every interval the
+client stays remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PerDNNConfig
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import PartitionPlan
+
+
+@dataclass(frozen=True)
+class RoutedTensors:
+    """Bytes crossing the client/server boundary for one query."""
+
+    uplink_bytes: float  # client -> server direction (input tensors)
+    downlink_bytes: float  # server -> client direction (results)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.uplink_bytes + self.downlink_bytes
+
+
+def routed_tensors(costs: ExecutionCosts, plan: PartitionPlan) -> RoutedTensors:
+    """Tensor bytes a query moves between the sides under ``plan``.
+
+    Walks the prefix-execution model: every switch to the server ships the
+    live-cut tensors up, every switch back ships them down; a plan ending
+    on the server ships the final result down.
+    """
+    up = 0.0
+    down = 0.0
+    side = Placement.CLIENT
+    for i, placement in enumerate(plan.placements):
+        if placement is not side:
+            if placement is Placement.SERVER:
+                up += float(costs.cut_bytes[i])
+            else:
+                down += float(costs.cut_bytes[i])
+            side = placement
+    if side is Placement.SERVER:
+        down += float(costs.cut_bytes[costs.num_layers])
+    return RoutedTensors(uplink_bytes=up, downlink_bytes=down)
+
+
+def routing_overhead_seconds(
+    config: PerDNNConfig, hops: int, tensors: RoutedTensors
+) -> float:
+    """Extra per-query latency when the serving cell is ``hops`` away."""
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    if hops == 0:
+        return 0.0
+    forwarding = 2 * hops * config.backhaul_hop_latency_s
+    serialization = tensors.total_bytes * 8.0 / config.backhaul_bps
+    return forwarding + serialization

@@ -1,0 +1,39 @@
+"""DNN model substrate: layers, graphs, FLOP accounting, and a model zoo.
+
+The partitioning and simulation layers of PerDNN never execute real tensors;
+they consume layer *hyperparameters*, weight sizes, tensor sizes, and FLOP
+counts.  This package provides exactly that: a structural model of a deep
+neural network as a DAG of layers with full shape inference and byte/FLOP
+accounting, plus faithful reconstructions of the three models the paper
+evaluates (Table I).
+"""
+
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+from repro.dnn.graph import DNNGraph
+from repro.dnn.models import (
+    MODEL_BUILDERS,
+    build_model,
+    inception_21k,
+    mobilenet_v1,
+    resnet50,
+    tiny_branchy_dnn,
+    tiny_linear_dnn,
+)
+from repro.dnn.weights import WeightStore
+from repro.dnn.execution import NumpyExecutor
+
+__all__ = [
+    "Layer",
+    "LayerKind",
+    "TensorShape",
+    "DNNGraph",
+    "MODEL_BUILDERS",
+    "build_model",
+    "mobilenet_v1",
+    "inception_21k",
+    "resnet50",
+    "tiny_linear_dnn",
+    "tiny_branchy_dnn",
+    "WeightStore",
+    "NumpyExecutor",
+]

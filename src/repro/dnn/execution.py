@@ -1,0 +1,222 @@
+"""Numpy forward-inference engine for the DNN substrate.
+
+Executes a frozen :class:`~repro.dnn.graph.DNNGraph` with real tensors, so
+that collaborative (partitioned) execution can be verified end to end: the
+client executes its layers, ships the boundary tensors, the server
+executes its layers, and the final output must be bit-identical to a fully
+local run (see :mod:`repro.core.collaboration`).
+
+All activations are batch-1 float32 CHW arrays.  Convolution uses im2col +
+matmul; pooling matches the Caffe ceil-mode geometry used by the shape
+inference in :mod:`repro.dnn.layer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind
+from repro.dnn.weights import WeightStore
+
+_BN_EPSILON = 1e-5
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """(C, H, W) -> (C*k*k, out_h*out_w) patch matrix."""
+    channels, height, width = x.shape
+    padded = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    columns = np.empty(
+        (channels, kernel, kernel, out_h, out_w), dtype=x.dtype
+    )
+    for ki in range(kernel):
+        for kj in range(kernel):
+            columns[:, ki, kj] = padded[
+                :,
+                ki : ki + stride * out_h : stride,
+                kj : kj + stride * out_w : stride,
+            ]
+    return columns.reshape(channels * kernel * kernel, out_h * out_w)
+
+
+def _conv(x: np.ndarray, layer: Layer, weights) -> np.ndarray:
+    filters, bias = weights
+    out_channels = layer.out_channels
+    groups = layer.groups
+    in_channels = x.shape[0]
+    group_in = in_channels // groups
+    group_out = out_channels // groups
+    out_h = (x.shape[1] + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    out_w = (x.shape[2] + 2 * layer.padding - layer.kernel) // layer.stride + 1
+    output = np.empty((out_channels, out_h, out_w), dtype=np.float32)
+    for g in range(groups):
+        x_group = x[g * group_in : (g + 1) * group_in]
+        columns = _im2col(x_group, layer.kernel, layer.stride, layer.padding)
+        w_group = filters[g * group_out : (g + 1) * group_out].reshape(
+            group_out, -1
+        )
+        result = w_group @ columns + bias[
+            g * group_out : (g + 1) * group_out, None
+        ]
+        output[g * group_out : (g + 1) * group_out] = result.reshape(
+            group_out, out_h, out_w
+        )
+    return output
+
+
+def _pool_windows(height: int, width: int, kernel: int, stride: int, padding: int):
+    """Yield (oh, ow, h0, h1, w0, w1) valid-window bounds, Caffe ceil mode."""
+    import math
+
+    def out_size(size: int) -> int:
+        out = math.ceil((size + 2 * padding - kernel) / stride) + 1
+        if padding > 0 and (out - 1) * stride >= size + padding:
+            out -= 1
+        return out
+
+    out_h, out_w = out_size(height), out_size(width)
+    for oh in range(out_h):
+        h0 = max(0, oh * stride - padding)
+        h1 = min(height, oh * stride - padding + kernel)
+        for ow in range(out_w):
+            w0 = max(0, ow * stride - padding)
+            w1 = min(width, ow * stride - padding + kernel)
+            yield oh, ow, h0, h1, w0, w1
+
+
+def _pool(x: np.ndarray, layer: Layer, take_max: bool) -> np.ndarray:
+    channels, height, width = x.shape
+    windows = list(
+        _pool_windows(height, width, layer.kernel, layer.stride, layer.padding)
+    )
+    out_h = max(w[0] for w in windows) + 1
+    out_w = max(w[1] for w in windows) + 1
+    output = np.empty((channels, out_h, out_w), dtype=np.float32)
+    for oh, ow, h0, h1, w0, w1 in windows:
+        window = x[:, h0:h1, w0:w1]
+        if take_max:
+            output[:, oh, ow] = window.max(axis=(1, 2))
+        else:
+            output[:, oh, ow] = window.mean(axis=(1, 2))
+    return output
+
+
+def _lrn(
+    x: np.ndarray, local_size: int = 5, alpha: float = 1e-4, beta: float = 0.75
+) -> np.ndarray:
+    """Cross-channel local response normalization (Caffe defaults)."""
+    channels = x.shape[0]
+    squared = x.astype(np.float32) ** 2
+    half = local_size // 2
+    # Windowed channel sums via a padded cumulative sum.
+    cumulative = np.concatenate(
+        [np.zeros((1,) + x.shape[1:], dtype=np.float32), np.cumsum(squared, axis=0)]
+    )
+    upper = np.minimum(np.arange(channels) + half + 1, channels)
+    lower = np.maximum(np.arange(channels) - half, 0)
+    window_sums = cumulative[upper] - cumulative[lower]
+    denominator = (1.0 + (alpha / local_size) * window_sums) ** beta
+    return (x / denominator).astype(np.float32)
+
+
+class NumpyExecutor:
+    """Executes layers of one graph with deterministic synthetic weights."""
+
+    def __init__(self, graph: DNNGraph, store: WeightStore | None = None) -> None:
+        if not graph.frozen:
+            raise ValueError("graph must be frozen")
+        self.graph = graph
+        self.store = store or WeightStore(graph)
+
+    # ------------------------------------------------------------------
+    def make_input(self, rng: np.random.Generator) -> np.ndarray:
+        """A random input tensor of the graph's declared input shape."""
+        shape = self.graph.info(self.graph.input_name).output_shape
+        return rng.normal(
+            0.0, 1.0, size=(shape.channels, shape.height, shape.width)
+        ).astype(np.float32)
+
+    def execute_layer(
+        self, layer_name: str, inputs: list[np.ndarray]
+    ) -> np.ndarray:
+        """Run one layer on its input tensors (topological-order inputs)."""
+        layer = self.graph.layer(layer_name)
+        kind = layer.kind
+        if kind is LayerKind.INPUT:
+            raise ValueError("input layers are sources, not executable ops")
+        x = inputs[0]
+        if kind is LayerKind.CONV:
+            return _conv(x, layer, self.store.arrays(layer_name))
+        if kind is LayerKind.FC:
+            matrix, bias = self.store.arrays(layer_name)
+            flat = x.reshape(-1)
+            return (matrix @ flat + bias).reshape(-1, 1, 1)
+        if kind is LayerKind.POOL_MAX:
+            return _pool(x, layer, take_max=True)
+        if kind is LayerKind.POOL_AVG:
+            return _pool(x, layer, take_max=False)
+        if kind is LayerKind.GLOBAL_POOL_AVG:
+            return x.mean(axis=(1, 2)).reshape(-1, 1, 1).astype(np.float32)
+        if kind is LayerKind.RELU:
+            return np.maximum(x, 0.0)
+        if kind is LayerKind.BATCH_NORM:
+            mean, variance = self.store.arrays(layer_name)
+            scale = 1.0 / np.sqrt(variance + _BN_EPSILON)
+            return ((x - mean[:, None, None]) * scale[:, None, None]).astype(
+                np.float32
+            )
+        if kind is LayerKind.SCALE:
+            gamma, beta = self.store.arrays(layer_name)
+            return (x * gamma[:, None, None] + beta[:, None, None]).astype(
+                np.float32
+            )
+        if kind is LayerKind.ADD:
+            total = inputs[0].copy()
+            for other in inputs[1:]:
+                total += other
+            return total
+        if kind is LayerKind.CONCAT:
+            return np.concatenate(inputs, axis=0)
+        if kind is LayerKind.FLATTEN:
+            return x.reshape(-1, 1, 1)
+        if kind is LayerKind.SOFTMAX:
+            logits = x.reshape(-1)
+            logits = logits - logits.max()
+            exp = np.exp(logits)
+            return (exp / exp.sum()).reshape(x.shape).astype(np.float32)
+        if kind is LayerKind.DROPOUT:
+            return x  # inference mode: identity
+        if kind is LayerKind.LRN:
+            return _lrn(x)
+        raise NotImplementedError(f"unsupported layer kind: {kind}")
+
+    def run(self, input_tensor: np.ndarray) -> np.ndarray:
+        """Full local forward pass; returns the output layer's tensor."""
+        tensors = self.run_all(input_tensor)
+        return tensors[self.graph.output_name]
+
+    def run_all(self, input_tensor: np.ndarray) -> dict[str, np.ndarray]:
+        """Forward pass returning every layer's activation."""
+        expected = self.graph.info(self.graph.input_name).output_shape
+        if input_tensor.shape != (
+            expected.channels, expected.height, expected.width,
+        ):
+            raise ValueError(
+                f"input shape {input_tensor.shape} != declared {expected}"
+            )
+        tensors: dict[str, np.ndarray] = {
+            self.graph.input_name: input_tensor.astype(np.float32)
+        }
+        for name in self.graph.topo_order[1:]:
+            inputs = [tensors[p] for p in self.graph.predecessors(name)]
+            output = self.execute_layer(name, inputs)
+            info = self.graph.info(name)
+            assert output.shape == (
+                info.output_shape.channels,
+                info.output_shape.height,
+                info.output_shape.width,
+            ), f"{name}: executor/shape-inference disagreement"
+            tensors[name] = output
+        return tensors

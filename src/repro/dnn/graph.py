@@ -1,0 +1,216 @@
+"""The DNN DAG container with shape inference and byte/FLOP accounting.
+
+A :class:`DNNGraph` owns an ordered set of :class:`~repro.dnn.layer.Layer`
+objects plus the directed edges between them.  On :meth:`freeze` it validates
+the structure (single connected DAG, exactly one input, one output), runs
+shape inference in topological order, and caches a :class:`LayerInfo` per
+layer — the per-layer facts every other subsystem (profiling, partitioning,
+simulation) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """Resolved, graph-dependent facts about one layer."""
+
+    name: str
+    kind: LayerKind
+    index: int  # position in topological order
+    input_shapes: tuple[TensorShape, ...]
+    output_shape: TensorShape
+    weight_bytes: int
+    flops: int
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(shape.nbytes for shape in self.input_shapes)
+
+    @property
+    def output_bytes(self) -> int:
+        return self.output_shape.nbytes
+
+
+class DNNGraph:
+    """A directed acyclic graph of DNN layers.
+
+    Build with :meth:`add` (supplying predecessor layer names), then call
+    :meth:`freeze`.  Frozen graphs are immutable and expose topological
+    order, per-layer :class:`LayerInfo`, and whole-model aggregates.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._layers: dict[str, Layer] = {}
+        self._preds: dict[str, list[str]] = {}
+        self._succs: dict[str, list[str]] = {}
+        self._frozen = False
+        self._topo_order: list[str] = []
+        self._info: dict[str, LayerInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, layer: Layer, inputs: list[str] | None = None) -> Layer:
+        """Add ``layer`` fed by the named predecessor layers.
+
+        Returns the layer, so builders can chain on ``.name``.
+        """
+        if self._frozen:
+            raise RuntimeError(f"{self.name}: cannot add layers to a frozen graph")
+        layer.validate()
+        if layer.name in self._layers:
+            raise ValueError(f"{self.name}: duplicate layer name {layer.name!r}")
+        inputs = list(inputs or [])
+        if layer.kind is LayerKind.INPUT and inputs:
+            raise ValueError(f"{layer.name}: input layers take no predecessors")
+        if layer.kind is not LayerKind.INPUT and not inputs:
+            raise ValueError(f"{layer.name}: non-input layer needs predecessors")
+        for pred in inputs:
+            if pred not in self._layers:
+                raise ValueError(f"{layer.name}: unknown predecessor {pred!r}")
+        self._layers[layer.name] = layer
+        self._preds[layer.name] = inputs
+        self._succs[layer.name] = []
+        for pred in inputs:
+            self._succs[pred].append(layer.name)
+        return layer
+
+    def freeze(self) -> DNNGraph:
+        """Validate the graph and compute all per-layer information."""
+        if self._frozen:
+            return self
+        if not self._layers:
+            raise ValueError(f"{self.name}: empty graph")
+        inputs = [l.name for l in self._layers.values() if l.kind is LayerKind.INPUT]
+        if len(inputs) != 1:
+            raise ValueError(f"{self.name}: expected exactly 1 input layer, got {len(inputs)}")
+        outputs = [name for name, succs in self._succs.items() if not succs]
+        if len(outputs) != 1:
+            raise ValueError(
+                f"{self.name}: expected exactly 1 output layer, got {outputs}"
+            )
+        self._topo_order = self._topological_order()
+        shapes: dict[str, TensorShape] = {}
+        for index, name in enumerate(self._topo_order):
+            layer = self._layers[name]
+            in_shapes = [shapes[pred] for pred in self._preds[name]]
+            out_shape = layer.output_shape(in_shapes)
+            shapes[name] = out_shape
+            self._info[name] = LayerInfo(
+                name=name,
+                kind=layer.kind,
+                index=index,
+                input_shapes=tuple(in_shapes),
+                output_shape=out_shape,
+                weight_bytes=layer.weight_bytes(in_shapes),
+                flops=layer.flops(in_shapes),
+            )
+        self._frozen = True
+        return self
+
+    def _topological_order(self) -> list[str]:
+        """Kahn's algorithm; raises on cycles or disconnected layers."""
+        in_degree = {name: len(preds) for name, preds in self._preds.items()}
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in self._succs[name]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._layers):
+            stuck = sorted(set(self._layers) - set(order))
+            raise ValueError(f"{self.name}: cycle or unreachable layers: {stuck}")
+        return order
+
+    # ------------------------------------------------------------------
+    # Frozen accessors
+    # ------------------------------------------------------------------
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError(f"{self.name}: graph must be frozen first")
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def topo_order(self) -> list[str]:
+        self._require_frozen()
+        return list(self._topo_order)
+
+    @property
+    def input_name(self) -> str:
+        self._require_frozen()
+        return self._topo_order[0]
+
+    @property
+    def output_name(self) -> str:
+        self._require_frozen()
+        return self._topo_order[-1]
+
+    def layer(self, name: str) -> Layer:
+        return self._layers[name]
+
+    def info(self, name: str) -> LayerInfo:
+        self._require_frozen()
+        return self._info[name]
+
+    def infos(self) -> list[LayerInfo]:
+        """All layers' info in topological order."""
+        self._require_frozen()
+        return [self._info[name] for name in self._topo_order]
+
+    def predecessors(self, name: str) -> list[str]:
+        return list(self._preds[name])
+
+    def successors(self, name: str) -> list[str]:
+        return list(self._succs[name])
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        self._require_frozen()
+        return iter(self._topo_order)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_weight_bytes(self) -> int:
+        self._require_frozen()
+        return sum(info.weight_bytes for info in self._info.values())
+
+    @property
+    def total_flops(self) -> int:
+        self._require_frozen()
+        return sum(info.flops for info in self._info.values())
+
+    @property
+    def size_mb(self) -> float:
+        return self.total_weight_bytes / (1024 * 1024)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-layer dump (debugging aid)."""
+        self._require_frozen()
+        lines = [f"{self.name}: {len(self)} layers, {self.size_mb:.1f} MB, "
+                 f"{self.total_flops / 1e9:.2f} GFLOPs"]
+        for info in self.infos():
+            lines.append(
+                f"  [{info.index:3d}] {info.name:<28s} {info.kind.value:<15s} "
+                f"out={info.output_shape!s:<14s} w={info.weight_bytes / 1024:8.1f}KB "
+                f"flops={info.flops / 1e6:9.2f}M"
+            )
+        return "\n".join(lines)

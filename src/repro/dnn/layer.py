@@ -1,0 +1,247 @@
+"""Layer and tensor-shape primitives.
+
+A :class:`Layer` is a structural description of one DNN operation: its kind,
+its hyperparameters (kernel size, stride, channel counts, ...), and — once
+attached to a :class:`~repro.dnn.graph.DNNGraph` — its inferred input/output
+tensor shapes, weight byte count, and FLOP count.
+
+Weights are assumed to be float32 (4 bytes per scalar), matching the Caffe
+models used in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+BYTES_PER_SCALAR = 4
+
+
+class LayerKind(str, Enum):
+    """The operation a layer performs.
+
+    The set covers every layer type appearing in the paper's three
+    evaluation models (MobileNet v1, Inception-21k, ResNet-50) as exported
+    by Caffe, where batch-norm and its affine "scale" are separate layers.
+    """
+
+    INPUT = "input"
+    CONV = "conv"
+    FC = "fc"
+    POOL_MAX = "pool_max"
+    POOL_AVG = "pool_avg"
+    GLOBAL_POOL_AVG = "global_pool_avg"
+    RELU = "relu"
+    BATCH_NORM = "batch_norm"
+    SCALE = "scale"
+    ADD = "add"
+    CONCAT = "concat"
+    SOFTMAX = "softmax"
+    DROPOUT = "dropout"
+    FLATTEN = "flatten"
+    LRN = "lrn"  # local response normalization (AlexNet/GoogLeNet era)
+
+    @property
+    def has_weights(self) -> bool:
+        return self in _WEIGHTED_KINDS
+
+    @property
+    def is_compute_intensive(self) -> bool:
+        """Kinds whose cost is dominated by arithmetic rather than memory."""
+        return self in (LayerKind.CONV, LayerKind.FC)
+
+
+_WEIGHTED_KINDS = frozenset(
+    {LayerKind.CONV, LayerKind.FC, LayerKind.BATCH_NORM, LayerKind.SCALE}
+)
+
+
+@dataclass(frozen=True, order=True)
+class TensorShape:
+    """Shape of a (batch-1) activation tensor in CHW layout.
+
+    Fully-connected activations are represented with ``height == width == 1``.
+    """
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0 or self.height <= 0 or self.width <= 0:
+            raise ValueError(f"non-positive tensor dimension: {self}")
+
+    @property
+    def elements(self) -> int:
+        return self.channels * self.height * self.width
+
+    @property
+    def nbytes(self) -> int:
+        return self.elements * BYTES_PER_SCALAR
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+def _conv_output_hw(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"conv/pool output collapsed to {out} "
+            f"(size={size} kernel={kernel} stride={stride} padding={padding})"
+        )
+    return out
+
+
+def _pool_output_hw(size: int, kernel: int, stride: int, padding: int) -> int:
+    # Caffe pooling uses ceil-mode output sizing.
+    out = math.ceil((size + 2 * padding - kernel) / stride) + 1
+    if padding > 0 and (out - 1) * stride >= size + padding:
+        out -= 1
+    if out <= 0:
+        raise ValueError(f"pool output collapsed to {out}")
+    return out
+
+
+@dataclass
+class Layer:
+    """One DNN layer: kind + hyperparameters.
+
+    Only the fields relevant to ``kind`` are meaningful; :meth:`validate`
+    checks them.  Shapes, weights, and FLOPs are computed relative to the
+    input shapes supplied by the owning graph.
+    """
+
+    name: str
+    kind: LayerKind
+    # Convolution / pooling hyperparameters.
+    out_channels: int = 0
+    kernel: int = 0
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    # Fully-connected hyperparameters.
+    out_features: int = 0
+    # Input layers carry their own shape.
+    input_shape: TensorShape | None = None
+    # Free-form tags (e.g. the inception branch a layer belongs to).
+    tags: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` when hyperparameters are inconsistent."""
+        if not self.name:
+            raise ValueError("layer must have a non-empty name")
+        kind = self.kind
+        if kind is LayerKind.INPUT:
+            if self.input_shape is None:
+                raise ValueError(f"{self.name}: input layer requires input_shape")
+        elif kind is LayerKind.CONV:
+            if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
+                raise ValueError(f"{self.name}: invalid conv hyperparameters")
+            if self.groups <= 0:
+                raise ValueError(f"{self.name}: invalid conv group count")
+        elif kind is LayerKind.FC:
+            if self.out_features <= 0:
+                raise ValueError(f"{self.name}: fc requires out_features > 0")
+        elif kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG):
+            if self.kernel <= 0 or self.stride <= 0:
+                raise ValueError(f"{self.name}: invalid pool hyperparameters")
+
+    # ------------------------------------------------------------------
+    # Shape inference
+    # ------------------------------------------------------------------
+    def output_shape(self, input_shapes: list[TensorShape]) -> TensorShape:
+        """Infer this layer's output shape from its inputs' shapes."""
+        kind = self.kind
+        if kind is LayerKind.INPUT:
+            assert self.input_shape is not None
+            return self.input_shape
+        if not input_shapes:
+            raise ValueError(f"{self.name}: non-input layer has no inputs")
+        first = input_shapes[0]
+        if kind is LayerKind.CONV:
+            if first.channels % self.groups != 0:
+                raise ValueError(
+                    f"{self.name}: input channels {first.channels} not divisible "
+                    f"by groups {self.groups}"
+                )
+            out_h = _conv_output_hw(first.height, self.kernel, self.stride, self.padding)
+            out_w = _conv_output_hw(first.width, self.kernel, self.stride, self.padding)
+            return TensorShape(self.out_channels, out_h, out_w)
+        if kind is LayerKind.FC:
+            return TensorShape(self.out_features)
+        if kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG):
+            out_h = _pool_output_hw(first.height, self.kernel, self.stride, self.padding)
+            out_w = _pool_output_hw(first.width, self.kernel, self.stride, self.padding)
+            return TensorShape(first.channels, out_h, out_w)
+        if kind is LayerKind.GLOBAL_POOL_AVG:
+            return TensorShape(first.channels)
+        if kind is LayerKind.ADD:
+            if any(shape != first for shape in input_shapes[1:]):
+                raise ValueError(f"{self.name}: add requires identical input shapes")
+            return first
+        if kind is LayerKind.CONCAT:
+            if any(
+                (shape.height, shape.width) != (first.height, first.width)
+                for shape in input_shapes[1:]
+            ):
+                raise ValueError(f"{self.name}: concat requires matching spatial dims")
+            channels = sum(shape.channels for shape in input_shapes)
+            return TensorShape(channels, first.height, first.width)
+        if kind is LayerKind.FLATTEN:
+            return TensorShape(first.elements)
+        # Elementwise kinds preserve shape: relu, bn, scale, softmax, dropout.
+        return first
+
+    # ------------------------------------------------------------------
+    # Weight / FLOP accounting
+    # ------------------------------------------------------------------
+    def weight_count(self, input_shapes: list[TensorShape]) -> int:
+        """Number of learned scalars (weights + biases) this layer holds."""
+        kind = self.kind
+        if kind is LayerKind.CONV:
+            in_channels = input_shapes[0].channels
+            per_filter = self.kernel * self.kernel * (in_channels // self.groups)
+            return per_filter * self.out_channels + self.out_channels
+        if kind is LayerKind.FC:
+            in_features = input_shapes[0].elements
+            return in_features * self.out_features + self.out_features
+        if kind is LayerKind.BATCH_NORM:
+            # Caffe BatchNorm stores running mean + variance (2 per channel).
+            return 2 * input_shapes[0].channels
+        if kind is LayerKind.SCALE:
+            # Affine gamma + beta.
+            return 2 * input_shapes[0].channels
+        return 0
+
+    def weight_bytes(self, input_shapes: list[TensorShape]) -> int:
+        return self.weight_count(input_shapes) * BYTES_PER_SCALAR
+
+    def flops(self, input_shapes: list[TensorShape]) -> int:
+        """Multiply-accumulate-style FLOP count (2 FLOPs per MAC)."""
+        kind = self.kind
+        out = self.output_shape(input_shapes)
+        if kind is LayerKind.CONV:
+            in_channels = input_shapes[0].channels
+            macs_per_out = self.kernel * self.kernel * (in_channels // self.groups)
+            return 2 * macs_per_out * out.elements
+        if kind is LayerKind.FC:
+            return 2 * input_shapes[0].elements * self.out_features
+        if kind in (LayerKind.POOL_MAX, LayerKind.POOL_AVG):
+            return self.kernel * self.kernel * out.elements
+        if kind is LayerKind.GLOBAL_POOL_AVG:
+            return input_shapes[0].elements
+        if kind is LayerKind.ADD:
+            return out.elements * (len(input_shapes) - 1)
+        if kind in (LayerKind.BATCH_NORM, LayerKind.SCALE):
+            return 2 * out.elements
+        if kind is LayerKind.RELU:
+            return out.elements
+        if kind is LayerKind.SOFTMAX:
+            return 5 * out.elements
+        if kind is LayerKind.LRN:
+            # Square, windowed sum over channels, power, divide.
+            return 8 * out.elements
+        # concat / flatten / dropout(inference) / input are data movement only.
+        return 0

@@ -1,0 +1,271 @@
+"""Model zoo: structural reconstructions of the paper's evaluation models.
+
+Table I of the paper lists three Caffe models:
+
+====================  ========  ========  =========================================
+Name                  # layers  size(MB)  description
+====================  ========  ========  =========================================
+MobileNet             110       16        MobileNet v1, 1k-class classification
+Inception             312       128       Inception-BN, 21k-class classification
+ResNet                245       98        ResNet-50, 1k-class classification
+====================  ========  ========  =========================================
+
+The builders below reconstruct the published architectures layer by layer
+(with Caffe's convention that batch-norm, its affine scale, and ReLU are
+separate layers), so layer counts and total weight bytes land within a few
+percent of Table I.  The exact counts our reconstructions produce are
+reported by ``benchmarks/bench_table1_models.py`` next to the paper's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+
+
+class _Builder:
+    """Convenience wrapper that chains Caffe-style conv units onto a graph."""
+
+    def __init__(self, name: str, input_shape: TensorShape) -> None:
+        self.graph = DNNGraph(name)
+        self.graph.add(Layer("data", LayerKind.INPUT, input_shape=input_shape))
+        self.head = "data"
+
+    def _add(self, layer: Layer, inputs: list[str]) -> str:
+        self.graph.add(layer, inputs)
+        return layer.name
+
+    def conv_unit(
+        self,
+        name: str,
+        inp: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        relu: bool = True,
+    ) -> str:
+        """conv -> batch_norm -> scale [-> relu], Caffe-style."""
+        head = self._add(
+            Layer(
+                f"{name}", LayerKind.CONV,
+                out_channels=out_channels, kernel=kernel, stride=stride,
+                padding=padding, groups=groups,
+            ),
+            [inp],
+        )
+        head = self._add(Layer(f"{name}/bn", LayerKind.BATCH_NORM), [head])
+        head = self._add(Layer(f"{name}/scale", LayerKind.SCALE), [head])
+        if relu:
+            head = self._add(Layer(f"{name}/relu", LayerKind.RELU), [head])
+        return head
+
+    def pool(
+        self, name: str, inp: str, kind: LayerKind, kernel: int, stride: int,
+        padding: int = 0,
+    ) -> str:
+        return self._add(
+            Layer(name, kind, kernel=kernel, stride=stride, padding=padding), [inp]
+        )
+
+    def concat(self, name: str, inputs: list[str]) -> str:
+        return self._add(Layer(name, LayerKind.CONCAT), inputs)
+
+    def add_op(self, name: str, inputs: list[str]) -> str:
+        return self._add(Layer(name, LayerKind.ADD), inputs)
+
+    def relu(self, name: str, inp: str) -> str:
+        return self._add(Layer(name, LayerKind.RELU), [inp])
+
+    def global_pool(self, name: str, inp: str) -> str:
+        return self._add(Layer(name, LayerKind.GLOBAL_POOL_AVG), [inp])
+
+    def fc(self, name: str, inp: str, out_features: int) -> str:
+        return self._add(Layer(name, LayerKind.FC, out_features=out_features), [inp])
+
+    def softmax(self, name: str, inp: str) -> str:
+        return self._add(Layer(name, LayerKind.SOFTMAX), [inp])
+
+    def finish(self) -> DNNGraph:
+        return self.graph.freeze()
+
+
+# ----------------------------------------------------------------------
+# MobileNet v1 (Howard et al. 2017) — 1.0x width, 224x224 input.
+# ----------------------------------------------------------------------
+def mobilenet_v1(num_classes: int = 1000) -> DNNGraph:
+    """MobileNet v1: a conv stem plus 13 depthwise-separable blocks."""
+    b = _Builder("mobilenet_v1", TensorShape(3, 224, 224))
+    head = b.conv_unit("conv1", "data", 32, kernel=3, stride=2, padding=1)
+    # (out_channels of the pointwise conv, stride of the depthwise conv)
+    blocks = [
+        (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+        (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+    ]
+    in_channels = 32
+    for i, (out_channels, stride) in enumerate(blocks, start=1):
+        head = b.conv_unit(
+            f"conv{i}/dw", head, in_channels, kernel=3, stride=stride,
+            padding=1, groups=in_channels,
+        )
+        head = b.conv_unit(f"conv{i}/pw", head, out_channels, kernel=1)
+        in_channels = out_channels
+    head = b.global_pool("pool_avg", head)
+    head = b.fc("fc", head, num_classes)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# Inception-BN trained for 21 841 ImageNet-21k classes ("Inception 21k").
+# ----------------------------------------------------------------------
+# Per-module conv channels: (1x1, 3x3 reduce, 3x3, double-3x3 reduce,
+# double-3x3 a, double-3x3 b, pool kind, pool projection).
+_INCEPTION_MODULES: list[tuple[str, tuple, int]] = [
+    # name, (c1, c3r, c3, cd3r, cd3a, cd3b, pool, proj), stride
+    ("3a", (64, 64, 64, 64, 96, 96, "avg", 32), 1),
+    ("3b", (64, 64, 96, 64, 96, 96, "avg", 64), 1),
+    ("3c", (0, 128, 160, 64, 96, 96, "max", 0), 2),
+    ("4a", (224, 64, 96, 96, 128, 128, "avg", 128), 1),
+    ("4b", (192, 96, 128, 96, 128, 128, "avg", 128), 1),
+    ("4c", (160, 128, 160, 128, 160, 160, "avg", 128), 1),
+    ("4d", (96, 128, 192, 160, 192, 192, "avg", 128), 1),
+    ("4e", (0, 128, 192, 192, 256, 256, "max", 0), 2),
+    ("5a", (352, 192, 320, 160, 224, 224, "avg", 128), 1),
+    ("5b", (352, 192, 320, 192, 224, 224, "max", 128), 1),
+]
+
+
+def _inception_module(b: _Builder, name: str, inp: str, cfg: tuple, stride: int) -> str:
+    c1, c3r, c3, cd3r, cd3a, cd3b, pool_kind, proj = cfg
+    branches: list[str] = []
+    if c1:
+        branches.append(b.conv_unit(f"{name}/1x1", inp, c1, kernel=1))
+    head = b.conv_unit(f"{name}/3x3_reduce", inp, c3r, kernel=1)
+    branches.append(
+        b.conv_unit(f"{name}/3x3", head, c3, kernel=3, stride=stride, padding=1)
+    )
+    head = b.conv_unit(f"{name}/d3x3_reduce", inp, cd3r, kernel=1)
+    head = b.conv_unit(f"{name}/d3x3a", head, cd3a, kernel=3, padding=1)
+    branches.append(
+        b.conv_unit(f"{name}/d3x3b", head, cd3b, kernel=3, stride=stride, padding=1)
+    )
+    pool_layer = LayerKind.POOL_AVG if pool_kind == "avg" else LayerKind.POOL_MAX
+    pool_stride = stride if stride > 1 else 1
+    head = b.pool(f"{name}/pool", inp, pool_layer, kernel=3, stride=pool_stride, padding=1)
+    if proj:
+        head = b.conv_unit(f"{name}/pool_proj", head, proj, kernel=1)
+    branches.append(head)
+    return b.concat(f"{name}/concat", branches)
+
+
+def inception_21k(num_classes: int = 21841) -> DNNGraph:
+    """Inception-BN with a 21 841-way classifier (the paper's 128 MB model).
+
+    The classifier fc layer alone holds ~85 MB of weights; the conv stem at
+    the front is where the compute concentrates — the structural property
+    behind the paper's fractional-migration result (Fig 7, Fig 10).
+    """
+    b = _Builder("inception_21k", TensorShape(3, 224, 224))
+    head = b.conv_unit("conv1/7x7_s2", "data", 64, kernel=7, stride=2, padding=3)
+    head = b.pool("pool1/3x3_s2", head, LayerKind.POOL_MAX, kernel=3, stride=2, padding=1)
+    head = b.conv_unit("conv2/1x1", head, 64, kernel=1)
+    head = b.conv_unit("conv2/3x3", head, 192, kernel=3, padding=1)
+    head = b.pool("pool2/3x3_s2", head, LayerKind.POOL_MAX, kernel=3, stride=2, padding=1)
+    for name, cfg, stride in _INCEPTION_MODULES:
+        head = _inception_module(b, f"inception_{name}", head, cfg, stride)
+    head = b.global_pool("global_pool", head)
+    head = b.fc("fc1", head, num_classes)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# ResNet-50 (He et al. 2016).
+# ----------------------------------------------------------------------
+def _bottleneck(
+    b: _Builder, name: str, inp: str, mid: int, out: int, stride: int,
+    downsample: bool,
+) -> str:
+    head = b.conv_unit(f"{name}/conv1", inp, mid, kernel=1, stride=stride)
+    head = b.conv_unit(f"{name}/conv2", head, mid, kernel=3, padding=1)
+    head = b.conv_unit(f"{name}/conv3", head, out, kernel=1, relu=False)
+    if downsample:
+        shortcut = b.conv_unit(
+            f"{name}/shortcut", inp, out, kernel=1, stride=stride, relu=False
+        )
+    else:
+        shortcut = inp
+    head = b.add_op(f"{name}/add", [head, shortcut])
+    return b.relu(f"{name}/relu", head)
+
+
+def resnet50(num_classes: int = 1000) -> DNNGraph:
+    """ResNet-50: conv stem + 4 stages of bottleneck blocks [3, 4, 6, 3]."""
+    b = _Builder("resnet50", TensorShape(3, 224, 224))
+    head = b.conv_unit("conv1", "data", 64, kernel=7, stride=2, padding=3)
+    head = b.pool("pool1", head, LayerKind.POOL_MAX, kernel=3, stride=2, padding=1)
+    stages = [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)]
+    for stage_idx, (mid, out, blocks, first_stride) in enumerate(stages, start=2):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            head = _bottleneck(
+                b, f"res{stage_idx}{chr(ord('a') + block_idx)}", head,
+                mid, out, stride, downsample=(block_idx == 0),
+            )
+    head = b.global_pool("pool5", head)
+    head = b.fc("fc1000", head, num_classes)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+# ----------------------------------------------------------------------
+# Small models for tests, examples, and fast benchmarks.
+# ----------------------------------------------------------------------
+def tiny_linear_dnn(depth: int = 4, channels: int = 8, spatial: int = 16) -> DNNGraph:
+    """A small conv chain + classifier; cheap enough for property tests."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    b = _Builder("tiny_linear_dnn", TensorShape(3, spatial, spatial))
+    head = "data"
+    for i in range(depth):
+        head = b.conv_unit(f"conv{i}", head, channels, kernel=3, padding=1)
+    head = b.global_pool("pool", head)
+    head = b.fc("fc", head, 10)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+def tiny_branchy_dnn() -> DNNGraph:
+    """A small DAG with a residual branch, for partitioner DAG handling."""
+    b = _Builder("tiny_branchy_dnn", TensorShape(3, 16, 16))
+    head = b.conv_unit("stem", "data", 8, kernel=3, padding=1)
+    left = b.conv_unit("left", head, 8, kernel=3, padding=1)
+    right = b.conv_unit("right", head, 8, kernel=1)
+    head = b.add_op("join", [left, right])
+    head = b.global_pool("pool", head)
+    head = b.fc("fc", head, 10)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+MODEL_BUILDERS: dict[str, Callable[[], DNNGraph]] = {
+    "mobilenet": mobilenet_v1,
+    "inception": inception_21k,
+    "resnet": resnet50,
+}
+
+
+def build_model(name: str) -> DNNGraph:
+    """Build a zoo model by short name (paper trio + extended zoo)."""
+    from repro.dnn.zoo_extra import EXTRA_MODEL_BUILDERS
+
+    builders = {**MODEL_BUILDERS, **EXTRA_MODEL_BUILDERS}
+    try:
+        return builders[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(builders))
+        raise ValueError(f"unknown model {name!r} (known: {known})") from None

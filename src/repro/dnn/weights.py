@@ -1,0 +1,192 @@
+"""Deterministic synthetic weights and wire serialization.
+
+PerDNN moves real layer weights around: clients upload them to edge
+servers, and servers migrate them to other servers over the backhaul.
+This module provides (1) a :class:`WeightStore` that materializes
+deterministic, seeded float32 weights for any layer of a frozen graph —
+every party that knows the (graph, layer) pair generates bit-identical
+tensors — and (2) a simple length-prefixed wire format with a CRC so
+uploads and migrations can be exercised with actual bytes.
+
+Weight array layout per layer kind (Caffe conventions):
+
+* conv:  filters (out_c, in_c/groups, k, k) + bias (out_c,)
+* fc:    matrix (out_features, in_features) + bias (out_features,)
+* batch_norm: running mean (C,) + running variance (C,)
+* scale: gamma (C,) + beta (C,)
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind
+
+_MAGIC = b"PDNN"
+_HEADER = struct.Struct("<4sI")  # magic, payload length
+_ARRAY_HEADER = struct.Struct("<II")  # ndim, total elements
+
+
+def _layer_seed(graph_name: str, layer_name: str) -> int:
+    """Stable seed for a layer's weights, shared by every party."""
+    return zlib.crc32(f"{graph_name}/{layer_name}".encode())
+
+
+def _he_std(fan_in: int) -> float:
+    return float(np.sqrt(2.0 / max(1, fan_in)))
+
+
+class WeightStore:
+    """Lazily materializes (and caches) every layer's weight arrays."""
+
+    def __init__(self, graph: DNNGraph) -> None:
+        if not graph.frozen:
+            raise ValueError("graph must be frozen")
+        self.graph = graph
+        self._cache: dict[str, tuple[np.ndarray, ...]] = {}
+
+    def arrays(self, layer_name: str) -> tuple[np.ndarray, ...]:
+        """The layer's weight arrays (empty tuple for weightless kinds)."""
+        cached = self._cache.get(layer_name)
+        if cached is not None:
+            return cached
+        layer = self.graph.layer(layer_name)
+        info = self.graph.info(layer_name)
+        rng = np.random.default_rng(_layer_seed(self.graph.name, layer_name))
+        arrays = self._materialize(layer, info.input_shapes, rng)
+        self._cache[layer_name] = arrays
+        return arrays
+
+    @staticmethod
+    def _materialize(
+        layer: Layer, input_shapes, rng: np.random.Generator
+    ) -> tuple[np.ndarray, ...]:
+        kind = layer.kind
+        if kind is LayerKind.CONV:
+            in_channels = input_shapes[0].channels // layer.groups
+            fan_in = in_channels * layer.kernel * layer.kernel
+            filters = rng.normal(
+                0.0,
+                _he_std(fan_in),
+                size=(layer.out_channels, in_channels, layer.kernel, layer.kernel),
+            ).astype(np.float32)
+            bias = np.zeros(layer.out_channels, dtype=np.float32)
+            return (filters, bias)
+        if kind is LayerKind.FC:
+            in_features = input_shapes[0].elements
+            matrix = rng.normal(
+                0.0, _he_std(in_features), size=(layer.out_features, in_features)
+            ).astype(np.float32)
+            bias = np.zeros(layer.out_features, dtype=np.float32)
+            return (matrix, bias)
+        if kind is LayerKind.BATCH_NORM:
+            channels = input_shapes[0].channels
+            mean = rng.normal(0.0, 0.05, size=channels).astype(np.float32)
+            variance = rng.uniform(0.8, 1.2, size=channels).astype(np.float32)
+            return (mean, variance)
+        if kind is LayerKind.SCALE:
+            channels = input_shapes[0].channels
+            gamma = rng.uniform(0.9, 1.1, size=channels).astype(np.float32)
+            beta = rng.normal(0.0, 0.02, size=channels).astype(np.float32)
+            return (gamma, beta)
+        return ()
+
+    def payload_bytes(self, layer_name: str) -> int:
+        """Raw weight bytes of one layer (matches ``LayerInfo.weight_bytes``)."""
+        return sum(array.nbytes for array in self.arrays(layer_name))
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def serialize_arrays(arrays: tuple[np.ndarray, ...]) -> bytes:
+    """Pack float32 arrays into a framed, checksummed byte string."""
+    body = bytearray()
+    body += struct.pack("<I", len(arrays))
+    for array in arrays:
+        if array.dtype != np.float32:
+            raise ValueError("wire format carries float32 arrays only")
+        body += _ARRAY_HEADER.pack(array.ndim, array.size)
+        body += struct.pack(f"<{array.ndim}I", *array.shape)
+        body += array.tobytes()
+    payload = bytes(body)
+    checksum = zlib.crc32(payload)
+    return _HEADER.pack(_MAGIC, len(payload)) + payload + struct.pack("<I", checksum)
+
+
+def deserialize_arrays(blob: bytes) -> tuple[np.ndarray, ...]:
+    """Inverse of :func:`serialize_arrays`; validates framing and CRC."""
+    if len(blob) < _HEADER.size + 4:
+        raise ValueError("truncated weight blob")
+    magic, length = _HEADER.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise ValueError("bad magic in weight blob")
+    payload_start = _HEADER.size
+    payload_end = payload_start + length
+    if len(blob) != payload_end + 4:
+        raise ValueError("weight blob length mismatch")
+    payload = blob[payload_start:payload_end]
+    (expected_crc,) = struct.unpack_from("<I", blob, payload_end)
+    if zlib.crc32(payload) != expected_crc:
+        raise ValueError("weight blob checksum mismatch")
+    offset = 0
+    (count,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    arrays = []
+    for _ in range(count):
+        ndim, size = _ARRAY_HEADER.unpack_from(payload, offset)
+        offset += _ARRAY_HEADER.size
+        shape = struct.unpack_from(f"<{ndim}I", payload, offset)
+        offset += 4 * ndim
+        nbytes = size * 4
+        data = np.frombuffer(
+            payload, dtype=np.float32, count=size, offset=offset
+        ).reshape(shape)
+        offset += nbytes
+        arrays.append(data.copy())
+    if offset != len(payload):
+        raise ValueError("trailing bytes in weight blob")
+    return tuple(arrays)
+
+
+def serialize_layer(store: WeightStore, layer_name: str) -> bytes:
+    """One layer's weights on the wire."""
+    return serialize_arrays(store.arrays(layer_name))
+
+
+def serialize_chunk(store: WeightStore, layer_names: tuple[str, ...]) -> bytes:
+    """An upload-schedule chunk: length-prefixed layer blobs in order."""
+    parts = bytearray()
+    parts += struct.pack("<I", len(layer_names))
+    for name in layer_names:
+        encoded = name.encode()
+        blob = serialize_layer(store, name)
+        parts += struct.pack("<I", len(encoded))
+        parts += encoded
+        parts += struct.pack("<I", len(blob))
+        parts += blob
+    return bytes(parts)
+
+
+def deserialize_chunk(blob: bytes) -> dict[str, tuple[np.ndarray, ...]]:
+    """Inverse of :func:`serialize_chunk`: layer name -> weight arrays."""
+    offset = 0
+    (count,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    out: dict[str, tuple[np.ndarray, ...]] = {}
+    for _ in range(count):
+        (name_length,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        name = blob[offset : offset + name_length].decode()
+        offset += name_length
+        (blob_length,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        out[name] = deserialize_arrays(blob[offset : offset + blob_length])
+        offset += blob_length
+    if offset != len(blob):
+        raise ValueError("trailing bytes in chunk blob")
+    return out

@@ -1,0 +1,139 @@
+"""Extended model zoo: classic architectures beyond the paper's three.
+
+The paper evaluates MobileNet v1, Inception-21k, and ResNet-50
+(:mod:`repro.dnn.models`).  These additional reconstructions broaden the
+structural variety the partitioner is exercised on:
+
+* **AlexNet** — tiny layer count, enormous fc tail (~85 % of its 244 MB):
+  the extreme case for fractional migration.
+* **VGG-16** — deep uniform conv stacks plus a 400 MB fc6: the heaviest
+  model, the worst case for cold starts.
+* **SqueezeNet v1.0** — fire modules (squeeze/expand concat DAG), 5 MB:
+  the model that barely needs PerDNN at all.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+from repro.dnn.models import _Builder
+
+
+def _lrn(builder: _Builder, name: str, inp: str) -> str:
+    builder.graph.add(Layer(name, LayerKind.LRN), [inp])
+    return name
+
+
+def _plain_conv(
+    builder: _Builder, name: str, inp: str, out_channels: int, kernel: int,
+    stride: int = 1, padding: int = 0, groups: int = 1,
+) -> str:
+    """conv + relu without bn/scale (pre-batch-norm era architectures)."""
+    builder.graph.add(
+        Layer(
+            name, LayerKind.CONV, out_channels=out_channels, kernel=kernel,
+            stride=stride, padding=padding, groups=groups,
+        ),
+        [inp],
+    )
+    builder.graph.add(Layer(f"{name}/relu", LayerKind.RELU), [name])
+    return f"{name}/relu"
+
+
+def alexnet(num_classes: int = 1000) -> DNNGraph:
+    """AlexNet (Krizhevsky 2012), Caffe layout with grouped convolutions."""
+    b = _Builder("alexnet", TensorShape(3, 227, 227))
+    head = _plain_conv(b, "conv1", "data", 96, kernel=11, stride=4)
+    head = _lrn(b, "norm1", head)
+    head = b.pool("pool1", head, LayerKind.POOL_MAX, kernel=3, stride=2)
+    head = _plain_conv(b, "conv2", head, 256, kernel=5, padding=2, groups=2)
+    head = _lrn(b, "norm2", head)
+    head = b.pool("pool2", head, LayerKind.POOL_MAX, kernel=3, stride=2)
+    head = _plain_conv(b, "conv3", head, 384, kernel=3, padding=1)
+    head = _plain_conv(b, "conv4", head, 384, kernel=3, padding=1, groups=2)
+    head = _plain_conv(b, "conv5", head, 256, kernel=3, padding=1, groups=2)
+    head = b.pool("pool5", head, LayerKind.POOL_MAX, kernel=3, stride=2)
+    head = b.fc("fc6", head, 4096)
+    b.graph.add(Layer("fc6/relu", LayerKind.RELU), [head])
+    b.graph.add(Layer("fc6/drop", LayerKind.DROPOUT), ["fc6/relu"])
+    head = b.fc("fc7", "fc6/drop", 4096)
+    b.graph.add(Layer("fc7/relu", LayerKind.RELU), [head])
+    b.graph.add(Layer("fc7/drop", LayerKind.DROPOUT), ["fc7/relu"])
+    head = b.fc("fc8", "fc7/drop", num_classes)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+_VGG16_STAGES = ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3))
+
+
+def vgg16(num_classes: int = 1000) -> DNNGraph:
+    """VGG-16 (Simonyan & Zisserman 2014): uniform 3x3 conv stacks."""
+    b = _Builder("vgg16", TensorShape(3, 224, 224))
+    head = "data"
+    for stage, (channels, convs) in enumerate(_VGG16_STAGES, start=1):
+        for i in range(1, convs + 1):
+            head = _plain_conv(
+                b, f"conv{stage}_{i}", head, channels, kernel=3, padding=1
+            )
+        head = b.pool(
+            f"pool{stage}", head, LayerKind.POOL_MAX, kernel=2, stride=2
+        )
+    head = b.fc("fc6", head, 4096)
+    b.graph.add(Layer("fc6/relu", LayerKind.RELU), [head])
+    b.graph.add(Layer("fc6/drop", LayerKind.DROPOUT), ["fc6/relu"])
+    head = b.fc("fc7", "fc6/drop", 4096)
+    b.graph.add(Layer("fc7/relu", LayerKind.RELU), [head])
+    b.graph.add(Layer("fc7/drop", LayerKind.DROPOUT), ["fc7/relu"])
+    head = b.fc("fc8", "fc7/drop", num_classes)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+# (squeeze 1x1, expand 1x1, expand 3x3) channels per fire module.
+_SQUEEZENET_FIRES = (
+    ("fire2", 16, 64, 64),
+    ("fire3", 16, 64, 64),
+    ("fire4", 32, 128, 128),
+    ("fire5", 32, 128, 128),
+    ("fire6", 48, 192, 192),
+    ("fire7", 48, 192, 192),
+    ("fire8", 64, 256, 256),
+    ("fire9", 64, 256, 256),
+)
+_SQUEEZENET_POOL_AFTER = {"fire4", "fire8"}
+
+
+def _fire(builder: _Builder, name: str, inp: str, squeeze: int,
+          expand1: int, expand3: int) -> str:
+    head = _plain_conv(builder, f"{name}/squeeze1x1", inp, squeeze, kernel=1)
+    left = _plain_conv(builder, f"{name}/expand1x1", head, expand1, kernel=1)
+    right = _plain_conv(
+        builder, f"{name}/expand3x3", head, expand3, kernel=3, padding=1
+    )
+    return builder.concat(f"{name}/concat", [left, right])
+
+
+def squeezenet(num_classes: int = 1000) -> DNNGraph:
+    """SqueezeNet v1.0 (Iandola 2016): fire-module DAG, ~5 MB of weights."""
+    b = _Builder("squeezenet", TensorShape(3, 224, 224))
+    head = _plain_conv(b, "conv1", "data", 96, kernel=7, stride=2)
+    head = b.pool("pool1", head, LayerKind.POOL_MAX, kernel=3, stride=2)
+    for name, squeeze, expand1, expand3 in _SQUEEZENET_FIRES:
+        head = _fire(b, name, head, squeeze, expand1, expand3)
+        if name in _SQUEEZENET_POOL_AFTER:
+            head = b.pool(
+                f"pool_{name}", head, LayerKind.POOL_MAX, kernel=3, stride=2
+            )
+    b.graph.add(Layer("drop9", LayerKind.DROPOUT), [head])
+    head = _plain_conv(b, "conv10", "drop9", num_classes, kernel=1)
+    head = b.global_pool("pool10", head)
+    b.softmax("prob", head)
+    return b.finish()
+
+
+EXTRA_MODEL_BUILDERS = {
+    "alexnet": alexnet,
+    "vgg16": vgg16,
+    "squeezenet": squeezenet,
+}

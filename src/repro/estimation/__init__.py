@@ -1,0 +1,46 @@
+"""GPU-aware execution-time estimation (paper §3.C.1, Fig 4).
+
+Each edge server trains, offline, a model that predicts layer execution
+time from layer hyperparameters *plus* GPU workload statistics.  Three
+estimator families reproduce the Fig 4 comparison:
+
+* :class:`LLPerLoadEstimator` — NeuroSurgeon baseline: linear/logarithmic
+  regression over layer hyperparameters only, one model per server load.
+* :class:`LLWithLoadEstimator` — the same LL family but with GPU statistics
+  added as features (the paper's first ablation).
+* :class:`RFWithLoadEstimator` — PerDNN's random forest over layer
+  hyperparameters + GPU statistics.
+
+For the online simulator, :class:`ContentionEstimator` distills the same
+training data into a GPU-stats -> slowdown-factor regressor applied to the
+server's uncontended per-layer profile.
+"""
+
+from repro.estimation.features import (
+    FEATURE_NAMES,
+    LAYER_FEATURE_NAMES,
+    layer_features,
+    sample_features,
+)
+from repro.estimation.estimator import (
+    ContentionEstimator,
+    ExecutionTimeEstimator,
+    LLPerLoadEstimator,
+    LLWithLoadEstimator,
+    RFWithLoadEstimator,
+)
+from repro.estimation.evaluation import EstimatorComparison, compare_estimators
+
+__all__ = [
+    "FEATURE_NAMES",
+    "LAYER_FEATURE_NAMES",
+    "layer_features",
+    "sample_features",
+    "ExecutionTimeEstimator",
+    "LLPerLoadEstimator",
+    "LLWithLoadEstimator",
+    "RFWithLoadEstimator",
+    "ContentionEstimator",
+    "EstimatorComparison",
+    "compare_estimators",
+]

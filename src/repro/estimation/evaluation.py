@@ -1,0 +1,85 @@
+"""Estimator evaluation harness for Fig 4.
+
+Trains each estimator family on a profiled training set and reports test
+MAE broken down by the number of concurrent clients, plus the random
+forest's feature importances — the two panels of Fig 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dnn.layer import LayerKind
+from repro.ml.metrics import mean_absolute_error
+from repro.estimation.estimator import (
+    ExecutionTimeEstimator,
+    LLPerLoadEstimator,
+    LLWithLoadEstimator,
+    RFWithLoadEstimator,
+)
+from repro.estimation.features import FEATURE_NAMES
+from repro.profiling.profiler import ContentionSample
+
+
+@dataclass
+class EstimatorComparison:
+    """MAE per estimator per client count, plus RF feature importances."""
+
+    client_counts: list[int]
+    mae_by_estimator: dict[str, dict[int, float]] = field(default_factory=dict)
+    feature_importances: dict[str, float] = field(default_factory=dict)
+
+    def to_rows(self) -> list[tuple]:
+        """Rows of (clients, mae...) for tabular printing."""
+        names = sorted(self.mae_by_estimator)
+        rows = [("clients", *names)]
+        for count in self.client_counts:
+            rows.append(
+                (count, *(self.mae_by_estimator[name][count] for name in names))
+            )
+        return rows
+
+
+def compare_estimators(
+    train: list[ContentionSample],
+    test: list[ContentionSample],
+    rng: np.random.Generator,
+    kind: LayerKind = LayerKind.CONV,
+    estimators: list[ExecutionTimeEstimator] | None = None,
+) -> EstimatorComparison:
+    """Fit each estimator on ``train`` and measure per-load MAE on ``test``.
+
+    Only samples of ``kind`` are evaluated (the paper's Fig 4 reports conv
+    layers), though estimators are trained on everything they receive.
+    """
+    if estimators is None:
+        estimators = [
+            LLPerLoadEstimator(),
+            LLWithLoadEstimator(),
+            RFWithLoadEstimator(rng=rng),
+        ]
+    test_of_kind = [s for s in test if s.info.kind is kind]
+    if not test_of_kind:
+        raise ValueError(f"test set has no samples of kind {kind}")
+    counts = sorted({s.stats.num_clients for s in test_of_kind})
+    comparison = EstimatorComparison(client_counts=counts)
+    rf: RFWithLoadEstimator | None = None
+    for estimator in estimators:
+        estimator.fit(train)
+        per_count: dict[int, float] = {}
+        for count in counts:
+            subset = [s for s in test_of_kind if s.stats.num_clients == count]
+            truth = np.array([s.measured_time for s in subset])
+            predicted = estimator.predict_batch(subset)
+            per_count[count] = mean_absolute_error(truth, predicted)
+        comparison.mae_by_estimator[estimator.name] = per_count
+        if isinstance(estimator, RFWithLoadEstimator):
+            rf = estimator
+    if rf is not None:
+        importances = rf.feature_importances(kind)
+        comparison.feature_importances = dict(
+            zip(FEATURE_NAMES, importances.tolist())
+        )
+    return comparison

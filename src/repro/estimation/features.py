@@ -1,0 +1,58 @@
+"""Feature extraction for execution-time estimation.
+
+Layer hyperparameter features are derived quantities (FLOPs, tensor and
+weight byte counts) that fully determine a layer's uncontended cost; GPU
+workload features are the nvml-style statistics of
+:class:`~repro.profiling.gpu_stats.GpuStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.graph import LayerInfo
+from repro.profiling.gpu_stats import GPU_STAT_FEATURE_NAMES, GpuStats
+from repro.profiling.profiler import ContentionSample
+
+LAYER_FEATURE_NAMES = ("flops", "input_bytes", "output_bytes", "weight_bytes")
+FEATURE_NAMES = LAYER_FEATURE_NAMES + GPU_STAT_FEATURE_NAMES
+
+
+def layer_features(info: LayerInfo) -> np.ndarray:
+    """Hyperparameter-derived feature vector of one layer."""
+    return np.array(
+        [
+            float(info.flops),
+            float(info.input_bytes),
+            float(info.output_bytes),
+            float(info.weight_bytes),
+        ]
+    )
+
+
+def sample_features(sample: ContentionSample, with_load: bool = True) -> np.ndarray:
+    """Full feature vector of a profiled sample.
+
+    With ``with_load`` false, only the layer hyperparameter features are
+    used (the NeuroSurgeon baseline configuration).
+    """
+    layer = layer_features(sample.info)
+    if not with_load:
+        return layer
+    return np.concatenate([layer, np.array(sample.stats.as_features())])
+
+
+def stats_features(stats: GpuStats) -> np.ndarray:
+    """GPU workload feature vector alone."""
+    return np.array(stats.as_features())
+
+
+def build_matrix(
+    samples: list[ContentionSample], with_load: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """(X, y) design matrix for a list of profiled samples."""
+    if not samples:
+        raise ValueError("no samples")
+    X = np.stack([sample_features(s, with_load) for s in samples])
+    y = np.array([s.measured_time for s in samples])
+    return X, y

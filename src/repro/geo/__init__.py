@@ -1,0 +1,19 @@
+"""Geometry substrate: hexagonal edge-server grids and Wi-Fi registry.
+
+The paper divides the evaluation region into a hexagonal grid of cells with
+50 m radius (the service range of a typical Wi-Fi AP) and allocates an edge
+server per visited cell; the master server maps predicted locations to
+nearby servers through a WiGLE-style Wi-Fi database (§3.B, §4.B.1).
+"""
+
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.geo.geometry import BoundingBox, euclidean
+from repro.geo.wifi import EdgeServerRegistry
+
+__all__ = [
+    "HexCell",
+    "HexGrid",
+    "BoundingBox",
+    "euclidean",
+    "EdgeServerRegistry",
+]

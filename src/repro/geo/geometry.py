@@ -1,0 +1,62 @@
+"""Planar geometry helpers.
+
+All coordinates are metres in a local planar frame (the datasets' lat/lon
+rectangles are small enough that the paper's own hex-grid treatment is
+planar too).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def euclidean(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Straight-line distance between two (x, y) points in metres."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """Axis-aligned rectangle: the evaluation region of a dataset."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x <= self.min_x or self.max_y <= self.min_y:
+            raise ValueError("degenerate bounding box")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, point: tuple[float, float]) -> bool:
+        x, y = point
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def clamp(self, point: tuple[float, float]) -> tuple[float, float]:
+        x, y = point
+        return (
+            min(max(x, self.min_x), self.max_x),
+            min(max(y, self.min_y), self.max_y),
+        )
+
+    def sample(self, rng: np.random.Generator) -> tuple[float, float]:
+        """Uniform random point inside the box."""
+        return (
+            float(rng.uniform(self.min_x, self.max_x)),
+            float(rng.uniform(self.min_y, self.max_y)),
+        )

@@ -1,0 +1,109 @@
+"""Hexagonal grid with 50 m cells — the edge-server layout of §4.B.1.
+
+Cells are pointy-top hexagons addressed by axial coordinates ``(q, r)``;
+``radius`` is the circumradius (centre to corner), matching the paper's
+"hexagonal grid where each cell has the radius of 50 m".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class HexCell:
+    """Axial-coordinate address of one hex cell."""
+
+    q: int
+    r: int
+
+    def neighbors(self) -> tuple["HexCell", ...]:
+        q, r = self.q, self.r
+        return (
+            HexCell(q + 1, r),
+            HexCell(q - 1, r),
+            HexCell(q, r + 1),
+            HexCell(q, r - 1),
+            HexCell(q + 1, r - 1),
+            HexCell(q - 1, r + 1),
+        )
+
+
+class HexGrid:
+    """Coordinate conversions for a pointy-top hexagonal grid."""
+
+    def __init__(self, radius: float = 50.0) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self.radius = radius
+
+    def center(self, cell: HexCell) -> tuple[float, float]:
+        """Planar (x, y) centre of a cell in metres."""
+        x = self.radius * math.sqrt(3.0) * (cell.q + cell.r / 2.0)
+        y = self.radius * 1.5 * cell.r
+        return (x, y)
+
+    def cell_of(self, point: tuple[float, float]) -> HexCell:
+        """The cell containing (i.e. whose centre is nearest to) ``point``."""
+        x, y = point
+        q_frac = (math.sqrt(3.0) / 3.0 * x - y / 3.0) / self.radius
+        r_frac = (2.0 / 3.0 * y) / self.radius
+        return self._axial_round(q_frac, r_frac)
+
+    @staticmethod
+    def _axial_round(q: float, r: float) -> HexCell:
+        # Round in cube coordinates, fixing the component with largest error.
+        s = -q - r
+        q_round, r_round, s_round = round(q), round(r), round(s)
+        q_diff = abs(q_round - q)
+        r_diff = abs(r_round - r)
+        s_diff = abs(s_round - s)
+        if q_diff > r_diff and q_diff > s_diff:
+            q_round = -r_round - s_round
+        elif r_diff > s_diff:
+            r_round = -q_round - s_round
+        return HexCell(int(q_round), int(r_round))
+
+    @staticmethod
+    def hop_distance(a: HexCell, b: HexCell) -> int:
+        """Number of cell-to-cell hops between two cells (cube distance).
+
+        Used as the backhaul hop count when a client's queries are routed
+        from its access cell to a remote serving cell (§3.A's routing
+        alternative).
+        """
+        dq = a.q - b.q
+        dr = a.r - b.r
+        return int((abs(dq) + abs(dr) + abs(dq + dr)) / 2)
+
+    def center_distance(self, a: HexCell, b: HexCell) -> float:
+        """Euclidean distance between two cell centres (metres)."""
+        ax, ay = self.center(a)
+        bx, by = self.center(b)
+        return math.hypot(ax - bx, ay - by)
+
+    def cells_within(
+        self, point: tuple[float, float], distance: float
+    ) -> list[HexCell]:
+        """All cells whose centre lies within ``distance`` of ``point``.
+
+        Used to find the edge servers near a predicted location (§3.C.2:
+        proactive migration targets all servers within 50 or 100 m).
+        """
+        if distance < 0:
+            raise ValueError("distance must be non-negative")
+        origin = self.cell_of(point)
+        # Ring bound: adjacent centres are sqrt(3)*radius apart.
+        rings = int(math.ceil(distance / (math.sqrt(3.0) * self.radius))) + 1
+        x, y = point
+        found: list[HexCell] = []
+        for dq in range(-rings, rings + 1):
+            for dr in range(-rings, rings + 1):
+                if abs(dq + dr) > rings:
+                    continue
+                cell = HexCell(origin.q + dq, origin.r + dr)
+                cx, cy = self.center(cell)
+                if math.hypot(cx - x, cy - y) <= distance:
+                    found.append(cell)
+        return sorted(found)

@@ -1,0 +1,76 @@
+"""Edge-server registry: the WiGLE-style mapping from locations to servers.
+
+The master server "finds edge servers around the predicted location by
+finding nearby hotspots in the Wi-Fi database" (§3.B.2).  In the evaluation
+an edge server is allocated to every hex cell any user trajectory visited
+(§4.B.1); this registry owns that allocation and answers the two queries the
+master needs: *which server serves this location* and *which servers are
+within r metres of this location*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.geo.hexgrid import HexCell, HexGrid
+
+
+class EdgeServerRegistry:
+    """Mapping between hex cells, server identifiers, and locations."""
+
+    def __init__(self, grid: HexGrid) -> None:
+        self.grid = grid
+        self._cell_to_server: dict[HexCell, int] = {}
+        self._server_to_cell: dict[int, HexCell] = {}
+
+    @classmethod
+    def from_visited_points(
+        cls, grid: HexGrid, points: Iterable[tuple[float, float]]
+    ) -> "EdgeServerRegistry":
+        """Allocate one server per cell that any of ``points`` falls in."""
+        registry = cls(grid)
+        for point in points:
+            registry.ensure_server(grid.cell_of(point))
+        return registry
+
+    def ensure_server(self, cell: HexCell) -> int:
+        """Server id for ``cell``, allocating one if needed."""
+        existing = self._cell_to_server.get(cell)
+        if existing is not None:
+            return existing
+        server_id = len(self._cell_to_server)
+        self._cell_to_server[cell] = server_id
+        self._server_to_cell[server_id] = cell
+        return server_id
+
+    @property
+    def num_servers(self) -> int:
+        return len(self._cell_to_server)
+
+    @property
+    def server_ids(self) -> list[int]:
+        return sorted(self._server_to_cell)
+
+    def cell_of_server(self, server_id: int) -> HexCell:
+        return self._server_to_cell[server_id]
+
+    def server_location(self, server_id: int) -> tuple[float, float]:
+        return self.grid.center(self._server_to_cell[server_id])
+
+    def server_at(self, point: tuple[float, float]) -> int | None:
+        """Server covering ``point``'s cell, or None if no server there."""
+        return self._cell_to_server.get(self.grid.cell_of(point))
+
+    def server_for_cell(self, cell: HexCell) -> int | None:
+        return self._cell_to_server.get(cell)
+
+    def servers_within(
+        self, point: tuple[float, float], distance: float
+    ) -> list[int]:
+        """Ids of allocated servers whose cell centre is within ``distance``."""
+        servers = []
+        for cell in self.grid.cells_within(point, distance):
+            server_id = self._cell_to_server.get(cell)
+            if server_id is not None:
+                servers.append(server_id)
+        return servers

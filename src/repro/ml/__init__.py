@@ -1,0 +1,45 @@
+"""From-scratch machine-learning substrate (replaces scikit-learn).
+
+The paper trains its models with scikit-learn (random forest and SVR) and a
+small LSTM.  scikit-learn and deep-learning frameworks are not available in
+this environment, so this package implements the identical algorithms on
+numpy:
+
+* :class:`RegressionTree` / :class:`RandomForestRegressor` — CART trees with
+  impurity-based feature importances (paper §3.C.1, Fig 4).
+* :class:`LinearRegression` / :class:`LogarithmicRegression` /
+  :class:`BestOfLinearLog` — the NeuroSurgeon-style "LL" baselines.
+* :class:`LinearSVR` / :class:`MultiOutputLinearSVR` — epsilon-insensitive
+  linear support-vector regression trained by Adam-accelerated subgradient
+  descent (paper §3.D).
+* :class:`LSTMRegressor` — a single-cell LSTM with a linear head, trained by
+  full BPTT with Adam on MAE loss (paper §3.D).
+* Utilities: :class:`StandardScaler`, metrics, train/test splitting.
+"""
+
+from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score, rmse
+from repro.ml.scaler import StandardScaler
+from repro.ml.splits import kfold_indices, train_test_split
+from repro.ml.tree import RegressionTree
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.linear import BestOfLinearLog, LinearRegression, LogarithmicRegression
+from repro.ml.svr import LinearSVR, MultiOutputLinearSVR
+from repro.ml.lstm import LSTMRegressor
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_squared_error",
+    "r2_score",
+    "rmse",
+    "StandardScaler",
+    "train_test_split",
+    "kfold_indices",
+    "RegressionTree",
+    "RandomForestRegressor",
+    "LinearRegression",
+    "LogarithmicRegression",
+    "BestOfLinearLog",
+    "LinearSVR",
+    "MultiOutputLinearSVR",
+    "LSTMRegressor",
+]

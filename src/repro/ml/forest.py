@@ -1,0 +1,74 @@
+"""Random forest regressor (bagged CART trees).
+
+The paper's edge servers train one random forest per layer type to predict
+layer execution time from layer hyperparameters plus GPU workload features
+(§3.C.1).  Feature importances are averaged over trees, matching the
+right-hand plot of Fig 4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import RegressionTree
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 2,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self._rng = rng or np.random.default_rng()
+        self._trees: list[RegressionTree] = []
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2D and y 1D with matching lengths")
+        n = X.shape[0]
+        self._trees = []
+        importances = np.zeros(X.shape[1])
+        for _ in range(self.n_estimators):
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=self._rng,
+            )
+            if self.bootstrap:
+                sample = self._rng.integers(0, n, size=n)
+                tree.fit(X[sample], y[sample])
+            else:
+                tree.fit(X, y)
+            self._trees.append(tree)
+            assert tree.feature_importances_ is not None
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = importances / total if total > 0 else importances
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest has not been fitted")
+        X = np.asarray(X, dtype=float)
+        predictions = np.stack([tree.predict(X) for tree in self._trees])
+        return predictions.mean(axis=0)

@@ -1,0 +1,106 @@
+"""Linear and logarithmic regression — the NeuroSurgeon "LL" baselines.
+
+NeuroSurgeon (Kang et al., ASPLOS 2017) estimates layer latency with linear
+or logarithmic regression models over layer hyperparameters; the paper calls
+this family "LL" in Fig 4.  :class:`BestOfLinearLog` mirrors NeuroSurgeon's
+practice of fitting both forms per layer type and keeping the better one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _design_matrix(X: np.ndarray) -> np.ndarray:
+    """Append a bias column."""
+    return np.hstack([X, np.ones((X.shape[0], 1))])
+
+
+def _check_Xy(X: np.ndarray, y: np.ndarray | None) -> tuple[np.ndarray, np.ndarray | None]:
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2D, got shape {X.shape}")
+    if y is None:
+        return X, None
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError("y must be 1D with the same length as X")
+    return X, y
+
+
+class LinearRegression:
+    """Ordinary least squares via ``numpy.linalg.lstsq``."""
+
+    def __init__(self) -> None:
+        self.coef_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = _check_Xy(X, y)
+        assert y is not None
+        design = _design_matrix(X)
+        self.coef_, *_ = np.linalg.lstsq(design, y, rcond=None)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model has not been fitted")
+        X, _ = _check_Xy(X, None)
+        return _design_matrix(X) @ self.coef_
+
+
+class LogarithmicRegression:
+    """Least squares on log-transformed features: ``y = w . log1p(x) + b``.
+
+    Requires non-negative features (latency predictors here are counts,
+    sizes, utilizations — all non-negative).
+    """
+
+    def __init__(self) -> None:
+        self._model = LinearRegression()
+
+    @staticmethod
+    def _transform(X: np.ndarray) -> np.ndarray:
+        if np.any(X < 0):
+            raise ValueError("logarithmic regression requires non-negative features")
+        return np.log1p(X)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogarithmicRegression":
+        X, y = _check_Xy(X, y)
+        assert y is not None
+        self._model.fit(self._transform(X), y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X, _ = _check_Xy(X, None)
+        return self._model.predict(self._transform(X))
+
+
+class BestOfLinearLog:
+    """Fit both linear and logarithmic models; keep the lower-SSE one."""
+
+    def __init__(self) -> None:
+        self._chosen: LinearRegression | LogarithmicRegression | None = None
+        self.chosen_form: str | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BestOfLinearLog":
+        X, y = _check_Xy(X, y)
+        assert y is not None
+        linear = LinearRegression().fit(X, y)
+        candidates: list[tuple[str, LinearRegression | LogarithmicRegression]] = [
+            ("linear", linear)
+        ]
+        if np.all(X >= 0):
+            candidates.append(("log", LogarithmicRegression().fit(X, y)))
+        best_sse = np.inf
+        for form, model in candidates:
+            sse = float(np.sum((model.predict(X) - y) ** 2))
+            if sse < best_sse:
+                best_sse = sse
+                self._chosen = model
+                self.chosen_form = form
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._chosen is None:
+            raise RuntimeError("model has not been fitted")
+        return self._chosen.predict(X)

@@ -1,0 +1,189 @@
+"""Single-cell LSTM regressor with full BPTT (numpy only).
+
+Matches the RNN mobility predictor the paper describes in §3.D: one LSTM
+cell reads the standardized coordinate sequence and produces a latent vector
+(hidden size 16-32 depending on dataset); a fully-connected head with no
+activation outputs the predicted (x, y).  Training uses MAE loss and the
+Adam optimizer with learning rate 1e-3, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.optim import Adam
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class LSTMRegressor:
+    """Sequence-to-vector LSTM with a linear regression head.
+
+    ``fit`` expects ``X`` of shape (n_samples, seq_len, n_inputs) and ``Y``
+    of shape (n_samples, n_outputs).
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 16,
+        learning_rate: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        loss: str = "mae",
+        clip_norm: float = 5.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if loss not in ("mae", "mse"):
+            raise ValueError("loss must be 'mae' or 'mse'")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.loss = loss
+        self.clip_norm = clip_norm
+        self._rng = rng or np.random.default_rng()
+        self._params: dict[str, np.ndarray] | None = None
+        self._n_inputs = 0
+        self._n_outputs = 0
+        self.training_losses_: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Parameter setup
+    # ------------------------------------------------------------------
+    def _init_params(self, n_inputs: int, n_outputs: int) -> dict[str, np.ndarray]:
+        h = self.hidden_size
+        scale_x = 1.0 / np.sqrt(n_inputs)
+        scale_h = 1.0 / np.sqrt(h)
+        params = {
+            "Wx": self._rng.normal(0.0, scale_x, size=(n_inputs, 4 * h)),
+            "Wh": self._rng.normal(0.0, scale_h, size=(h, 4 * h)),
+            "b": np.zeros(4 * h),
+            "Wy": self._rng.normal(0.0, scale_h, size=(h, n_outputs)),
+            "by": np.zeros(n_outputs),
+        }
+        # Positive forget-gate bias: standard trick for stable training.
+        params["b"][h : 2 * h] = 1.0
+        return params
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+    def _forward(
+        self, X: np.ndarray, params: dict[str, np.ndarray]
+    ) -> tuple[np.ndarray, dict]:
+        n, seq_len, _ = X.shape
+        h_size = self.hidden_size
+        h = np.zeros((n, h_size))
+        c = np.zeros((n, h_size))
+        cache = {"X": X, "h": [h], "c": [c], "gates": [], "c_tanh": []}
+        for t in range(seq_len):
+            z = X[:, t, :] @ params["Wx"] + h @ params["Wh"] + params["b"]
+            i = _sigmoid(z[:, :h_size])
+            f = _sigmoid(z[:, h_size : 2 * h_size])
+            g = np.tanh(z[:, 2 * h_size : 3 * h_size])
+            o = _sigmoid(z[:, 3 * h_size :])
+            c = f * c + i * g
+            c_tanh = np.tanh(c)
+            h = o * c_tanh
+            cache["gates"].append((i, f, g, o))
+            cache["c_tanh"].append(c_tanh)
+            cache["h"].append(h)
+            cache["c"].append(c)
+        prediction = h @ params["Wy"] + params["by"]
+        return prediction, cache
+
+    def _backward(
+        self,
+        d_pred: np.ndarray,
+        cache: dict,
+        params: dict[str, np.ndarray],
+    ) -> dict[str, np.ndarray]:
+        X = cache["X"]
+        n, seq_len, _ = X.shape
+        h_size = self.hidden_size
+        grads = {name: np.zeros_like(value) for name, value in params.items()}
+        h_final = cache["h"][-1]
+        grads["Wy"] = h_final.T @ d_pred
+        grads["by"] = d_pred.sum(axis=0)
+        dh = d_pred @ params["Wy"].T
+        dc = np.zeros((n, h_size))
+        for t in range(seq_len - 1, -1, -1):
+            i, f, g, o = cache["gates"][t]
+            c_tanh = cache["c_tanh"][t]
+            c_prev = cache["c"][t]
+            h_prev = cache["h"][t]
+            do = dh * c_tanh
+            dc = dc + dh * o * (1.0 - c_tanh**2)
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dz = np.hstack(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ]
+            )
+            grads["Wx"] += X[:, t, :].T @ dz
+            grads["Wh"] += h_prev.T @ dz
+            grads["b"] += dz.sum(axis=0)
+            dh = dz @ params["Wh"].T
+            dc = dc * f
+        return grads
+
+    def _clip(self, grads: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        total = np.sqrt(sum(float(np.sum(g * g)) for g in grads.values()))
+        if total > self.clip_norm:
+            factor = self.clip_norm / total
+            return {name: g * factor for name, g in grads.items()}
+        return grads
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "LSTMRegressor":
+        X = np.asarray(X, dtype=float)
+        Y = np.asarray(Y, dtype=float)
+        if X.ndim != 3 or Y.ndim != 2 or X.shape[0] != Y.shape[0]:
+            raise ValueError(
+                "X must be (n, seq_len, n_inputs) and Y (n, n_outputs)"
+            )
+        n = X.shape[0]
+        self._n_inputs = X.shape[2]
+        self._n_outputs = Y.shape[1]
+        self._params = self._init_params(self._n_inputs, self._n_outputs)
+        optimizer = Adam(self._params, learning_rate=self.learning_rate)
+        batch = min(self.batch_size, n)
+        self.training_losses_ = []
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                Xb, Yb = X[idx], Y[idx]
+                prediction, cache = self._forward(Xb, self._params)
+                error = prediction - Yb
+                if self.loss == "mae":
+                    epoch_loss += float(np.abs(error).sum())
+                    d_pred = np.sign(error) / error.size
+                else:
+                    epoch_loss += float((error**2).sum())
+                    d_pred = 2.0 * error / error.size
+                grads = self._clip(self._backward(d_pred, cache, self._params))
+                optimizer.step(grads)
+            self.training_losses_.append(epoch_loss / (n * self._n_outputs))
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._params is None:
+            raise RuntimeError("model has not been fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 3 or X.shape[2] != self._n_inputs:
+            raise ValueError(f"expected shape (n, seq_len, {self._n_inputs})")
+        prediction, _ = self._forward(X, self._params)
+        return prediction

@@ -1,0 +1,73 @@
+"""Gradient-descent optimizers for the from-scratch SVR and LSTM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba 2014) over a dict of named parameters."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.params = params
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = {name: np.zeros_like(value) for name, value in params.items()}
+        self._v = {name: np.zeros_like(value) for name, value in params.items()}
+        self._t = 0
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        """Apply one update; ``grads`` must cover every parameter."""
+        missing = set(self.params) - set(grads)
+        if missing:
+            raise ValueError(f"missing gradients for: {sorted(missing)}")
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for name, param in self.params.items():
+            grad = grads[name]
+            if grad.shape != param.shape:
+                raise ValueError(f"gradient shape mismatch for {name!r}")
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            param -= (
+                self.learning_rate * (m / bias1) / (np.sqrt(v / bias2) + self.epsilon)
+            )
+
+
+class SGD:
+    """Plain (optionally decaying) stochastic gradient descent."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        learning_rate: float = 1e-2,
+        decay: float = 0.0,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.params = params
+        self.learning_rate = learning_rate
+        self.decay = decay
+        self._t = 0
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        rate = self.learning_rate / (1.0 + self.decay * self._t)
+        for name, param in self.params.items():
+            param -= rate * grads[name]

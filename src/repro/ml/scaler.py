@@ -1,0 +1,44 @@
+"""Feature standardization (zero mean, unit variance).
+
+The paper normalizes trajectory coordinates to standard scores before
+feeding them to the SVR and LSTM predictors (§3.D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Column-wise standardization with safe handling of constant columns."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError(f"expected non-empty 2D array, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler has not been fitted")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        X = np.asarray(X, dtype=float)
+        return X * self.scale_ + self.mean_

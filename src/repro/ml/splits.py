@@ -1,0 +1,36 @@
+"""Dataset splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_split(
+    n_samples: int,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shuffled (train_indices, test_indices) split of ``range(n_samples)``."""
+    if n_samples < 2:
+        raise ValueError("need at least 2 samples to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    indices = rng.permutation(n_samples)
+    n_test = max(1, int(round(n_samples * test_fraction)))
+    n_test = min(n_test, n_samples - 1)
+    return indices[n_test:], indices[:n_test]
+
+
+def kfold_indices(
+    n_samples: int, n_folds: int, rng: np.random.Generator
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Shuffled k-fold (train, test) index pairs."""
+    if n_folds < 2 or n_folds > n_samples:
+        raise ValueError("n_folds must be in [2, n_samples]")
+    indices = rng.permutation(n_samples)
+    folds = np.array_split(indices, n_folds)
+    pairs = []
+    for i, test in enumerate(folds):
+        train = np.concatenate([fold for j, fold in enumerate(folds) if j != i])
+        pairs.append((train, test))
+    return pairs

@@ -1,0 +1,112 @@
+"""Linear support-vector regression (epsilon-insensitive loss).
+
+The paper's mobility predictor of choice is a *linear SVR* (§3.D, Table III):
+it takes the client's n most recent standardized (x, y) coordinates and
+regresses the next coordinate pair.  This implementation minimizes
+
+    0.5 * ||w||^2 / C + mean(max(0, |y - (w.x + b)| - epsilon))
+
+by Adam-accelerated subgradient descent on mini-batches — the primal form of
+the problem scikit-learn's ``LinearSVR`` solves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.optim import Adam
+
+
+class LinearSVR:
+    """Single-output linear SVR trained in the primal with Adam."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.01,
+        C: float = 10.0,
+        learning_rate: float = 0.01,
+        epochs: int = 120,
+        batch_size: int = 64,
+        tolerance: float = 1e-7,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.epsilon = epsilon
+        self.C = C
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.tolerance = tolerance
+        self._rng = rng or np.random.default_rng()
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self.n_iterations_: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVR":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be 2D and y 1D with matching lengths")
+        n, d = X.shape
+        params = {"w": np.zeros(d), "b": np.zeros(1)}
+        optimizer = Adam(params, learning_rate=self.learning_rate)
+        previous_loss = np.inf
+        batch = min(self.batch_size, n)
+        for epoch in range(self.epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                Xb, yb = X[idx], y[idx]
+                residual = yb - (Xb @ params["w"] + params["b"][0])
+                violation = np.abs(residual) - self.epsilon
+                active = violation > 0
+                # Subgradient of the epsilon-insensitive loss.
+                sign = np.where(active, -np.sign(residual), 0.0)
+                grad_w = Xb.T @ sign / len(idx) + params["w"] / (self.C * n)
+                grad_b = np.array([sign.mean()])
+                optimizer.step({"w": grad_w, "b": grad_b})
+                epoch_loss += float(np.maximum(violation, 0.0).sum())
+            self.n_iterations_ = epoch + 1
+            epoch_loss /= n
+            if abs(previous_loss - epoch_loss) < self.tolerance:
+                break
+            previous_loss = epoch_loss
+        self.weights_ = params["w"]
+        self.bias_ = float(params["b"][0])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("model has not been fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.weights_.shape[0]:
+            raise ValueError(f"expected shape (n, {self.weights_.shape[0]})")
+        return X @ self.weights_ + self.bias_
+
+
+class MultiOutputLinearSVR:
+    """Independent :class:`LinearSVR` per output column (x and y coords)."""
+
+    def __init__(self, **svr_kwargs) -> None:
+        self._svr_kwargs = svr_kwargs
+        self._models: list[LinearSVR] = []
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "MultiOutputLinearSVR":
+        Y = np.asarray(Y, dtype=float)
+        if Y.ndim != 2:
+            raise ValueError("Y must be 2D (n_samples, n_outputs)")
+        self._models = []
+        for column in range(Y.shape[1]):
+            model = LinearSVR(**self._svr_kwargs)
+            model.fit(X, Y[:, column])
+            self._models.append(model)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._models:
+            raise RuntimeError("model has not been fitted")
+        return np.stack([model.predict(X) for model in self._models], axis=1)

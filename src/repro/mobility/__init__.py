@@ -1,0 +1,56 @@
+"""Mobility prediction (paper §3.D, Table III, Fig 6).
+
+The master server predicts each client's next location from its recent
+trajectory (the ``n`` most recent positions sampled every ``t`` seconds) and
+maps the prediction to nearby edge servers.  Three predictor families are
+implemented, mirroring the paper's comparison:
+
+* :class:`MarkovPredictor` — variable-order Markov model over edge-server
+  identifiers (a prediction suffix tree with subsequence-ratio sampling),
+* :class:`SVRPredictor` — linear SVR over standardized coordinates (the
+  paper's choice),
+* :class:`LSTMPredictor` — a single-LSTM-cell RNN.
+
+:mod:`repro.mobility.evaluation` reproduces the accuracy/futile-prediction
+analyses that select ``n = 5`` and ``t = 20 s``.
+"""
+
+from repro.mobility.trajectory import Trajectory, TrajectoryDataset
+from repro.mobility.predictor import (
+    CellDistributionPredictor,
+    MobilityPredictor,
+    PointPredictor,
+)
+from repro.mobility.markov import MarkovPredictor
+from repro.mobility.svr import SVRPredictor
+from repro.mobility.lstm import LSTMPredictor
+from repro.mobility.modes import ModeAwareSVRPredictor, ModeThresholds
+from repro.mobility.evaluation import (
+    IntervalChoice,
+    PredictorAccuracy,
+    benefit_cost_ratio,
+    evaluate_predictor,
+    futile_prediction_ratio,
+    select_prediction_interval,
+    sliding_windows,
+)
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDataset",
+    "MobilityPredictor",
+    "PointPredictor",
+    "CellDistributionPredictor",
+    "MarkovPredictor",
+    "SVRPredictor",
+    "LSTMPredictor",
+    "ModeAwareSVRPredictor",
+    "ModeThresholds",
+    "PredictorAccuracy",
+    "IntervalChoice",
+    "evaluate_predictor",
+    "futile_prediction_ratio",
+    "benefit_cost_ratio",
+    "select_prediction_interval",
+    "sliding_windows",
+]

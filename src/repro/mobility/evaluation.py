@@ -1,0 +1,218 @@
+"""Mobility-prediction evaluation (Table III, Fig 6).
+
+Implements the paper's evaluation conventions:
+
+* Only *non-futile* predictions count — windows whose actual next position
+  falls in a different edge-server cell than the current one ("predictions
+  made just before when a client moves to another server").
+* For coordinate predictors (SVR, RNN), a top-k prediction is correct when
+  the actually-visited server is among the k allocated servers closest to
+  the predicted location; MAE is the mean distance in metres between the
+  predicted and the actual next position.
+* For the Markov predictor, top-k uses the k most probable cells.
+* ``futile_prediction_ratio`` and ``benefit_cost_ratio`` reproduce the
+  Fig 6 analysis that selects the prediction interval t.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.geo.hexgrid import HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.mobility.markov import MarkovPredictor
+from repro.mobility.predictor import (
+    CellDistributionPredictor,
+    MobilityPredictor,
+    PointPredictor,
+)
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+@dataclass(frozen=True)
+class PredictorAccuracy:
+    """Table III row: top-k accuracies (%) and MAE (metres)."""
+
+    predictor: str
+    dataset: str
+    top_k_accuracy: dict[int, float]  # k -> percent
+    mae_meters: float | None  # None for cell-only predictors (Markov)
+    evaluated_windows: int
+
+
+def sliding_windows(
+    dataset: TrajectoryDataset, history: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """All users' windows: (X of (m, history, 2), next points (m, 2))."""
+    xs, ys = [], []
+    for trajectory in dataset.trajectories:
+        X, y = trajectory.windows(history)
+        if len(X):
+            xs.append(X)
+            ys.append(y)
+    if not xs:
+        return np.empty((0, history, 2)), np.empty((0, 2))
+    return np.concatenate(xs), np.concatenate(ys)
+
+
+def _non_futile_mask(
+    windows: np.ndarray, targets: np.ndarray, grid: HexGrid
+) -> np.ndarray:
+    """True where the actual next position is in a different cell."""
+    mask = np.zeros(len(windows), dtype=bool)
+    for i in range(len(windows)):
+        current = grid.cell_of(tuple(windows[i, -1]))
+        actual = grid.cell_of(tuple(targets[i]))
+        mask[i] = current != actual
+    return mask
+
+
+def _server_tree(registry: EdgeServerRegistry) -> tuple[cKDTree, list[int]]:
+    ids = registry.server_ids
+    locations = np.array([registry.server_location(s) for s in ids])
+    return cKDTree(locations), ids
+
+
+def evaluate_predictor(
+    predictor: MobilityPredictor,
+    test: TrajectoryDataset,
+    registry: EdgeServerRegistry,
+    history: int = 5,
+    top_ks: tuple[int, ...] = (1, 2),
+) -> PredictorAccuracy:
+    """Top-k edge-server prediction accuracy on non-futile test windows."""
+    grid = registry.grid
+    windows, targets = sliding_windows(test, history)
+    if len(windows) == 0:
+        raise ValueError("test dataset yields no windows")
+    mask = _non_futile_mask(windows, targets, grid)
+    windows, targets = windows[mask], targets[mask]
+    if len(windows) == 0:
+        raise ValueError("no non-futile windows in the test dataset")
+    actual_cells = [grid.cell_of(tuple(p)) for p in targets]
+    max_k = max(top_ks)
+    hits = {k: 0 for k in top_ks}
+    mae: float | None = None
+    if isinstance(predictor, PointPredictor):
+        predictions = predictor.predict_points(windows)
+        mae = float(
+            np.mean(np.hypot(*(predictions - targets).T))
+        )
+        tree, ids = _server_tree(registry)
+        k_query = min(max_k, len(ids))
+        _, neighbor_idx = tree.query(predictions, k=k_query)
+        neighbor_idx = np.atleast_2d(neighbor_idx)
+        if neighbor_idx.shape[0] != len(predictions):
+            neighbor_idx = neighbor_idx.T
+        for i, actual in enumerate(actual_cells):
+            ranked_cells = [
+                registry.cell_of_server(ids[j]) for j in neighbor_idx[i][:max_k]
+            ]
+            for k in top_ks:
+                if actual in ranked_cells[:k]:
+                    hits[k] += 1
+    elif isinstance(predictor, CellDistributionPredictor):
+        for i in range(len(windows)):
+            recent = [grid.cell_of(tuple(p)) for p in windows[i]]
+            ranked = [cell for cell, _ in predictor.predict_cells(recent, max_k)]
+            for k in top_ks:
+                if actual_cells[i] in ranked[:k]:
+                    hits[k] += 1
+    else:
+        raise TypeError(f"unsupported predictor type: {type(predictor)!r}")
+    n = len(windows)
+    return PredictorAccuracy(
+        predictor=predictor.name,
+        dataset=test.name,
+        top_k_accuracy={k: 100.0 * hits[k] / n for k in top_ks},
+        mae_meters=mae,
+        evaluated_windows=n,
+    )
+
+
+def point_prediction_mae(
+    predictor: PointPredictor, test: TrajectoryDataset, history: int
+) -> float:
+    """Plain next-point MAE in metres over all windows (Fig 6 left)."""
+    windows, targets = sliding_windows(test, history)
+    if len(windows) == 0:
+        raise ValueError("test dataset yields no windows")
+    predictions = predictor.predict_points(windows)
+    return float(np.mean(np.hypot(*(predictions - targets).T)))
+
+
+def futile_prediction_ratio(
+    dataset: TrajectoryDataset, grid: HexGrid, history: int = 5
+) -> float:
+    """Share of windows whose next position stays in the current cell."""
+    windows, targets = sliding_windows(dataset, history)
+    if len(windows) == 0:
+        raise ValueError("dataset yields no windows")
+    mask = _non_futile_mask(windows, targets, grid)
+    return 1.0 - float(mask.mean())
+
+
+def benefit_cost_ratio(accuracy_fraction: float, futile_ratio: float) -> float:
+    """The paper's t-selection criterion: benefit/cost = a * (p - f) / p."""
+    if not 0.0 <= accuracy_fraction <= 1.0:
+        raise ValueError("accuracy_fraction must be in [0, 1]")
+    if not 0.0 <= futile_ratio <= 1.0:
+        raise ValueError("futile_ratio must be in [0, 1]")
+    return accuracy_fraction * (1.0 - futile_ratio)
+
+
+@dataclass(frozen=True)
+class IntervalChoice:
+    """One candidate prediction interval with its §3.D benefit/cost score."""
+
+    interval_seconds: float
+    subsample_factor: int
+    futile_ratio: float
+    top1_accuracy: float  # fraction in [0, 1]
+    ratio: float
+
+
+def select_prediction_interval(
+    base_dataset: TrajectoryDataset,
+    registry: EdgeServerRegistry,
+    factors: tuple[int, ...],
+    rng: np.random.Generator,
+    history: int = 5,
+    predictor_epochs: int = 60,
+) -> tuple[IntervalChoice, list[IntervalChoice]]:
+    """Pick the prediction interval t by maximum benefit/cost (§3.D).
+
+    For each subsample factor, a linear SVR is trained and evaluated on a
+    user split of the resampled dataset; the benefit/cost score
+    ``a * (p - f) / p`` uses its non-futile top-1 accuracy ``a`` and the
+    futile-prediction ratio ``f/p``.  Returns the best choice plus every
+    candidate (the right panel of Fig 6).
+    """
+    from repro.mobility.svr import SVRPredictor
+
+    if not factors:
+        raise ValueError("at least one subsample factor required")
+    candidates: list[IntervalChoice] = []
+    for factor in factors:
+        dataset = base_dataset.subsample(factor) if factor > 1 else base_dataset
+        train, test = dataset.split_users(0.3, rng)
+        futile = futile_prediction_ratio(test, registry.grid, history)
+        predictor = SVRPredictor(
+            history=history, epochs=predictor_epochs, rng=rng
+        ).fit(train)
+        accuracy = evaluate_predictor(predictor, test, registry, history)
+        top1 = accuracy.top_k_accuracy[1] / 100.0
+        candidates.append(
+            IntervalChoice(
+                interval_seconds=dataset.interval_seconds,
+                subsample_factor=factor,
+                futile_ratio=futile,
+                top1_accuracy=top1,
+                ratio=benefit_cost_ratio(top1, futile),
+            )
+        )
+    best = max(candidates, key=lambda c: c.ratio)
+    return best, candidates

@@ -1,0 +1,70 @@
+"""LSTM mobility predictor — the paper's RNN comparison point (§3.D).
+
+A single LSTM cell (hidden size 16-32 depending on dataset) reads the
+standardized coordinate sequence; an fc layer with no activation outputs
+the next (x, y).  MAE loss, Adam with learning rate 1e-3 — exactly the
+configuration the paper grid-searched to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.scaler import StandardScaler
+from repro.mobility.predictor import PointPredictor
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+class LSTMPredictor(PointPredictor):
+    """Single-cell LSTM + linear head over standardized windows."""
+
+    name = "RNN"
+
+    def __init__(
+        self,
+        history: int = 5,
+        hidden_size: int = 16,
+        epochs: int = 40,
+        learning_rate: float = 1e-3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.history = history
+        self._rng = rng or np.random.default_rng()
+        self._lstm = LSTMRegressor(
+            hidden_size=hidden_size,
+            learning_rate=learning_rate,
+            epochs=epochs,
+            loss="mae",
+            rng=self._rng,
+        )
+        self._scaler = StandardScaler()
+        self._fitted = False
+
+    def fit(self, dataset: TrajectoryDataset) -> "LSTMPredictor":
+        windows = []
+        targets = []
+        for trajectory in dataset.trajectories:
+            X, y = trajectory.windows(self.history)
+            if len(X):
+                windows.append(X)
+                targets.append(y)
+        if not windows:
+            raise ValueError("dataset has no windows of the requested history")
+        X = np.concatenate(windows)
+        y = np.concatenate(targets)
+        self._scaler.fit(X.reshape(-1, 2))
+        X_std = self._scaler.transform(X.reshape(-1, 2)).reshape(X.shape)
+        y_std = self._scaler.transform(y)
+        self._lstm.fit(X_std, y_std)
+        self._fitted = True
+        return self
+
+    def predict_points(self, windows: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("predictor has not been fitted")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3 or windows.shape[1:] != (self.history, 2):
+            raise ValueError(f"expected (m, {self.history}, 2) windows")
+        std = self._scaler.transform(windows.reshape(-1, 2)).reshape(windows.shape)
+        return self._scaler.inverse_transform(self._lstm.predict(std))

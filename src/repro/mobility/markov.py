@@ -1,0 +1,83 @@
+"""Variable-order Markov mobility predictor (prediction suffix tree).
+
+Implements the paper's Markov baseline (§3.D): client locations are
+discretized to the identifier of the closest edge-server cell; a
+variable-order Markov model (a prediction suffix tree built from sequence
+frequencies, after Ron et al.) predicts the next cell.  At query time the
+longest context matching the suffix tree is found, its length is multiplied
+by the subsequence ratio ``a`` (0.7 in the paper, after Jacquet et al.),
+and the sampled shorter context supplies the prediction counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.mobility.predictor import CellDistributionPredictor
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+class MarkovPredictor(CellDistributionPredictor):
+    """Prediction-suffix-tree Markov model over hex-cell sequences."""
+
+    name = "Markov"
+
+    def __init__(
+        self,
+        grid: HexGrid,
+        max_order: int = 5,
+        subsequence_ratio: float = 0.7,
+    ) -> None:
+        if max_order < 1:
+            raise ValueError("max_order must be >= 1")
+        if not 0.0 < subsequence_ratio <= 1.0:
+            raise ValueError("subsequence_ratio must be in (0, 1]")
+        self.grid = grid
+        self.max_order = max_order
+        self.subsequence_ratio = subsequence_ratio
+        # context tuple (length 1..max_order) -> Counter of next cells.
+        self._counts: dict[tuple[HexCell, ...], Counter] = defaultdict(Counter)
+        self._unconditional: Counter = Counter()
+
+    def cells_of_points(self, points) -> list[HexCell]:
+        return [self.grid.cell_of((float(x), float(y))) for x, y in points]
+
+    def fit(self, dataset: TrajectoryDataset) -> "MarkovPredictor":
+        for trajectory in dataset.trajectories:
+            cells = self.cells_of_points(trajectory.points)
+            for i, next_cell in enumerate(cells[1:], start=1):
+                self._unconditional[next_cell] += 1
+                for order in range(1, self.max_order + 1):
+                    if i - order < 0:
+                        break
+                    context = tuple(cells[i - order : i])
+                    self._counts[context][next_cell] += 1
+        return self
+
+    def _longest_match_length(self, context: tuple[HexCell, ...]) -> int:
+        for order in range(min(len(context), self.max_order), 0, -1):
+            if tuple(context[-order:]) in self._counts:
+                return order
+        return 0
+
+    def predict_cells(
+        self, recent_cells: list[HexCell], top_k: int
+    ) -> list[tuple[HexCell, float]]:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        context = tuple(recent_cells)
+        longest = self._longest_match_length(context)
+        if longest == 0:
+            counter = self._unconditional
+        else:
+            # Sample a shorter subsequence of the longest match (ratio a).
+            order = max(1, round(self.subsequence_ratio * longest))
+            counter = self._counts.get(tuple(context[-order:]))
+            if not counter:
+                counter = self._unconditional
+        total = sum(counter.values())
+        if total == 0:
+            return []
+        ranked = counter.most_common(top_k)
+        return [(cell, count / total) for cell, count in ranked]

@@ -1,0 +1,126 @@
+"""Transportation-mode-aware mobility prediction (paper §4.B.3, future work).
+
+The paper attributes Geolife's lower hit ratio to its mix of transportation
+modes and anticipates that "the hit ratio of Geolife can be improved with
+advanced prediction techniques such as transportation mode inference".
+This module implements that extension: windows are classified by their
+average speed into walk / bike / vehicle regimes and a separate linear SVR
+is trained per mode, with a global fallback for sparse modes.  The ablation
+benchmark (``bench_ablation_mode_prediction.py``) quantifies the gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import MultiOutputLinearSVR
+from repro.mobility.predictor import PointPredictor
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+@dataclass(frozen=True)
+class ModeThresholds:
+    """Average-speed boundaries (m/s) between transportation modes."""
+
+    walk_max: float = 2.0
+    bike_max: float = 6.0
+
+    def classify(self, speed: float) -> str:
+        if speed < self.walk_max:
+            return "walk"
+        if speed < self.bike_max:
+            return "bike"
+        return "vehicle"
+
+
+def window_speeds(windows: np.ndarray, interval_seconds: float) -> np.ndarray:
+    """Average speed (m/s) of each (history, 2) window."""
+    deltas = np.diff(windows, axis=1)
+    distances = np.hypot(deltas[..., 0], deltas[..., 1])
+    return distances.mean(axis=1) / interval_seconds
+
+
+class ModeAwareSVRPredictor(PointPredictor):
+    """Per-transportation-mode linear SVRs with a global fallback.
+
+    A mode needs at least ``min_mode_samples`` training windows to get its
+    own model; everything else (and unclassified test windows' sparse
+    modes) falls back to the single global SVR.
+    """
+
+    name = "SVR-mode"
+
+    def __init__(
+        self,
+        history: int = 5,
+        thresholds: ModeThresholds | None = None,
+        min_mode_samples: int = 200,
+        epochs: int = 250,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.history = history
+        self.thresholds = thresholds or ModeThresholds()
+        self.min_mode_samples = min_mode_samples
+        self._epochs = epochs
+        self._rng = rng or np.random.default_rng()
+        self._scaler = StandardScaler()
+        self._global: MultiOutputLinearSVR | None = None
+        self._per_mode: dict[str, MultiOutputLinearSVR] = {}
+        self._interval_seconds = 0.0
+        self.mode_counts_: dict[str, int] = {}
+
+    def fit(self, dataset: TrajectoryDataset) -> "ModeAwareSVRPredictor":
+        windows = []
+        targets = []
+        for trajectory in dataset.trajectories:
+            X, y = trajectory.windows(self.history)
+            if len(X):
+                windows.append(X)
+                targets.append(y)
+        if not windows:
+            raise ValueError("dataset has no windows of the requested history")
+        X = np.concatenate(windows)
+        y = np.concatenate(targets)
+        self._interval_seconds = dataset.interval_seconds
+        self._scaler.fit(X.reshape(-1, 2))
+        X_std = self._scaler.transform(X.reshape(-1, 2)).reshape(len(X), -1)
+        y_std = self._scaler.transform(y)
+        self._global = MultiOutputLinearSVR(
+            epochs=self._epochs, rng=self._rng
+        ).fit(X_std, y_std)
+        speeds = window_speeds(X, self._interval_seconds)
+        modes = np.array([self.thresholds.classify(s) for s in speeds])
+        self.mode_counts_ = {}
+        self._per_mode = {}
+        for mode in ("walk", "bike", "vehicle"):
+            mask = modes == mode
+            count = int(mask.sum())
+            self.mode_counts_[mode] = count
+            if count >= self.min_mode_samples:
+                model = MultiOutputLinearSVR(
+                    epochs=self._epochs, rng=self._rng
+                )
+                self._per_mode[mode] = model.fit(X_std[mask], y_std[mask])
+        return self
+
+    def predict_points(self, windows: np.ndarray) -> np.ndarray:
+        if self._global is None:
+            raise RuntimeError("predictor has not been fitted")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3 or windows.shape[1:] != (self.history, 2):
+            raise ValueError(f"expected (m, {self.history}, 2) windows")
+        flat = self._scaler.transform(windows.reshape(-1, 2)).reshape(
+            len(windows), -1
+        )
+        predictions = self._global.predict(flat)
+        if self._per_mode:
+            speeds = window_speeds(windows, self._interval_seconds)
+            modes = np.array([self.thresholds.classify(s) for s in speeds])
+            for mode, model in self._per_mode.items():
+                mask = modes == mode
+                if mask.any():
+                    predictions[mask] = model.predict(flat[mask])
+        return self._scaler.inverse_transform(predictions)

@@ -1,0 +1,55 @@
+"""Predictor interfaces.
+
+Two prediction styles exist in the paper: coordinate regressors (SVR, RNN)
+that output the next (x, y), and the Markov model that outputs a ranked
+distribution over edge-server cells.  Both reduce to "top-k candidate edge
+servers" for proactive migration, which is what
+:mod:`repro.mobility.evaluation` and the simulator consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.geo.hexgrid import HexCell
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+class MobilityPredictor(ABC):
+    """Common base: every predictor is fit on a trajectory dataset."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def fit(self, dataset: TrajectoryDataset) -> "MobilityPredictor":
+        """Train on the dataset's trajectories."""
+
+
+class PointPredictor(MobilityPredictor):
+    """Predicts the next (x, y) coordinate from the recent window."""
+
+    history: int = 5
+
+    @abstractmethod
+    def predict_points(self, windows: np.ndarray) -> np.ndarray:
+        """``windows``: (m, history, 2) -> predicted next points (m, 2)."""
+
+    def predict_point(self, window: np.ndarray) -> tuple[float, float]:
+        """Single-window convenience wrapper."""
+        window = np.asarray(window, dtype=float)
+        if window.shape != (self.history, 2):
+            raise ValueError(f"expected window of shape ({self.history}, 2)")
+        prediction = self.predict_points(window[None, :, :])[0]
+        return (float(prediction[0]), float(prediction[1]))
+
+
+class CellDistributionPredictor(MobilityPredictor):
+    """Predicts a ranked distribution over hex cells (edge servers)."""
+
+    @abstractmethod
+    def predict_cells(
+        self, recent_cells: list[HexCell], top_k: int
+    ) -> list[tuple[HexCell, float]]:
+        """Most probable next cells with their probabilities, descending."""

@@ -1,0 +1,69 @@
+"""Linear-SVR mobility predictor — the paper's deployed choice (§3.D).
+
+The recent ``n`` standardized (x, y) positions are flattened into a feature
+vector; two independent linear SVRs regress the next x and y.  The paper
+compared linear / polynomial / rbf kernels with scikit-learn and chose
+linear for its accuracy and speed; near-constant-velocity motion makes the
+problem essentially linear (next ~ 2*p_t - p_{t-1}).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.scaler import StandardScaler
+from repro.ml.svr import MultiOutputLinearSVR
+from repro.mobility.predictor import PointPredictor
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+class SVRPredictor(PointPredictor):
+    """Multi-output linear SVR over standardized coordinate windows."""
+
+    name = "SVR"
+
+    def __init__(
+        self,
+        history: int = 5,
+        epsilon: float = 0.01,
+        C: float = 100.0,
+        epochs: int = 250,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.history = history
+        self._rng = rng or np.random.default_rng()
+        self._svr = MultiOutputLinearSVR(
+            epsilon=epsilon, C=C, epochs=epochs, rng=self._rng
+        )
+        self._scaler = StandardScaler()
+        self._fitted = False
+
+    def fit(self, dataset: TrajectoryDataset) -> "SVRPredictor":
+        windows = []
+        targets = []
+        for trajectory in dataset.trajectories:
+            X, y = trajectory.windows(self.history)
+            if len(X):
+                windows.append(X)
+                targets.append(y)
+        if not windows:
+            raise ValueError("dataset has no windows of the requested history")
+        X = np.concatenate(windows)  # (m, history, 2)
+        y = np.concatenate(targets)  # (m, 2)
+        self._scaler.fit(X.reshape(-1, 2))
+        X_std = self._scaler.transform(X.reshape(-1, 2)).reshape(len(X), -1)
+        y_std = self._scaler.transform(y)
+        self._svr.fit(X_std, y_std)
+        self._fitted = True
+        return self
+
+    def predict_points(self, windows: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("predictor has not been fitted")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3 or windows.shape[1:] != (self.history, 2):
+            raise ValueError(f"expected (m, {self.history}, 2) windows")
+        flat = self._scaler.transform(windows.reshape(-1, 2)).reshape(
+            len(windows), -1
+        )
+        return self._scaler.inverse_transform(self._svr.predict(flat))

@@ -1,0 +1,163 @@
+"""Trajectory containers.
+
+A :class:`Trajectory` is one user's position sequence sampled at a fixed
+interval; a :class:`TrajectoryDataset` bundles a region's trajectories with
+its bounding box and interval — the shape of the Geolife and KAIST datasets
+after the paper's preprocessing (fixed-rate resampling inside a rectangle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geometry import BoundingBox
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """One user's (x, y) positions, in metres, at a fixed sampling interval."""
+
+    user_id: int
+    interval_seconds: float
+    points: np.ndarray  # shape (n, 2)
+
+    def __post_init__(self) -> None:
+        points = np.asarray(self.points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 2:
+            raise ValueError(f"points must be (n, 2), got {points.shape}")
+        if self.interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        object.__setattr__(self, "points", points)
+
+    def __len__(self) -> int:
+        return self.points.shape[0]
+
+    def speeds(self) -> np.ndarray:
+        """Per-step speeds in m/s (length n-1)."""
+        deltas = np.diff(self.points, axis=0)
+        return np.hypot(deltas[:, 0], deltas[:, 1]) / self.interval_seconds
+
+    def average_speed(self) -> float:
+        if len(self) < 2:
+            return 0.0
+        return float(self.speeds().mean())
+
+    def subsample(self, factor: int) -> "Trajectory":
+        """Keep every ``factor``-th point (interval grows by ``factor``)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return Trajectory(
+            user_id=self.user_id,
+            interval_seconds=self.interval_seconds * factor,
+            points=self.points[::factor].copy(),
+        )
+
+    def windows(self, history: int) -> tuple[np.ndarray, np.ndarray]:
+        """Sliding windows: (X of shape (m, history, 2), next points (m, 2))."""
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        n = len(self)
+        m = n - history
+        if m <= 0:
+            return np.empty((0, history, 2)), np.empty((0, 2))
+        X = np.stack([self.points[i : i + history] for i in range(m)])
+        y = self.points[history:]
+        return X, y
+
+
+@dataclass(frozen=True)
+class TrajectoryDataset:
+    """A named set of trajectories over one evaluation region."""
+
+    name: str
+    interval_seconds: float
+    bbox: BoundingBox
+    trajectories: tuple[Trajectory, ...]
+
+    def __post_init__(self) -> None:
+        for trajectory in self.trajectories:
+            if trajectory.interval_seconds != self.interval_seconds:
+                raise ValueError(
+                    f"trajectory interval {trajectory.interval_seconds} != "
+                    f"dataset interval {self.interval_seconds}"
+                )
+
+    @property
+    def num_users(self) -> int:
+        return len(self.trajectories)
+
+    def all_points(self) -> np.ndarray:
+        """Every point of every trajectory, stacked (for server allocation)."""
+        return np.concatenate([t.points for t in self.trajectories])
+
+    def average_speed(self) -> float:
+        speeds = [t.average_speed() for t in self.trajectories if len(t) > 1]
+        return float(np.mean(speeds)) if speeds else 0.0
+
+    def split_users(
+        self, test_fraction: float, rng: np.random.Generator
+    ) -> tuple["TrajectoryDataset", "TrajectoryDataset"]:
+        """Split by *user* so test users were never seen in training."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        order = rng.permutation(self.num_users)
+        n_test = max(1, int(round(self.num_users * test_fraction)))
+        n_test = min(n_test, self.num_users - 1)
+        test_idx = set(order[:n_test].tolist())
+        train = tuple(
+            t for i, t in enumerate(self.trajectories) if i not in test_idx
+        )
+        test = tuple(t for i, t in enumerate(self.trajectories) if i in test_idx)
+        make = lambda subset, suffix: TrajectoryDataset(
+            name=f"{self.name}-{suffix}",
+            interval_seconds=self.interval_seconds,
+            bbox=self.bbox,
+            trajectories=subset,
+        )
+        return make(train, "train"), make(test, "test")
+
+    def split_time(
+        self, test_fraction: float
+    ) -> tuple["TrajectoryDataset", "TrajectoryDataset"]:
+        """Split every trajectory in time: early part trains the predictor,
+        the late part is replayed in the simulation (keeps all users, like
+        the paper's replay of held-out trace segments)."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        train_parts = []
+        test_parts = []
+        for trajectory in self.trajectories:
+            n = len(trajectory)
+            cut = max(1, min(n - 1, int(round(n * (1.0 - test_fraction)))))
+            train_parts.append(
+                Trajectory(
+                    trajectory.user_id,
+                    self.interval_seconds,
+                    trajectory.points[:cut].copy(),
+                )
+            )
+            test_parts.append(
+                Trajectory(
+                    trajectory.user_id,
+                    self.interval_seconds,
+                    trajectory.points[cut:].copy(),
+                )
+            )
+        make = lambda subset, suffix: TrajectoryDataset(
+            name=f"{self.name}-{suffix}",
+            interval_seconds=self.interval_seconds,
+            bbox=self.bbox,
+            trajectories=tuple(subset),
+        )
+        return make(train_parts, "train"), make(test_parts, "test")
+
+    def subsample(self, factor: int) -> "TrajectoryDataset":
+        """Dataset resampled at ``factor`` times the interval."""
+        return TrajectoryDataset(
+            name=f"{self.name}-x{factor}",
+            interval_seconds=self.interval_seconds * factor,
+            bbox=self.bbox,
+            trajectories=tuple(t.subsample(factor) for t in self.trajectories),
+        )

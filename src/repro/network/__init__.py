@@ -1,0 +1,20 @@
+"""Network substrate: wireless access links, backhaul, traffic metering.
+
+The paper's environment (§3.A, §4.B.1): clients reach their current edge
+server over Wi-Fi (50 Mbps down / 35 Mbps up, the authors' lab averages);
+edge servers exchange DNN layers over a *backhaul network* whose per-server
+per-interval uplink/downlink traffic is the cost metric of §4.B.4.
+"""
+
+from repro.network.links import NetworkSpeed, LAB_WIFI
+from repro.network.transfer import transfer_seconds, transferable_bytes
+from repro.network.traffic import TrafficMeter, TrafficSummary
+
+__all__ = [
+    "NetworkSpeed",
+    "LAB_WIFI",
+    "transfer_seconds",
+    "transferable_bytes",
+    "TrafficMeter",
+    "TrafficSummary",
+]

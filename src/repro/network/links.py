@@ -1,0 +1,29 @@
+"""Link speed definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkSpeed:
+    """Directional speeds of a client's access link, in bits per second.
+
+    ``downlink`` is server -> client, ``uplink`` is client -> server,
+    following the paper's convention (50 Mbps down / 35 Mbps up Wi-Fi).
+    """
+
+    downlink_bps: float
+    uplink_bps: float
+
+    def __post_init__(self) -> None:
+        if self.downlink_bps <= 0 or self.uplink_bps <= 0:
+            raise ValueError("link speeds must be positive")
+
+    @classmethod
+    def from_mbps(cls, downlink: float, uplink: float) -> "NetworkSpeed":
+        return cls(downlink_bps=downlink * 1e6, uplink_bps=uplink * 1e6)
+
+
+# The paper's lab Wi-Fi: 50 Mbps download, 35 Mbps upload (§4, §4.B.1).
+LAB_WIFI = NetworkSpeed.from_mbps(downlink=50.0, uplink=35.0)

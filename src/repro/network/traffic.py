@@ -1,0 +1,93 @@
+"""Per-server backhaul traffic metering (§4.B.4).
+
+For every (server, time interval) the meter accumulates uplink bytes (data
+the server sent to other servers) and downlink bytes (data it received).
+The summary converts interval byte counts into the Mbps figures of §4.B.4
+and Fig 10: peak per-server traffic and the share of servers that stay
+under a given link capacity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Aggregate view of one direction's per-server-interval traffic."""
+
+    peak_mbps: float
+    peak_server: int | None
+    peak_interval: int | None
+    total_bytes: float
+    server_peaks_mbps: dict[int, float]
+
+    def fraction_of_servers_under(self, mbps: float) -> float:
+        """Share of traffic-carrying servers whose peak stays under ``mbps``."""
+        if not self.server_peaks_mbps:
+            return 1.0
+        under = sum(1 for peak in self.server_peaks_mbps.values() if peak < mbps)
+        return under / len(self.server_peaks_mbps)
+
+    def top_servers(self, count: int) -> list[int]:
+        """Server ids with the highest peak traffic, descending."""
+        ranked = sorted(
+            self.server_peaks_mbps, key=self.server_peaks_mbps.get, reverse=True
+        )
+        return ranked[:count]
+
+
+class TrafficMeter:
+    """Accumulates backhaul bytes per (server, interval, direction)."""
+
+    def __init__(self, interval_seconds: float) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = interval_seconds
+        self._uplink: dict[tuple[int, int], float] = defaultdict(float)
+        self._downlink: dict[tuple[int, int], float] = defaultdict(float)
+
+    def record(
+        self, interval: int, source: int, destination: int, nbytes: float
+    ) -> None:
+        """One backhaul transfer of ``nbytes`` from ``source`` to ``destination``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        self._uplink[(source, interval)] += nbytes
+        self._downlink[(destination, interval)] += nbytes
+
+    def _summarize(self, table: dict[tuple[int, int], float]) -> TrafficSummary:
+        peak = 0.0
+        peak_server: int | None = None
+        peak_interval: int | None = None
+        server_peaks: dict[int, float] = defaultdict(float)
+        total = 0.0
+        for (server, interval), nbytes in table.items():
+            mbps = nbytes * 8.0 / self.interval_seconds / 1e6
+            total += nbytes
+            if mbps > server_peaks[server]:
+                server_peaks[server] = mbps
+            if mbps > peak:
+                peak, peak_server, peak_interval = mbps, server, interval
+        return TrafficSummary(
+            peak_mbps=peak,
+            peak_server=peak_server,
+            peak_interval=peak_interval,
+            total_bytes=total,
+            server_peaks_mbps=dict(server_peaks),
+        )
+
+    def uplink_summary(self) -> TrafficSummary:
+        return self._summarize(self._uplink)
+
+    def downlink_summary(self) -> TrafficSummary:
+        return self._summarize(self._downlink)
+
+    def uplink_bytes(self, server: int, interval: int) -> float:
+        return self._uplink.get((server, interval), 0.0)
+
+    def downlink_bytes(self, server: int, interval: int) -> float:
+        return self._downlink.get((server, interval), 0.0)

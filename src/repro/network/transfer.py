@@ -1,0 +1,21 @@
+"""Transfer-time arithmetic."""
+
+from __future__ import annotations
+
+
+def transfer_seconds(nbytes: float, bps: float) -> float:
+    """Time to move ``nbytes`` over a link of ``bps`` bits per second."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if bps <= 0:
+        raise ValueError("bps must be positive")
+    return nbytes * 8.0 / bps
+
+
+def transferable_bytes(seconds: float, bps: float) -> float:
+    """Bytes movable in ``seconds`` over a link of ``bps`` bits per second."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if bps <= 0:
+        raise ValueError("bps must be positive")
+    return seconds * bps / 8.0

@@ -1,0 +1,47 @@
+"""DNN partitioning (paper §3.C).
+
+The partitioner decides, per layer, whether execution happens on the mobile
+client or the edge server, minimizing end-to-end query latency given
+
+* per-layer client execution times (from the DNN profile),
+* per-layer server execution times (from the GPU-aware estimator),
+* tensor transfer times (tensor bytes / runtime network speed).
+
+The optimal plan is found with the IONN graph/shortest-path formulation,
+implemented here as a dynamic program over topological *cut positions* that
+generalizes cleanly to DAG models (ResNet, Inception): switching sides at a
+position pays the transfer of every tensor alive across that position.
+
+Also provided: the NeuroSurgeon single-split baseline, the
+efficiency-greedy upload ordering of the paper's §3.C.2 (send the
+highest-benefit-per-byte partition first), and fractional-migration chunk
+selection (§4.B.5).
+"""
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import (
+    PartitionPlan,
+    constrained_latency,
+    optimal_plan,
+)
+from repro.partitioning.neurosurgeon import neurosurgeon_plan
+from repro.partitioning.uploading import UploadChunk, UploadSchedule, build_upload_schedule
+from repro.partitioning.fractional import select_fraction
+from repro.partitioning.mincut import mincut_plan, realized_latency
+from repro.partitioning.partitioner import DNNPartitioner
+
+__all__ = [
+    "ExecutionCosts",
+    "Placement",
+    "PartitionPlan",
+    "optimal_plan",
+    "constrained_latency",
+    "neurosurgeon_plan",
+    "mincut_plan",
+    "realized_latency",
+    "UploadChunk",
+    "UploadSchedule",
+    "build_upload_schedule",
+    "select_fraction",
+    "DNNPartitioner",
+]

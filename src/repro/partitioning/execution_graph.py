@@ -1,0 +1,127 @@
+"""Execution-cost view of a DNN for partitioning.
+
+:class:`ExecutionCosts` flattens a frozen :class:`~repro.dnn.graph.DNNGraph`
+plus its client/server latency tables and the runtime network speeds into
+arrays indexed by topological position:
+
+* ``client_times[i]`` / ``server_times[i]`` — execution time of layer ``i``,
+* ``weight_bytes[i]`` — bytes that must be uploaded before layer ``i`` can
+  run on the server,
+* ``cut_bytes[i]`` — bytes of every tensor alive across the boundary after
+  the first ``i`` layers (the transfer paid when the execution side switches
+  there).  For a linear chain this is exactly the output of layer ``i``;
+  for a DAG it also counts skip connections, which is what makes the
+  shortest-path partitioner correct on ResNet/Inception graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.dnn.graph import DNNGraph
+
+
+class Placement(str, Enum):
+    """Which party executes a layer under a partitioning plan."""
+
+    CLIENT = "client"
+    SERVER = "server"
+
+
+@dataclass(frozen=True)
+class ExecutionCosts:
+    """Arrays the partitioning algorithms operate on."""
+
+    graph: DNNGraph
+    layer_names: tuple[str, ...]
+    client_times: np.ndarray  # seconds, per topological position
+    server_times: np.ndarray  # seconds, per topological position
+    weight_bytes: np.ndarray  # bytes, per topological position
+    cut_bytes: np.ndarray  # bytes, positions 0..n (length n+1)
+    uplink_bps: float  # client -> server bits per second
+    downlink_bps: float  # server -> client bits per second
+
+    @classmethod
+    def build(
+        cls,
+        graph: DNNGraph,
+        client_times: dict[str, float],
+        server_times: dict[str, float],
+        uplink_bps: float,
+        downlink_bps: float,
+    ) -> "ExecutionCosts":
+        if uplink_bps <= 0 or downlink_bps <= 0:
+            raise ValueError("network speeds must be positive")
+        order = graph.topo_order
+        n = len(order)
+        client = np.array([client_times[name] for name in order])
+        server = np.array([server_times[name] for name in order])
+        weights = np.array(
+            [float(graph.info(name).weight_bytes) for name in order]
+        )
+        position = {name: i for i, name in enumerate(order)}
+        cut = np.zeros(n + 1)
+        # A tensor produced by layer p is alive across boundary i when p <= i
+        # and some consumer q has q > i; count each producer's bytes once per
+        # boundary it spans.
+        for name in order:
+            consumers = graph.successors(name)
+            if not consumers:
+                continue
+            produced_at = position[name]
+            last_consumed = max(position[c] for c in consumers)
+            out_bytes = float(graph.info(name).output_bytes)
+            cut[produced_at + 1 : last_consumed + 1] += out_bytes
+        # Boundary 0 carries the raw input tensor (the query payload).
+        cut[0] = float(graph.info(order[0]).output_bytes)
+        # Boundary n carries the final result back to the client.
+        cut[n] = float(graph.info(order[-1]).output_bytes)
+        return cls(
+            graph=graph,
+            layer_names=tuple(order),
+            client_times=client,
+            server_times=server,
+            weight_bytes=weights,
+            cut_bytes=cut,
+            uplink_bps=uplink_bps,
+            downlink_bps=downlink_bps,
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_names)
+
+    def upload_seconds(self, nbytes: float) -> float:
+        return nbytes * 8.0 / self.uplink_bps
+
+    def download_seconds(self, nbytes: float) -> float:
+        return nbytes * 8.0 / self.downlink_bps
+
+    def local_latency(self) -> float:
+        """Latency of executing everything on the client."""
+        return float(self.client_times.sum())
+
+    def with_server_times(self, server_times: np.ndarray) -> "ExecutionCosts":
+        """Copy with different server-side times (e.g. contention-scaled)."""
+        server_times = np.asarray(server_times, dtype=float)
+        if server_times.shape != self.server_times.shape:
+            raise ValueError("server_times shape mismatch")
+        return ExecutionCosts(
+            graph=self.graph,
+            layer_names=self.layer_names,
+            client_times=self.client_times,
+            server_times=server_times,
+            weight_bytes=self.weight_bytes,
+            cut_bytes=self.cut_bytes,
+            uplink_bps=self.uplink_bps,
+            downlink_bps=self.downlink_bps,
+        )
+
+    def scaled_server(self, slowdown: float) -> "ExecutionCosts":
+        """Copy with server times scaled by a contention slowdown factor."""
+        if slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+        return self.with_server_times(self.server_times * slowdown)

@@ -1,0 +1,51 @@
+"""Fractional migration: ship only the best fraction of a model (§4.B.5).
+
+Crowded edge servers would need hundreds of Mbps of backhaul to proactively
+migrate whole models.  The paper's observation (§4.A) is that the
+highest-efficiency-first upload order means a small byte prefix of the
+schedule already buys most of the latency reduction, so crowded servers can
+migrate only that prefix with ~1-2% performance loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partitioning.uploading import UploadChunk, UploadSchedule
+
+
+@dataclass(frozen=True)
+class FractionSelection:
+    """The migrated prefix of an upload schedule under a byte budget."""
+
+    chunks: tuple[UploadChunk, ...]
+    nbytes: float
+    latency: float  # query latency with only these chunks on the server
+    full_latency: float  # latency with the full schedule migrated
+    fraction_of_bytes: float  # migrated bytes / full schedule bytes
+
+    @property
+    def latency_penalty(self) -> float:
+        """Relative latency increase versus full migration."""
+        if self.full_latency == 0:
+            return 0.0
+        return self.latency / self.full_latency - 1.0
+
+
+def select_fraction(
+    schedule: UploadSchedule, byte_budget: float
+) -> FractionSelection:
+    """Highest-efficiency prefix of ``schedule`` fitting ``byte_budget``."""
+    if byte_budget < 0:
+        raise ValueError("byte_budget must be non-negative")
+    chunks = schedule.chunks_within_bytes(byte_budget)
+    nbytes = sum(chunk.nbytes for chunk in chunks)
+    latency = schedule.latencies[len(chunks)]
+    total = schedule.total_bytes
+    return FractionSelection(
+        chunks=chunks,
+        nbytes=nbytes,
+        latency=latency,
+        full_latency=schedule.latencies[-1],
+        fraction_of_bytes=(nbytes / total) if total > 0 else 0.0,
+    )

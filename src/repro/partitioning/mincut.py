@@ -1,0 +1,128 @@
+"""Min-cut DAG partitioning (after Hu et al., INFOCOM 2019).
+
+The paper's Related Work cites "a partitioning algorithm applicable to
+DAG-formed DNNs based on the min-cut algorithm" as the generalization of
+IONN's shortest-path search.  This module implements that alternative so
+the two can be compared (see ``benchmarks/bench_ablation_partitioners.py``).
+
+Formulation
+-----------
+Binary labelling: each layer runs on the client or the server.  Build a
+flow network with a source ``s`` (client) and sink ``t`` (server):
+
+* edge ``s -> L`` with capacity = the *server* execution time of ``L``
+  (paid iff ``L`` ends up on the server side of the cut),
+* edge ``L -> t`` with capacity = the *client* execution time,
+* for every tensor produced by ``P`` and consumed by ``C``, edges
+  ``P <-> C`` with capacity = its transfer time (upload one way, download
+  the other), paid iff the tensor crosses the cut.
+
+The minimum s-t cut then minimizes total execution + transfer time.  The
+query input (produced at the client) and the final result (consumed at the
+client) are modelled by charging server-labelled entry/exit layers their
+boundary transfers.
+
+Note the objective is the *sum* of costs, which equals end-to-end latency
+for sequential execution but — unlike the shortest-path DP — assumes every
+crossing tensor is transferred exactly once and allows arbitrarily
+interleaved placements.  The DP is exact for PerDNN's prefix-style
+execution; min-cut may pick placements whose realized prefix-style latency
+is worse, which is precisely the comparison the ablation benchmark makes.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import PartitionPlan
+
+_SOURCE = "__client__"
+_SINK = "__server__"
+
+
+def _transfer_seconds(nbytes: float, bps: float) -> float:
+    return nbytes * 8.0 / bps
+
+
+def build_flow_network(costs: ExecutionCosts) -> nx.DiGraph:
+    """The s-t flow network whose min cut is the min-cost labelling."""
+    graph = costs.graph
+    flow = nx.DiGraph()
+    names = costs.layer_names
+    index = {name: i for i, name in enumerate(names)}
+    for i, name in enumerate(names):
+        # Label cost edges: cut s->L puts L on the server (pay server time);
+        # cut L->t puts L on the client (pay client time).
+        flow.add_edge(_SOURCE, name, capacity=float(costs.server_times[i]))
+        flow.add_edge(name, _SINK, capacity=float(costs.client_times[i]))
+    for name in names:
+        out_bytes = float(graph.info(name).output_bytes)
+        up = _transfer_seconds(out_bytes, costs.uplink_bps)
+        down = _transfer_seconds(out_bytes, costs.downlink_bps)
+        for successor in graph.successors(name):
+            # Producer on client, consumer on server -> upload; the reverse
+            # -> download.  Two directed edges with the matching costs.
+            _add_capacity(flow, name, successor, up)
+            _add_capacity(flow, successor, name, down)
+    # Query input is produced at the client: a server-labelled first layer
+    # pays the input upload.  Final result is consumed at the client: a
+    # server-labelled last layer pays the result download.
+    first, last = names[0], names[-1]
+    input_up = _transfer_seconds(float(costs.cut_bytes[0]), costs.uplink_bps)
+    result_down = _transfer_seconds(
+        float(costs.cut_bytes[len(names)]), costs.downlink_bps
+    )
+    _add_capacity(flow, _SOURCE, first, input_up)
+    _add_capacity(flow, _SOURCE, last, result_down)
+    return flow
+
+
+def _add_capacity(flow: nx.DiGraph, u: str, v: str, capacity: float) -> None:
+    if flow.has_edge(u, v):
+        flow[u][v]["capacity"] += capacity
+    else:
+        flow.add_edge(u, v, capacity=capacity)
+
+
+def mincut_plan(costs: ExecutionCosts) -> PartitionPlan:
+    """Partition by minimum s-t cut; returns a plan with the *cut value*
+    as its latency estimate (exact for single-crossing placements)."""
+    flow = build_flow_network(costs)
+    cut_value, (client_side, server_side) = nx.minimum_cut(
+        flow, _SOURCE, _SINK
+    )
+    placements = tuple(
+        Placement.CLIENT if name in client_side else Placement.SERVER
+        for name in costs.layer_names
+    )
+    return PartitionPlan(
+        placements=placements,
+        latency=float(cut_value),
+        layer_names=costs.layer_names,
+    )
+
+
+def realized_latency(costs: ExecutionCosts, plan: PartitionPlan) -> float:
+    """Latency of executing ``plan``'s placements in PerDNN's prefix-walk
+    model (topological order, transfers at every side switch).
+
+    This evaluates a min-cut labelling under the same execution semantics
+    the shortest-path DP optimizes, making the two directly comparable.
+    """
+    up = costs.cut_bytes * 8.0 / costs.uplink_bps
+    down = costs.cut_bytes * 8.0 / costs.downlink_bps
+    total = 0.0
+    side = Placement.CLIENT
+    for i, placement in enumerate(plan.placements):
+        if placement is not side:
+            total += up[i] if placement is Placement.SERVER else down[i]
+            side = placement
+        total += (
+            costs.server_times[i]
+            if placement is Placement.SERVER
+            else costs.client_times[i]
+        )
+    if side is Placement.SERVER:
+        total += down[costs.num_layers]
+    return float(total)

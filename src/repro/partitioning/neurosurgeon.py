@@ -1,0 +1,40 @@
+"""NeuroSurgeon-style single-split partitioning baseline.
+
+NeuroSurgeon (Kang et al., ASPLOS 2017) picks one split point: the client
+executes a topological prefix, ships the boundary tensors, and the server
+executes the suffix.  It is strictly weaker than the IONN shortest-path
+plan (which may cross the network more than once) but serves as the classic
+baseline the paper builds upon.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import PartitionPlan
+
+
+def neurosurgeon_plan(costs: ExecutionCosts) -> PartitionPlan:
+    """Best single-split plan (split k: layers < k client, >= k server)."""
+    n = costs.num_layers
+    client_prefix = np.concatenate([[0.0], np.cumsum(costs.client_times)])
+    server_total = float(costs.server_times.sum())
+    server_suffix = server_total - np.concatenate(
+        [[0.0], np.cumsum(costs.server_times)]
+    )
+    up = costs.cut_bytes * 8.0 / costs.uplink_bps
+    down_final = costs.cut_bytes[n] * 8.0 / costs.downlink_bps
+    # Latency at split k (k = n means fully local, no transfers at all).
+    splits = np.arange(n + 1)
+    transfers = np.where(splits < n, up + down_final, 0.0)
+    latencies = client_prefix + server_suffix + transfers
+    split = int(np.argmin(latencies))
+    placements = tuple(
+        Placement.CLIENT if i < split else Placement.SERVER for i in range(n)
+    )
+    return PartitionPlan(
+        placements=placements,
+        latency=float(latencies[split]),
+        layer_names=costs.layer_names,
+    )

@@ -1,0 +1,88 @@
+"""High-level partitioner facade used by the master server.
+
+Bundles the per-model execution profile with the runtime inputs (network
+speeds, server GPU slowdown) and produces plans plus upload schedules.
+Plans are cached on a quantized slowdown key: the large-scale simulator
+re-partitions every client every interval, and within one interval many
+clients see near-identical server states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dnn.graph import DNNGraph
+from repro.partitioning.execution_graph import ExecutionCosts
+from repro.partitioning.shortest_path import PartitionPlan, optimal_plan
+from repro.partitioning.uploading import UploadSchedule, build_upload_schedule
+from repro.profiling.profiler import ExecutionProfile
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """A plan plus its upload schedule and the costs they were based on."""
+
+    plan: PartitionPlan
+    schedule: UploadSchedule
+    costs: ExecutionCosts
+    slowdown: float
+
+    @property
+    def server_bytes(self) -> float:
+        return self.schedule.total_bytes
+
+
+class DNNPartitioner:
+    """Creates (and caches) partitioning plans for one model profile."""
+
+    def __init__(
+        self,
+        profile: ExecutionProfile,
+        uplink_bps: float,
+        downlink_bps: float,
+        slowdown_quantum: float = 0.25,
+        max_chunk_bytes: float | None = 2e6,
+    ) -> None:
+        if slowdown_quantum <= 0:
+            raise ValueError("slowdown_quantum must be positive")
+        self.profile = profile
+        self.uplink_bps = uplink_bps
+        self.downlink_bps = downlink_bps
+        self.max_chunk_bytes = max_chunk_bytes
+        self._quantum = slowdown_quantum
+        self._base_costs = ExecutionCosts.build(
+            profile.graph,
+            profile.client_times,
+            profile.server_times,
+            uplink_bps,
+            downlink_bps,
+        )
+        self._cache: dict[float, PartitionResult] = {}
+
+    @property
+    def graph(self) -> DNNGraph:
+        return self.profile.graph
+
+    def _quantize(self, slowdown: float) -> float:
+        if slowdown < 1.0:
+            slowdown = 1.0
+        return round(round(slowdown / self._quantum) * self._quantum, 6)
+
+    def partition(self, server_slowdown: float = 1.0) -> PartitionResult:
+        """Plan + upload schedule for a server at the given GPU slowdown."""
+        key = self._quantize(server_slowdown)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        costs = self._base_costs.scaled_server(max(1.0, key))
+        plan = optimal_plan(costs)
+        schedule = build_upload_schedule(costs, plan, self.max_chunk_bytes)
+        result = PartitionResult(
+            plan=plan, schedule=schedule, costs=costs, slowdown=key
+        )
+        self._cache[key] = result
+        return result
+
+    def local_latency(self) -> float:
+        """Latency of running the whole model on the client."""
+        return self._base_costs.local_latency()

@@ -1,0 +1,149 @@
+"""IONN graph-based partitioning as a shortest-path dynamic program.
+
+The paper (Fig 5, after IONN) turns the DNN into a directed graph with a
+client-side and a server-side node per layer; edge weights are execution and
+transfer times, and the minimum-latency plan is the shortest input->output
+path.  Over topological cut positions that graph is exactly this DP:
+
+    state (i, side): the first i layers are done, live tensors reside on
+                     `side`.
+    (i, side) -> (i+1, side): execute layer i+1 on `side`
+    (i, client) <-> (i, server): move the live tensors across the network
+
+Execution must start and end on the client (the query's input is produced
+there and its result is consumed there).  Restricting which layers may run
+server-side (``allowed``) yields the latency of a *partially uploaded*
+model — the quantity IONN's incremental offloading improves query by query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+
+_INFINITY = float("inf")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """The output of partitioning one model for one (client, server) pair."""
+
+    placements: tuple[Placement, ...]  # per topological position
+    latency: float  # end-to-end query latency under the plan
+    layer_names: tuple[str, ...]
+
+    @property
+    def server_indices(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, p in enumerate(self.placements) if p is Placement.SERVER
+        )
+
+    @property
+    def server_layers(self) -> tuple[str, ...]:
+        return tuple(self.layer_names[i] for i in self.server_indices)
+
+    @property
+    def offloads_anything(self) -> bool:
+        return any(p is Placement.SERVER for p in self.placements)
+
+    def server_weight_bytes(self, costs: ExecutionCosts) -> float:
+        indices = list(self.server_indices)
+        return float(costs.weight_bytes[indices].sum()) if indices else 0.0
+
+
+def _solve(
+    costs: ExecutionCosts, allowed: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Run the DP; returns (latency, placements array of 0=client/1=server)."""
+    n = costs.num_layers
+    up = costs.cut_bytes * 8.0 / costs.uplink_bps
+    down = costs.cut_bytes * 8.0 / costs.downlink_bps
+    # dp[side] = best cost to reach (i, side); parent tracking for recovery.
+    dp_client = 0.0
+    dp_server = up[0]
+    # choice[i, side]: how layer i was executed / reached.
+    #   0 = executed on client (came from client state)
+    #   1 = executed on server (came from server state)
+    exec_side = np.zeros((n, 2), dtype=np.int8)
+    # switch[i, side]: whether we crossed the network at boundary i to be on
+    # `side` before executing layer i (needed for path recovery).
+    switched = np.zeros((n + 1, 2), dtype=bool)
+    switched[0, 1] = True  # being on the server at boundary 0 means we uploaded
+    for i in range(n):
+        run_client = dp_client + costs.client_times[i]
+        run_server = (
+            dp_server + costs.server_times[i] if allowed[i] else _INFINITY
+        )
+        # Execute layer i on each side from the matching state.
+        new_client = run_client
+        new_server = run_server
+        exec_side[i, 0] = 0
+        exec_side[i, 1] = 1
+        # Relax the boundary-(i+1) network crossings.
+        cross_to_server = new_client + up[i + 1]
+        cross_to_client = new_server + down[i + 1]
+        if cross_to_server < new_server:
+            new_server = cross_to_server
+            switched[i + 1, 1] = True
+            exec_side[i, 1] = 0  # server state at i+1 actually ran i on client
+        if cross_to_client < new_client:
+            new_client = cross_to_client
+            switched[i + 1, 0] = True
+            exec_side[i, 0] = 1
+        dp_client, dp_server = new_client, new_server
+    # Result must end at the client; crossing at boundary n was already
+    # relaxed above for i = n-1.
+    placements = np.zeros(n, dtype=np.int8)
+    side = 0  # end on client
+    for i in range(n - 1, -1, -1):
+        ran_on = exec_side[i, side]
+        placements[i] = ran_on
+        side = ran_on
+    return float(dp_client), placements
+
+
+def _plan_from(
+    costs: ExecutionCosts, latency: float, placements: np.ndarray
+) -> PartitionPlan:
+    mapping = (Placement.CLIENT, Placement.SERVER)
+    return PartitionPlan(
+        placements=tuple(mapping[int(p)] for p in placements),
+        latency=latency,
+        layer_names=costs.layer_names,
+    )
+
+
+def optimal_plan(costs: ExecutionCosts) -> PartitionPlan:
+    """Minimum-latency plan with every layer eligible for the server."""
+    allowed = np.ones(costs.num_layers, dtype=bool)
+    latency, placements = _solve(costs, allowed)
+    return _plan_from(costs, latency, placements)
+
+
+def constrained_latency(
+    costs: ExecutionCosts, allowed_server_layers: set[str] | frozenset[str]
+) -> float:
+    """Best latency when only ``allowed_server_layers`` are on the server.
+
+    This is the query latency at an intermediate point of IONN's incremental
+    upload: layers not yet uploaded must run on the client.
+    """
+    allowed = np.array(
+        [name in allowed_server_layers for name in costs.layer_names]
+    )
+    latency, _ = _solve(costs, allowed)
+    return latency
+
+
+def constrained_plan(
+    costs: ExecutionCosts, allowed_server_layers: set[str] | frozenset[str]
+) -> PartitionPlan:
+    """Like :func:`constrained_latency` but returns the full plan."""
+    allowed = np.array(
+        [name in allowed_server_layers for name in costs.layer_names]
+    )
+    latency, placements = _solve(costs, allowed)
+    return _plan_from(costs, latency, placements)

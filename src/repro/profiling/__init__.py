@@ -1,0 +1,50 @@
+"""Hardware and profiling substrate.
+
+The paper drives its simulator with execution profiles measured on real
+hardware (ODROID XU4 client, Titan Xp edge server) and with GPU statistics
+sampled via nvml under multi-client contention.  This package replaces those
+measurements with an analytic roofline-style latency model plus a stochastic
+GPU-contention model, calibrated so end-to-end magnitudes match the numbers
+the paper reports (e.g. Table II upload times and query counts).
+"""
+
+from repro.profiling.hardware import (
+    DeviceSpec,
+    odroid_xu4,
+    titan_xp_server,
+)
+from repro.profiling.latency import LatencyModel, layer_latency
+from repro.profiling.gpu_stats import GpuStats
+from repro.profiling.contention import GpuContentionModel
+from repro.profiling.profiler import (
+    ContentionSample,
+    ExecutionProfile,
+    generate_contention_dataset,
+    profile_model,
+)
+from repro.profiling.energy import (
+    EnergyModel,
+    QueryEnergy,
+    energy_savings_ratio,
+    local_energy,
+    plan_energy,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "odroid_xu4",
+    "titan_xp_server",
+    "LatencyModel",
+    "layer_latency",
+    "GpuStats",
+    "GpuContentionModel",
+    "ExecutionProfile",
+    "ContentionSample",
+    "profile_model",
+    "generate_contention_dataset",
+    "EnergyModel",
+    "QueryEnergy",
+    "plan_energy",
+    "local_energy",
+    "energy_savings_ratio",
+]

@@ -1,0 +1,120 @@
+"""Client-side energy model (the paper's §I motivation, quantified).
+
+The paper motivates offloading with "app performance and energy
+consumption of wearable glasses" but does not evaluate energy.  This
+extension provides a standard mobile energy model so the trade-off can be
+quantified per plan:
+
+    E(query) = P_compute * t_client_compute
+             + P_tx * t_uplink + P_rx * t_downlink
+             + P_idle * t_waiting_for_server
+
+Defaults approximate an ODROID-XU4-class board: ~4.5 W under CPU load,
+~1.3/1.0 W Wi-Fi transmit/receive amplifiers, ~0.7 W idle-waiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import PartitionPlan
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Client power draw per activity, in watts."""
+
+    compute_watts: float = 4.5
+    transmit_watts: float = 1.3
+    receive_watts: float = 1.0
+    idle_watts: float = 0.7
+
+    def __post_init__(self) -> None:
+        for value in (
+            self.compute_watts, self.transmit_watts,
+            self.receive_watts, self.idle_watts,
+        ):
+            if value < 0:
+                raise ValueError("power draws must be non-negative")
+
+
+@dataclass(frozen=True)
+class QueryEnergy:
+    """Energy breakdown of one query, in joules."""
+
+    compute_joules: float
+    transmit_joules: float
+    receive_joules: float
+    idle_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return (
+            self.compute_joules
+            + self.transmit_joules
+            + self.receive_joules
+            + self.idle_joules
+        )
+
+
+def plan_energy(
+    costs: ExecutionCosts,
+    plan: PartitionPlan,
+    model: EnergyModel | None = None,
+) -> QueryEnergy:
+    """Client energy of one query executed under ``plan``.
+
+    Walks the prefix-execution model: client-side layers burn compute
+    power; each side switch burns radio power for the crossing tensors;
+    time spent while the server executes burns idle power.
+    """
+    model = model or EnergyModel()
+    up_seconds = costs.cut_bytes * 8.0 / costs.uplink_bps
+    down_seconds = costs.cut_bytes * 8.0 / costs.downlink_bps
+    compute = 0.0
+    transmit = 0.0
+    receive = 0.0
+    idle = 0.0
+    side = Placement.CLIENT
+    for i, placement in enumerate(plan.placements):
+        if placement is not side:
+            if placement is Placement.SERVER:
+                transmit += model.transmit_watts * up_seconds[i]
+            else:
+                receive += model.receive_watts * down_seconds[i]
+            side = placement
+        if placement is Placement.SERVER:
+            idle += model.idle_watts * float(costs.server_times[i])
+        else:
+            compute += model.compute_watts * float(costs.client_times[i])
+    if side is Placement.SERVER:
+        receive += model.receive_watts * down_seconds[costs.num_layers]
+    return QueryEnergy(
+        compute_joules=compute,
+        transmit_joules=transmit,
+        receive_joules=receive,
+        idle_joules=idle,
+    )
+
+
+def local_energy(
+    costs: ExecutionCosts, model: EnergyModel | None = None
+) -> float:
+    """Joules of a fully-local query (the no-offloading baseline)."""
+    model = model or EnergyModel()
+    return model.compute_watts * costs.local_latency()
+
+
+def energy_savings_ratio(
+    costs: ExecutionCosts,
+    plan: PartitionPlan,
+    model: EnergyModel | None = None,
+) -> float:
+    """1 - offloaded/local client energy; positive means offloading saves."""
+    baseline = local_energy(costs, model)
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - plan_energy(costs, plan, model).total_joules / baseline

@@ -1,0 +1,51 @@
+"""nvml-style GPU statistics.
+
+The paper's edge servers sample, via nvml, the statistics that feed the
+execution-time estimator: kernel utilization, memory utilization, GPU
+temperature (plus the number of clients currently offloading).  In this
+reproduction the statistics are *derived* from the contention model's load
+state, with sampling noise, mimicking what a periodic nvml poll would see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuStats:
+    """One sample of a server GPU's observable state."""
+
+    kernel_utilization: float  # percent of time kernels were executing [0, 100]
+    memory_utilization: float  # percent of time memory ops were active [0, 100]
+    temperature: float  # degrees Celsius
+    num_clients: int  # clients currently offloading to this server
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.kernel_utilization <= 100.0:
+            raise ValueError(f"kernel utilization out of range: {self.kernel_utilization}")
+        if not 0.0 <= self.memory_utilization <= 100.0:
+            raise ValueError(f"memory utilization out of range: {self.memory_utilization}")
+        if self.num_clients < 0:
+            raise ValueError("num_clients must be non-negative")
+
+    @classmethod
+    def idle(cls) -> GpuStats:
+        return cls(0.0, 0.0, 35.0, 0)
+
+    def as_features(self) -> tuple[float, float, float, float]:
+        """Feature vector used by the GPU-aware execution-time estimator."""
+        return (
+            float(self.num_clients),
+            self.kernel_utilization,
+            self.memory_utilization,
+            self.temperature,
+        )
+
+
+GPU_STAT_FEATURE_NAMES = (
+    "num_clients",
+    "kernel_utilization",
+    "memory_utilization",
+    "temperature",
+)

@@ -1,0 +1,82 @@
+"""Device specifications for the analytic latency model.
+
+Two presets mirror the paper's testbed:
+
+* :func:`odroid_xu4` — the mobile client (ARM big.LITTLE, Caffe on CPU).
+* :func:`titan_xp_server` — the edge server (i7-7700 + Titan Xp GPU).
+
+Effective throughput numbers are *calibrated*, not datasheet peaks: they are
+chosen so that whole-model latencies land on the magnitudes the paper
+reports (local Inception ~0.5 s on the client, a fully-offloaded query
+~0.17 s end to end, Table II query counts).  Depthwise convolutions get a
+much lower efficiency on both devices, matching Caffe's notoriously slow
+grouped-conv path — which is why MobileNet is not dramatically faster than
+its FLOP count suggests (visible in the paper's Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dnn.layer import LayerKind
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Compute/memory capabilities of one execution device.
+
+    ``compute_flops`` is the effective (not peak) arithmetic rate for dense
+    conv/fc work; ``kind_efficiency`` scales it per layer kind;
+    ``grouped_conv_efficiency`` replaces the conv efficiency when a conv has
+    ``groups > 1``.  ``memory_bandwidth`` bounds memory-dominated layers and
+    ``layer_overhead`` models per-layer framework/kernel-launch cost.
+    """
+
+    name: str
+    compute_flops: float  # effective FLOP/s for dense conv
+    memory_bandwidth: float  # bytes/s usable for activations + weights
+    layer_overhead: float  # seconds of fixed cost per layer
+    is_gpu: bool = False
+    kind_efficiency: dict[LayerKind, float] = field(default_factory=dict)
+    grouped_conv_efficiency: float = 0.10
+
+    def effective_flops(self, kind: LayerKind, grouped: bool = False) -> float:
+        if kind is LayerKind.CONV and grouped:
+            return self.compute_flops * self.grouped_conv_efficiency
+        return self.compute_flops * self.kind_efficiency.get(kind, 1.0)
+
+
+def odroid_xu4() -> DeviceSpec:
+    """The mobile client: ODROID XU4, Caffe on the ARM CPU."""
+    return DeviceSpec(
+        name="odroid-xu4",
+        compute_flops=6.5e9,
+        memory_bandwidth=3.0e9,
+        layer_overhead=60e-6,
+        is_gpu=False,
+        kind_efficiency={
+            LayerKind.CONV: 1.0,
+            LayerKind.FC: 0.6,
+            LayerKind.POOL_MAX: 0.4,
+            LayerKind.POOL_AVG: 0.4,
+        },
+        grouped_conv_efficiency=0.12,
+    )
+
+
+def titan_xp_server() -> DeviceSpec:
+    """The edge server GPU: Titan Xp, single-image Caffe inference."""
+    return DeviceSpec(
+        name="titan-xp",
+        compute_flops=2.2e12,
+        memory_bandwidth=300e9,
+        layer_overhead=25e-6,
+        is_gpu=True,
+        kind_efficiency={
+            LayerKind.CONV: 1.0,
+            LayerKind.FC: 0.5,
+            LayerKind.POOL_MAX: 0.5,
+            LayerKind.POOL_AVG: 0.5,
+        },
+        grouped_conv_efficiency=0.05,
+    )

@@ -1,0 +1,59 @@
+"""Analytic per-layer latency model (roofline style).
+
+A layer's uncontended execution time on a device is::
+
+    overhead + max(flops / effective_flops, moved_bytes / memory_bandwidth)
+
+where ``moved_bytes`` counts inputs, outputs, and weights.  This captures the
+two regimes that matter for partitioning: compute-bound conv/fc layers and
+memory-bound elementwise/pool layers, and it reproduces the structural fact
+the paper exploits — conv layers concentrated at the front of Inception have
+the highest latency-per-byte "efficiency" for offloading.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph, LayerInfo
+from repro.dnn.layer import LayerKind
+from repro.profiling.hardware import DeviceSpec
+
+
+def layer_latency(device: DeviceSpec, info: LayerInfo, grouped: bool = False) -> float:
+    """Uncontended execution time (seconds) of one layer on ``device``."""
+    if info.kind is LayerKind.INPUT:
+        return 0.0
+    moved = info.input_bytes + info.output_bytes + info.weight_bytes
+    memory_time = moved / device.memory_bandwidth
+    if info.flops > 0:
+        compute_time = info.flops / device.effective_flops(info.kind, grouped)
+    else:
+        compute_time = 0.0
+    return device.layer_overhead + max(compute_time, memory_time)
+
+
+class LatencyModel:
+    """Per-layer latency table for one (graph, device) pair.
+
+    ``latency(name)`` returns the uncontended time of a layer; ``total()``
+    sums the whole model (i.e. a fully-local or fully-offloaded run without
+    transfer costs).
+    """
+
+    def __init__(self, graph: DNNGraph, device: DeviceSpec) -> None:
+        if not graph.frozen:
+            raise ValueError("graph must be frozen before profiling")
+        self.graph = graph
+        self.device = device
+        self._latency: dict[str, float] = {}
+        for info in graph.infos():
+            grouped = graph.layer(info.name).groups > 1
+            self._latency[info.name] = layer_latency(device, info, grouped)
+
+    def latency(self, name: str) -> float:
+        return self._latency[name]
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._latency)
+
+    def total(self) -> float:
+        return sum(self._latency.values())

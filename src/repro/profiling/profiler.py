@@ -1,0 +1,121 @@
+"""Offline profiling: execution profiles and estimator training data.
+
+Two artifacts come out of profiling, mirroring the paper:
+
+* :class:`ExecutionProfile` — the per-layer client/server latency tables
+  the simulator and partitioner consume (the paper measured these once on
+  real hardware with Caffe and then drove its simulation from the tables).
+* :func:`generate_contention_dataset` — the dataset each edge server uses
+  to train its execution-time estimator: layer execution times measured
+  while a varying number of concurrent clients loads the GPU, paired with
+  the nvml statistics recorded at request time (the paper extended
+  TensorRT's ``perf_client`` to do this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dnn.graph import DNNGraph, LayerInfo
+from repro.dnn.layer import LayerKind
+from repro.profiling.contention import GpuContentionModel
+from repro.profiling.gpu_stats import GpuStats
+from repro.profiling.hardware import DeviceSpec
+from repro.profiling.latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """Per-layer latency tables for one model on a (client, server) pair."""
+
+    graph: DNNGraph
+    client_device: DeviceSpec
+    server_device: DeviceSpec
+    client_times: dict[str, float]
+    server_times: dict[str, float]
+
+    @classmethod
+    def build(
+        cls, graph: DNNGraph, client_device: DeviceSpec, server_device: DeviceSpec
+    ) -> "ExecutionProfile":
+        return cls(
+            graph=graph,
+            client_device=client_device,
+            server_device=server_device,
+            client_times=LatencyModel(graph, client_device).as_dict(),
+            server_times=LatencyModel(graph, server_device).as_dict(),
+        )
+
+    def client_time(self, name: str) -> float:
+        return self.client_times[name]
+
+    def server_time(self, name: str) -> float:
+        return self.server_times[name]
+
+    @property
+    def total_client_time(self) -> float:
+        return sum(self.client_times.values())
+
+    @property
+    def total_server_time(self) -> float:
+        return sum(self.server_times.values())
+
+
+def profile_model(graph: DNNGraph, device: DeviceSpec) -> dict[str, float]:
+    """Per-layer uncontended latency table for ``graph`` on ``device``."""
+    return LatencyModel(graph, device).as_dict()
+
+
+@dataclass(frozen=True)
+class ContentionSample:
+    """One profiled measurement of a layer under GPU contention."""
+
+    info: LayerInfo
+    stats: GpuStats
+    base_time: float  # uncontended latency of the layer
+    measured_time: float  # latency observed under the sampled contention
+
+
+def generate_contention_dataset(
+    graph: DNNGraph,
+    server_device: DeviceSpec,
+    rng: np.random.Generator,
+    client_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 10, 12, 14, 16),
+    rounds_per_count: int = 30,
+    kinds: tuple[LayerKind, ...] = (LayerKind.CONV, LayerKind.FC),
+    contention: GpuContentionModel | None = None,
+) -> list[ContentionSample]:
+    """Profile ``graph``'s layers at multiple concurrency levels.
+
+    For each client count, the contention model is stepped
+    ``rounds_per_count`` times; in each round the profiler records one nvml
+    sample plus the contended execution time of every layer whose kind is in
+    ``kinds``.  This mimics the paper's offline profiling campaign where
+    server workload is varied by adjusting the number of perf-client
+    instances.
+    """
+    if contention is None:
+        contention = GpuContentionModel(rng)
+    latency = LatencyModel(graph, server_device)
+    selected = [info for info in graph.infos() if info.kind in kinds]
+    if not selected:
+        raise ValueError(f"graph has no layers of kinds {kinds}")
+    samples: list[ContentionSample] = []
+    for count in client_counts:
+        if count < 1:
+            raise ValueError("client counts must be >= 1")
+        for _ in range(rounds_per_count):
+            contention.step(count)
+            stats = contention.sample_stats()
+            for info in selected:
+                base = latency.latency(info.name)
+                measured = contention.execution_time(base)
+                samples.append(
+                    ContentionSample(
+                        info=info, stats=stats, base_time=base,
+                        measured_time=measured,
+                    )
+                )
+    return samples

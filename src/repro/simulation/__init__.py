@@ -1,0 +1,40 @@
+"""Simulation harness: the paper's evaluation scenarios (§4).
+
+* :mod:`repro.simulation.query_loop` — the continuous query/upload
+  integration shared by all scenarios (0.5 s inter-query gap workload).
+* :mod:`repro.simulation.single_client` — Fig 1, Fig 7, Table II: one
+  client handing off between two edge servers.
+* :mod:`repro.simulation.large_scale` — Fig 9, §4.B.4, Fig 10: a whole
+  region of mobile users, proactive migration, backhaul traffic.
+"""
+
+from repro.simulation.query_loop import QueryRecord, run_query_window
+from repro.simulation.single_client import (
+    HandoffResult,
+    UploadThroughput,
+    simulate_handoff,
+    upload_window_throughput,
+)
+from repro.simulation.large_scale import (
+    LargeScaleResult,
+    SimulationSettings,
+    run_large_scale,
+)
+from repro.simulation.multi_handoff import (
+    HandoffChainResult,
+    simulate_handoff_chain,
+)
+
+__all__ = [
+    "QueryRecord",
+    "run_query_window",
+    "HandoffResult",
+    "UploadThroughput",
+    "simulate_handoff",
+    "upload_window_throughput",
+    "SimulationSettings",
+    "LargeScaleResult",
+    "run_large_scale",
+    "HandoffChainResult",
+    "simulate_handoff_chain",
+]

@@ -1,0 +1,312 @@
+"""Large-scale smart-city simulation (§4.B: Fig 9, §4.B.4, Fig 10).
+
+Replays every user of a trajectory dataset simultaneously.  Each interval:
+
+1. clients move to their next trace point and (re-)associate with the edge
+   server of their hex cell — each association to a *different* server is a
+   potential cold start;
+2. server GPUs advance their contention state under the current client
+   load;
+3. every client runs its query loop for one interval, uploading missing
+   layers in the background (its plan comes from the master's GPU-aware
+   partitioner);
+4. under the PerDNN policy the master predicts each client's next location
+   and proactively migrates layers to all servers within the migration
+   radius (fractionally for crowded servers);
+5. cached models past their TTL are evicted.
+
+Metrics follow the paper: cold-start hits/misses and the number of queries
+executed during the interval right after each association (Fig 9), plus
+per-server per-interval backhaul traffic (§4.B.4, Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.association import decide_association
+from repro.core.client import MobileClient
+from repro.core.config import PerDNNConfig
+from repro.core.master import MasterServer, MigrationPolicy
+from repro.core.routing import routed_tensors, routing_overhead_seconds
+from repro.estimation.estimator import ContentionEstimator
+from repro.geo.hexgrid import HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.mobility.predictor import PointPredictor
+from repro.mobility.svr import SVRPredictor
+from repro.mobility.trajectory import TrajectoryDataset
+from repro.network.traffic import TrafficMeter, TrafficSummary
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.profiler import generate_contention_dataset
+from repro.simulation.query_loop import run_query_window
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """Per-run knobs of the large-scale simulation."""
+
+    policy: MigrationPolicy
+    migration_radius_m: float = 100.0
+    replay_fraction: float = 0.4  # tail share of each trace that is replayed
+    max_steps: int | None = None  # cap on replayed intervals (None = all)
+    seed: int = 0
+    crowded_servers: frozenset[int] = frozenset()
+    crowded_byte_budget: float = float("inf")
+    use_contention_estimator: bool = True
+    # Clients retrain/replace their personal models every this many
+    # intervals (paper §I: models change after deployment), invalidating
+    # every cached copy.  None = models never change (the paper's setup).
+    model_update_every: int | None = None
+
+
+@dataclass
+class LargeScaleResult:
+    """Everything §4.B reports about one simulation run."""
+
+    policy: str
+    dataset: str
+    model: str
+    steps: int = 0
+    num_servers: int = 0
+    num_clients: int = 0
+    hits: int = 0
+    misses: int = 0
+    coldstart_queries: int = 0  # queries during post-association intervals
+    total_queries: int = 0
+    migrations: int = 0
+    migrated_bytes: float = 0.0
+    uplink: TrafficSummary | None = None
+    downlink: TrafficSummary | None = None
+    server_changes: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def train_default_predictor(
+    train: TrajectoryDataset, history: int, rng: np.random.Generator
+) -> PointPredictor:
+    """The paper's deployed predictor: linear SVR on recent coordinates."""
+    predictor = SVRPredictor(history=history, rng=rng)
+    predictor.fit(train)
+    return predictor
+
+
+def train_default_estimator(
+    partitioner: DNNPartitioner, rng: np.random.Generator
+) -> ContentionEstimator:
+    """Offline profiling campaign -> GPU-stats-to-slowdown estimator."""
+    samples = generate_contention_dataset(
+        partitioner.profile.graph,
+        partitioner.profile.server_device,
+        rng,
+        client_counts=(1, 2, 4, 8, 12, 16),
+        rounds_per_count=6,
+    )
+    return ContentionEstimator(rng=rng).fit(samples)
+
+
+def run_large_scale(
+    dataset: TrajectoryDataset,
+    partitioner: DNNPartitioner | list[DNNPartitioner],
+    settings: SimulationSettings,
+    config: PerDNNConfig | None = None,
+    predictor: PointPredictor | None = None,
+    contention_estimator: ContentionEstimator | None = None,
+) -> LargeScaleResult:
+    """Run one policy over one dataset and collect the §4.B metrics.
+
+    ``partitioner`` is either one shared partitioner (the paper's setup:
+    every client runs the same architecture, though each client's model is
+    private) or a list of partitioners assigned to clients round-robin —
+    the heterogeneous-workload extension the paper lists as future work.
+    """
+    config = config or PerDNNConfig(migration_radius_m=settings.migration_radius_m)
+    rng = np.random.default_rng(settings.seed)
+    grid = HexGrid(config.cell_radius_m)
+    registry = EdgeServerRegistry.from_visited_points(grid, dataset.all_points())
+    train, replay = dataset.split_time(settings.replay_fraction)
+    if settings.policy is MigrationPolicy.PERDNN and predictor is None:
+        predictor = train_default_predictor(train, config.prediction_history, rng)
+    partitioner_pool = (
+        list(partitioner) if isinstance(partitioner, list) else [partitioner]
+    )
+    if not partitioner_pool:
+        raise ValueError("at least one partitioner is required")
+    if contention_estimator is None and settings.use_contention_estimator:
+        contention_estimator = train_default_estimator(partitioner_pool[0], rng)
+    num_replay_clients = sum(
+        1 for trajectory in replay.trajectories if len(trajectory) >= 2
+    )
+    if len(partitioner_pool) == 1:
+        master_partitioner = partitioner_pool[0]
+    else:
+        master_partitioner = {
+            client_id: partitioner_pool[client_id % len(partitioner_pool)]
+            for client_id in range(num_replay_clients)
+        }
+    meter = TrafficMeter(dataset.interval_seconds)
+    master = MasterServer(
+        registry=registry,
+        partitioner=master_partitioner,
+        config=config,
+        rng=rng,
+        predictor=predictor,
+        contention_estimator=contention_estimator,
+        policy=settings.policy,
+        traffic_meter=meter,
+        crowded_servers=settings.crowded_servers,
+        crowded_byte_budget=settings.crowded_byte_budget,
+    )
+    usable = [t for t in replay.trajectories if len(t) >= 2]
+    clients = [
+        MobileClient(i, trajectory, config.prediction_history)
+        for i, trajectory in enumerate(usable)
+    ]
+    model_names = sorted({p.graph.name for p in partitioner_pool})
+    result = LargeScaleResult(
+        policy=settings.policy.value,
+        dataset=dataset.name,
+        model="+".join(model_names),
+        num_servers=registry.num_servers,
+        num_clients=len(clients),
+    )
+    interval = dataset.interval_seconds
+    optimal = settings.policy is MigrationPolicy.OPTIMAL
+    baseline = settings.policy is MigrationPolicy.NONE
+    routing = settings.policy is MigrationPolicy.ROUTING
+    step = 0
+    while True:
+        if settings.max_steps is not None and step >= settings.max_steps:
+            break
+        active = [c for c in clients if not c.finished]
+        if not active:
+            break
+        master.begin_interval()
+        # 0. Periodic model retraining: new weights, stale caches.
+        if (
+            settings.model_update_every is not None
+            and step > 0
+            and step % settings.model_update_every == 0
+        ):
+            for client in active:
+                client.update_model()
+                result.extras["model_updates"] = (
+                    result.extras.get("model_updates", 0) + 1
+                )
+        # 1. Movement and (re-)association.
+        associated_this_step: set[int] = set()
+        for client in active:
+            position = client.advance()
+            assert position is not None
+            if routing and client.current_server is not None:
+                # §3.A routing: stay on the first server; only the access
+                # cell changes as the user moves.
+                continue
+            server_id = decide_association(
+                registry, position, client.current_server,
+                config.handover_hysteresis_m,
+            )
+            assert server_id is not None, "registry covers every trace point"
+            if server_id != client.current_server:
+                if client.current_server is not None:
+                    old = master.server(client.current_server)
+                    old.dissociate(client.client_id)
+                    if baseline:
+                        # IONN re-uploads from scratch after a server change.
+                        old.clear_client(client.client_id)
+                    result.server_changes += 1
+                master.server(server_id).associate(client.client_id)
+                client.current_server = server_id
+                associated_this_step.add(client.client_id)
+        # 2. GPU contention advances under the new load.
+        for server in master.instantiated_servers:
+            server.step_gpu()
+        # 3. Query loops.
+        for client in active:
+            assert client.current_server is not None
+            server = master.server(client.current_server)
+            plan = master.plan_for(server, client.client_id)
+            total_bytes = plan.server_bytes
+            if optimal:
+                cached = total_bytes
+            else:
+                cached = min(
+                    server.cached_bytes(
+                        client.client_id, client.model_version
+                    ),
+                    total_bytes,
+                )
+            if client.client_id in associated_this_step:
+                threshold = config.hit_byte_fraction * total_bytes
+                if total_bytes <= 0 or cached + 1e-6 >= threshold:
+                    result.hits += 1
+                else:
+                    result.misses += 1
+            overhead = 0.0
+            hops = 0
+            tensors = None
+            if routing:
+                access_cell = grid.cell_of(client.position)
+                home_cell = registry.cell_of_server(client.current_server)
+                hops = grid.hop_distance(access_cell, home_cell)
+                tensors = routed_tensors(plan.costs, plan.plan)
+                overhead = routing_overhead_seconds(config, hops, tensors)
+            outcome = run_query_window(
+                plan.schedule,
+                start_bytes=cached,
+                uplink_bps=config.network.uplink_bps,
+                duration=interval,
+                query_gap=config.query_gap_seconds,
+                uploading=not optimal,
+                latency_overhead=overhead,
+            )
+            if routing and hops > 0 and outcome.count and tensors is not None:
+                access_server = registry.server_at(client.position)
+                if access_server is not None and access_server != client.current_server:
+                    if tensors.uplink_bytes > 0:
+                        meter.record(
+                            step, access_server, client.current_server,
+                            outcome.count * tensors.uplink_bytes,
+                        )
+                    if tensors.downlink_bytes > 0:
+                        meter.record(
+                            step, client.current_server, access_server,
+                            outcome.count * tensors.downlink_bytes,
+                        )
+            result.total_queries += outcome.count
+            model_name = master.partitioner_for(client.client_id).graph.name
+            per_model = result.extras.setdefault("per_model_queries", {})
+            per_model[model_name] = per_model.get(model_name, 0) + outcome.count
+            if client.client_id in associated_this_step:
+                result.coldstart_queries += outcome.count
+            if not optimal:
+                delta = outcome.end_bytes - cached
+                if delta > 0:
+                    server.add_bytes(
+                        client.client_id, delta, step, config.ttl_intervals,
+                        client.model_version,
+                    )
+                else:
+                    server.refresh_ttl(
+                        client.client_id, step, config.ttl_intervals,
+                        client.model_version,
+                    )
+        # 4. Proactive migration.
+        if settings.policy is MigrationPolicy.PERDNN:
+            for client in active:
+                records = master.proactive_migrate(client, step)
+                result.migrations += len(records)
+                result.migrated_bytes += sum(r.nbytes for r in records)
+        # 5. TTL eviction.
+        master.expire_caches(step)
+        step += 1
+    result.steps = step
+    result.uplink = meter.uplink_summary()
+    result.downlink = meter.downlink_summary()
+    return result

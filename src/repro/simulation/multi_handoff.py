@@ -1,0 +1,87 @@
+"""Multi-server hand-off chains: a commute through k edge servers.
+
+Generalizes the two-server experiment of Figs 1/7 to a sequence of
+hand-offs — the situation the paper's introduction worries about ("mobile
+users who frequently change their target edge servers would be especially
+vulnerable to the fluctuation").  Each visited server may hold a different
+premigrated fraction of the client's upload schedule, and the client's
+upload progress resets at every hand-off (a new server knows only what was
+migrated to it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import PerDNNConfig
+from repro.partitioning.partitioner import DNNPartitioner
+
+
+@dataclass(frozen=True)
+class HandoffChainResult:
+    """Per-query latencies across a chain of server visits."""
+
+    latencies: tuple[float, ...]
+    visit_boundaries: tuple[int, ...]  # first query index of each visit
+    peak_per_visit: tuple[float, ...]
+    queries_per_visit: tuple[int, ...]
+
+    @property
+    def num_visits(self) -> int:
+        return len(self.visit_boundaries)
+
+    @property
+    def total_queries(self) -> int:
+        return len(self.latencies)
+
+
+def simulate_handoff_chain(
+    partitioner: DNNPartitioner,
+    config: PerDNNConfig,
+    queries_per_visit: tuple[int, ...],
+    premigrated_fractions: tuple[float, ...],
+    server_slowdowns: tuple[float, ...] | None = None,
+) -> HandoffChainResult:
+    """Run a query sequence across a chain of edge-server visits.
+
+    ``queries_per_visit[i]`` queries execute at server ``i``, which starts
+    with ``premigrated_fractions[i]`` of the upload schedule already cached
+    (0 = IONN cold start, 1 = perfect proactive migration) and optionally
+    its own GPU ``server_slowdowns[i]``.
+    """
+    if len(queries_per_visit) != len(premigrated_fractions):
+        raise ValueError("queries and fractions must align")
+    if server_slowdowns is None:
+        server_slowdowns = tuple(1.0 for _ in queries_per_visit)
+    if len(server_slowdowns) != len(queries_per_visit):
+        raise ValueError("slowdowns must align with visits")
+    if any(n < 1 for n in queries_per_visit):
+        raise ValueError("every visit needs at least one query")
+    if any(not 0.0 <= f <= 1.0 for f in premigrated_fractions):
+        raise ValueError("fractions must be in [0, 1]")
+    latencies: list[float] = []
+    boundaries: list[int] = []
+    peaks: list[float] = []
+    byte_rate = config.network.uplink_bps / 8.0
+    for queries, fraction, slowdown in zip(
+        queries_per_visit, premigrated_fractions, server_slowdowns
+    ):
+        result = partitioner.partition(slowdown)
+        schedule = result.schedule
+        total = schedule.total_bytes
+        received = fraction * total
+        boundaries.append(len(latencies))
+        visit_peak = 0.0
+        for _ in range(queries):
+            latency = schedule.latency_after_bytes(received)
+            latencies.append(latency)
+            visit_peak = max(visit_peak, latency)
+            elapsed = latency + config.query_gap_seconds
+            received = min(total, received + byte_rate * elapsed)
+        peaks.append(visit_peak)
+    return HandoffChainResult(
+        latencies=tuple(latencies),
+        visit_boundaries=tuple(boundaries),
+        peak_per_visit=tuple(peaks),
+        queries_per_visit=tuple(queries_per_visit),
+    )

@@ -1,0 +1,79 @@
+"""Continuous query/upload integration.
+
+The paper's workload: a mobile cognitive-assistance client raises a DNN
+query 0.5 s after the previous one completed, while (in the background) it
+incrementally uploads the not-yet-present server-side layers over the
+wireless uplink.  Query latency at any moment is determined by how much of
+the upload schedule has arrived; each completed chunk unlocks a faster
+plan (IONN's incremental offloading).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partitioning.uploading import UploadSchedule
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One executed query."""
+
+    start_time: float  # seconds from window start
+    latency: float
+    received_bytes: float  # upload progress when the query started
+
+
+@dataclass(frozen=True)
+class WindowOutcome:
+    """Result of integrating one query window."""
+
+    queries: tuple[QueryRecord, ...]
+    end_bytes: float  # upload progress at window end
+
+    @property
+    def count(self) -> int:
+        return len(self.queries)
+
+
+def run_query_window(
+    schedule: UploadSchedule,
+    start_bytes: float,
+    uplink_bps: float,
+    duration: float,
+    query_gap: float,
+    uploading: bool = True,
+    first_gap: float = 0.0,
+    latency_overhead: float = 0.0,
+) -> WindowOutcome:
+    """Integrate the query loop over ``duration`` seconds.
+
+    ``start_bytes`` of the schedule are already at the server; when
+    ``uploading`` the client pushes the remainder at ``uplink_bps``.  A
+    query counts when it *completes* inside the window.  ``first_gap``
+    delays the first query (used to stitch consecutive windows);
+    ``latency_overhead`` is added to every query (e.g. backhaul routing
+    cost when the serving cell is remote).
+    """
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    if start_bytes < 0:
+        raise ValueError("start_bytes must be non-negative")
+    if latency_overhead < 0:
+        raise ValueError("latency_overhead must be non-negative")
+    total = schedule.total_bytes
+    start_bytes = min(start_bytes, total)
+    byte_rate = uplink_bps / 8.0 if uploading else 0.0
+    records: list[QueryRecord] = []
+    t = first_gap
+    while True:
+        received = min(total, start_bytes + byte_rate * t)
+        latency = schedule.latency_after_bytes(received) + latency_overhead
+        if t + latency > duration:
+            break
+        records.append(
+            QueryRecord(start_time=t, latency=latency, received_bytes=received)
+        )
+        t += latency + query_gap
+    end_bytes = min(total, start_bytes + byte_rate * duration)
+    return WindowOutcome(queries=tuple(records), end_bytes=end_bytes)

@@ -1,0 +1,53 @@
+"""Dataset statistics: the numbers the paper quotes about its traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.hexgrid import HexGrid
+from repro.mobility.trajectory import TrajectoryDataset
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Summary used to validate synthetic datasets against the paper's."""
+
+    name: str
+    num_users: int
+    interval_seconds: float
+    region_km: tuple[float, float]
+    average_speed_mps: float  # includes dwells, like the paper's ~0.5 / ~3.9
+    moving_speed_mps: float  # speed while actually moving
+    visited_cells: int  # cells (= edge servers) any trajectory touched
+    cell_changes_per_step: float  # how often a step crosses a cell boundary
+
+
+def dataset_statistics(
+    dataset: TrajectoryDataset, cell_radius: float = 50.0
+) -> DatasetStatistics:
+    grid = HexGrid(cell_radius)
+    speeds: list[np.ndarray] = []
+    visited = set()
+    changes = 0
+    steps = 0
+    for trajectory in dataset.trajectories:
+        if len(trajectory) > 1:
+            speeds.append(trajectory.speeds())
+        cells = [grid.cell_of(tuple(p)) for p in trajectory.points]
+        visited.update(cells)
+        changes += sum(1 for a, b in zip(cells, cells[1:]) if a != b)
+        steps += max(0, len(cells) - 1)
+    all_speeds = np.concatenate(speeds) if speeds else np.zeros(1)
+    moving = all_speeds[all_speeds > 0.3]
+    return DatasetStatistics(
+        name=dataset.name,
+        num_users=dataset.num_users,
+        interval_seconds=dataset.interval_seconds,
+        region_km=(dataset.bbox.width / 1000.0, dataset.bbox.height / 1000.0),
+        average_speed_mps=float(all_speeds.mean()),
+        moving_speed_mps=float(moving.mean()) if moving.size else 0.0,
+        visited_cells=len(visited),
+        cell_changes_per_step=(changes / steps) if steps else 0.0,
+    )

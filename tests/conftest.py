@@ -1,0 +1,57 @@
+"""Shared fixtures: seeded RNGs, small models, profiles, partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.dnn.models import tiny_branchy_dnn, tiny_linear_dnn
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def client_device():
+    return odroid_xu4()
+
+
+@pytest.fixture(scope="session")
+def server_device():
+    return titan_xp_server()
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    return tiny_linear_dnn()
+
+
+@pytest.fixture(scope="session")
+def branchy_graph():
+    return tiny_branchy_dnn()
+
+
+@pytest.fixture(scope="session")
+def tiny_profile(tiny_graph, client_device, server_device):
+    return ExecutionProfile.build(tiny_graph, client_device, server_device)
+
+
+@pytest.fixture(scope="session")
+def branchy_profile(branchy_graph, client_device, server_device):
+    return ExecutionProfile.build(branchy_graph, client_device, server_device)
+
+
+@pytest.fixture(scope="session")
+def default_config():
+    return PerDNNConfig()
+
+
+@pytest.fixture(scope="session")
+def tiny_partitioner(tiny_profile):
+    return DNNPartitioner(tiny_profile, uplink_bps=35e6, downlink_bps=50e6)

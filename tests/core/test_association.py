@@ -1,0 +1,88 @@
+"""Tests for handover hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core.association import decide_association
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+
+
+@pytest.fixture
+def registry():
+    grid = HexGrid(50.0)
+    registry = EdgeServerRegistry(grid)
+    for q in range(3):
+        registry.ensure_server(HexCell(q, 0))
+    return registry
+
+
+def center(registry, q):
+    return registry.grid.center(HexCell(q, 0))
+
+
+class TestDecideAssociation:
+    def test_first_association_takes_covering_server(self, registry):
+        point = center(registry, 0)
+        assert decide_association(registry, point, None) == 0
+
+    def test_no_server_and_no_current_returns_none(self, registry):
+        assert decide_association(registry, (10_000.0, 10_000.0), None) is None
+
+    def test_holds_current_outside_coverage(self, registry):
+        assert decide_association(registry, (10_000.0, 10_000.0), 1) == 1
+
+    def test_zero_hysteresis_switches_at_boundary(self, registry):
+        # Just inside cell 1's territory.
+        a = np.array(center(registry, 0))
+        b = np.array(center(registry, 1))
+        point = tuple(a + 0.55 * (b - a))
+        assert decide_association(registry, point, 0, 0.0) == 1
+
+    def test_hysteresis_holds_near_boundary(self, registry):
+        a = np.array(center(registry, 0))
+        b = np.array(center(registry, 1))
+        point = tuple(a + 0.55 * (b - a))  # barely over the boundary
+        assert decide_association(registry, point, 0, hysteresis_m=20.0) == 0
+
+    def test_hysteresis_switches_when_clearly_better(self, registry):
+        point = center(registry, 2)  # squarely inside cell 2
+        assert decide_association(registry, point, 0, hysteresis_m=20.0) == 2
+
+    def test_same_cell_is_stable(self, registry):
+        point = center(registry, 1)
+        assert decide_association(registry, point, 1, 0.0) == 1
+        assert decide_association(registry, point, 1, 50.0) == 1
+
+    def test_negative_hysteresis_rejected(self, registry):
+        with pytest.raises(ValueError):
+            decide_association(registry, (0.0, 0.0), None, -1.0)
+
+
+class TestHysteresisInSimulation:
+    def test_hysteresis_reduces_server_changes(self, tiny_partitioner):
+        from repro.core.config import PerDNNConfig
+        from repro.core.master import MigrationPolicy
+        from repro.simulation.large_scale import (
+            SimulationSettings,
+            run_large_scale,
+        )
+        from repro.trajectories.synthetic import kaist_like
+
+        dataset = kaist_like(
+            np.random.default_rng(44), num_users=10, duration_steps=160
+        )
+        settings = SimulationSettings(
+            policy=MigrationPolicy.NONE, max_steps=40, seed=3,
+            use_contention_estimator=False,
+        )
+        sharp = run_large_scale(
+            dataset, tiny_partitioner, settings,
+            config=PerDNNConfig(handover_hysteresis_m=0.0),
+        )
+        sticky = run_large_scale(
+            dataset, tiny_partitioner, settings,
+            config=PerDNNConfig(handover_hysteresis_m=30.0),
+        )
+        assert sticky.server_changes <= sharp.server_changes
+        assert sticky.total_queries > 0

@@ -1,0 +1,137 @@
+"""Tests for collaborative (partitioned) execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.collaboration import execute_collaboratively
+from repro.dnn.execution import NumpyExecutor
+from repro.dnn.models import tiny_branchy_dnn, tiny_linear_dnn
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import (
+    PartitionPlan,
+    constrained_plan,
+    optimal_plan,
+)
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+
+
+def make_costs(graph):
+    profile = ExecutionProfile.build(graph, odroid_xu4(), titan_xp_server())
+    return ExecutionCosts.build(
+        graph, profile.client_times, profile.server_times, 35e6, 50e6
+    )
+
+
+def run_both(graph, plan, rng):
+    executor = NumpyExecutor(graph)
+    x = executor.make_input(rng)
+    local = executor.run(x)
+    collaborative = execute_collaboratively(
+        graph, plan, x, NumpyExecutor(graph), NumpyExecutor(graph)
+    )
+    return local, collaborative
+
+
+class TestEquivalence:
+    def test_optimal_plan_matches_local(self, rng):
+        graph = tiny_linear_dnn()
+        plan = optimal_plan(make_costs(graph))
+        local, collaborative = run_both(graph, plan, rng)
+        assert np.array_equal(local, collaborative.output)
+
+    def test_branchy_graph_matches_local(self, rng):
+        graph = tiny_branchy_dnn()
+        plan = optimal_plan(make_costs(graph))
+        local, collaborative = run_both(graph, plan, rng)
+        assert np.array_equal(local, collaborative.output)
+
+    def test_all_client_plan_never_transfers(self, rng):
+        graph = tiny_linear_dnn()
+        plan = constrained_plan(make_costs(graph), frozenset())
+        local, collaborative = run_both(graph, plan, rng)
+        assert np.array_equal(local, collaborative.output)
+        assert collaborative.num_transfers == 0
+
+    def test_all_server_plan_transfers_input_and_output(self, rng):
+        graph = tiny_linear_dnn()
+        costs = make_costs(graph)
+        plan = PartitionPlan(
+            placements=tuple([Placement.SERVER] * costs.num_layers),
+            latency=0.0,
+            layer_names=costs.layer_names,
+        )
+        local, collaborative = run_both(graph, plan, rng)
+        assert np.array_equal(local, collaborative.output)
+        input_bytes = graph.info(graph.input_name).output_bytes
+        output_bytes = graph.info(graph.output_name).output_bytes
+        assert collaborative.uplink_bytes == input_bytes
+        assert collaborative.downlink_bytes == output_bytes
+        assert collaborative.num_transfers == 2
+
+    def test_random_placements_still_correct(self, rng):
+        """Any placement vector must execute correctly (more transfers)."""
+        graph = tiny_branchy_dnn()
+        costs = make_costs(graph)
+        for _ in range(10):
+            placements = tuple(
+                Placement.SERVER if rng.random() < 0.5 else Placement.CLIENT
+                for _ in range(costs.num_layers)
+            )
+            plan = PartitionPlan(
+                placements=placements, latency=0.0,
+                layer_names=costs.layer_names,
+            )
+            local, collaborative = run_both(graph, plan, rng)
+            assert np.allclose(local, collaborative.output, atol=1e-6)
+
+    def test_each_tensor_transferred_at_most_once_per_direction(self, rng):
+        graph = tiny_branchy_dnn()
+        plan = optimal_plan(make_costs(graph))
+        _, collaborative = run_both(graph, plan, rng)
+        seen = set()
+        for transfer in collaborative.transfers:
+            key = (transfer.tensor_of, transfer.to_server)
+            assert key not in seen
+            seen.add(key)
+
+    def test_mobilenet_collaborative_equals_local(self, rng):
+        """The real evaluation model, executed split across two parties."""
+        from repro.dnn.models import mobilenet_v1
+
+        graph = mobilenet_v1()
+        plan = optimal_plan(make_costs(graph))
+        assert plan.offloads_anything
+        executor = NumpyExecutor(graph)
+        x = executor.make_input(rng)
+        local = executor.run(x)
+        collaborative = execute_collaboratively(
+            graph, plan, x, NumpyExecutor(graph), NumpyExecutor(graph)
+        )
+        assert np.array_equal(local, collaborative.output)
+        # The offloaded run ships the boundary tensor up and the 1000-way
+        # distribution back down.
+        assert collaborative.uplink_bytes > 0
+        assert collaborative.downlink_bytes == 1000 * 4
+
+
+class TestValidation:
+    def test_executor_graph_mismatch(self, rng):
+        graph_a = tiny_linear_dnn()
+        graph_b = tiny_branchy_dnn()
+        plan = optimal_plan(make_costs(graph_a))
+        with pytest.raises(ValueError):
+            execute_collaboratively(
+                graph_a, plan, np.zeros((3, 16, 16), dtype=np.float32),
+                NumpyExecutor(graph_a), NumpyExecutor(graph_b),
+            )
+
+    def test_plan_graph_mismatch(self, rng):
+        graph_a = tiny_linear_dnn()
+        graph_b = tiny_branchy_dnn()
+        plan = optimal_plan(make_costs(graph_b))
+        with pytest.raises(ValueError):
+            execute_collaboratively(
+                graph_a, plan, np.zeros((3, 16, 16), dtype=np.float32),
+                NumpyExecutor(graph_a), NumpyExecutor(graph_a),
+            )

@@ -1,0 +1,134 @@
+"""Tests for the §3.A routing alternative."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.core.routing import (
+    RoutedTensors,
+    routed_tensors,
+    routing_overhead_seconds,
+)
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.partitioning.shortest_path import constrained_plan, optimal_plan
+
+
+class TestHopDistance:
+    def test_same_cell_zero(self):
+        assert HexGrid.hop_distance(HexCell(2, -1), HexCell(2, -1)) == 0
+
+    def test_neighbors_are_one_hop(self):
+        origin = HexCell(0, 0)
+        for neighbor in origin.neighbors():
+            assert HexGrid.hop_distance(origin, neighbor) == 1
+
+    def test_symmetry_and_triangle(self):
+        a, b, c = HexCell(0, 0), HexCell(3, -1), HexCell(-2, 4)
+        assert HexGrid.hop_distance(a, b) == HexGrid.hop_distance(b, a)
+        assert HexGrid.hop_distance(a, c) <= (
+            HexGrid.hop_distance(a, b) + HexGrid.hop_distance(b, c)
+        )
+
+    def test_straight_line_distance(self):
+        assert HexGrid.hop_distance(HexCell(0, 0), HexCell(5, 0)) == 5
+
+
+class TestRoutedTensors:
+    def test_all_local_plan_routes_nothing(self, tiny_partitioner):
+        costs = tiny_partitioner.partition(1.0).costs
+        plan = constrained_plan(costs, frozenset())
+        tensors = routed_tensors(costs, plan)
+        assert tensors.total_bytes == 0.0
+
+    def test_offloading_plan_routes_input_and_output(self, tiny_partitioner):
+        costs = tiny_partitioner.partition(1.0).costs
+        plan = optimal_plan(costs)
+        assert plan.offloads_anything
+        tensors = routed_tensors(costs, plan)
+        assert tensors.uplink_bytes > 0
+        assert tensors.downlink_bytes > 0
+
+    def test_fully_offloaded_routes_exact_boundaries(self, tiny_partitioner):
+        from repro.partitioning.execution_graph import Placement
+        from repro.partitioning.shortest_path import PartitionPlan
+
+        costs = tiny_partitioner.partition(1.0).costs
+        plan = PartitionPlan(
+            placements=tuple([Placement.SERVER] * costs.num_layers),
+            latency=0.0,
+            layer_names=costs.layer_names,
+        )
+        tensors = routed_tensors(costs, plan)
+        assert tensors.uplink_bytes == pytest.approx(costs.cut_bytes[0])
+        assert tensors.downlink_bytes == pytest.approx(costs.cut_bytes[-1])
+
+
+class TestRoutingOverhead:
+    def test_zero_hops_is_free(self):
+        config = PerDNNConfig()
+        tensors = RoutedTensors(1e6, 1e5)
+        assert routing_overhead_seconds(config, 0, tensors) == 0.0
+
+    def test_overhead_grows_with_hops(self):
+        config = PerDNNConfig()
+        tensors = RoutedTensors(1e6, 1e5)
+        values = [
+            routing_overhead_seconds(config, hops, tensors)
+            for hops in (1, 2, 5, 10)
+        ]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_components(self):
+        config = PerDNNConfig(backhaul_bps=8e6, backhaul_hop_latency_s=0.01)
+        tensors = RoutedTensors(uplink_bytes=1e6, downlink_bytes=0.0)
+        # 2 hops * 2 directions * 10 ms + 1e6 bytes at 1 MB/s.
+        assert routing_overhead_seconds(config, 2, tensors) == pytest.approx(
+            0.04 + 1.0
+        )
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            routing_overhead_seconds(PerDNNConfig(), -1, RoutedTensors(0, 0))
+
+
+class TestRoutingPolicySimulation:
+    def test_routing_keeps_first_server(self, tiny_partitioner):
+        from repro.simulation.large_scale import (
+            SimulationSettings,
+            run_large_scale,
+        )
+        from repro.trajectories.synthetic import kaist_like
+
+        dataset = kaist_like(
+            np.random.default_rng(4), num_users=6, duration_steps=120
+        )
+        settings = SimulationSettings(
+            policy=MigrationPolicy.ROUTING, max_steps=30, seed=1,
+            use_contention_estimator=False,
+        )
+        result = run_large_scale(dataset, tiny_partitioner, settings)
+        # Exactly one cold start per client, ever.
+        assert result.misses == result.num_clients
+        assert result.hits == 0
+        assert result.server_changes == 0
+        assert result.migrations == 0
+
+    def test_routing_consumes_backhaul_when_moving(self, tiny_partitioner):
+        from repro.simulation.large_scale import (
+            SimulationSettings,
+            run_large_scale,
+        )
+        from repro.trajectories.synthetic import geolife_like
+
+        dataset = geolife_like(
+            np.random.default_rng(4), num_users=6, duration_steps=200
+        ).subsample(4)
+        settings = SimulationSettings(
+            policy=MigrationPolicy.ROUTING, max_steps=40, seed=1,
+            use_contention_estimator=False,
+        )
+        result = run_large_scale(dataset, tiny_partitioner, settings)
+        # Fast movers leave their home cell, so queries are relayed.
+        assert result.uplink.total_bytes > 0

@@ -1,0 +1,162 @@
+"""Tests for the numpy forward-inference engine."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.execution import NumpyExecutor, _im2col
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+from repro.dnn.models import tiny_branchy_dnn
+from repro.dnn.weights import WeightStore
+
+
+def single_layer_graph(layer: Layer, input_shape: TensorShape) -> DNNGraph:
+    g = DNNGraph(f"single-{layer.name}")
+    g.add(Layer("in", LayerKind.INPUT, input_shape=input_shape))
+    g.add(layer, ["in"])
+    return g.freeze()
+
+
+def run_single(layer: Layer, x: np.ndarray) -> np.ndarray:
+    shape = TensorShape(*x.shape)
+    graph = single_layer_graph(layer, shape)
+    return NumpyExecutor(graph).run(x.astype(np.float32))
+
+
+class TestIm2col:
+    def test_identity_kernel_1(self, rng):
+        x = rng.normal(size=(2, 4, 4)).astype(np.float32)
+        columns = _im2col(x, kernel=1, stride=1, padding=0)
+        assert np.array_equal(columns, x.reshape(2, 16))
+
+    def test_known_3x3_patch(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        columns = _im2col(x, kernel=3, stride=1, padding=0)
+        assert columns.shape == (9, 4)
+        # First output position sees the top-left 3x3 block.
+        assert np.array_equal(
+            columns[:, 0], np.array([0, 1, 2, 4, 5, 6, 8, 9, 10], dtype=np.float32)
+        )
+
+
+class TestElementwiseOps:
+    def test_relu(self, rng):
+        x = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        out = run_single(Layer("r", LayerKind.RELU), x)
+        assert np.array_equal(out, np.maximum(x, 0))
+
+    def test_softmax_sums_to_one(self, rng):
+        x = rng.normal(size=(5, 1, 1)).astype(np.float32)
+        out = run_single(Layer("s", LayerKind.SOFTMAX), x)
+        assert out.sum() == pytest.approx(1.0)
+        assert out.argmax() == x.argmax()
+
+    def test_global_pool(self, rng):
+        x = rng.normal(size=(3, 4, 4)).astype(np.float32)
+        out = run_single(Layer("g", LayerKind.GLOBAL_POOL_AVG), x)
+        assert out.shape == (3, 1, 1)
+        assert np.allclose(out[:, 0, 0], x.mean(axis=(1, 2)))
+
+    def test_max_pool_known_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = run_single(
+            Layer("p", LayerKind.POOL_MAX, kernel=2, stride=2), x
+        )
+        assert np.array_equal(out, np.array([[[5, 7], [13, 15]]], dtype=np.float32))
+
+    def test_avg_pool_known_values(self):
+        x = np.ones((1, 4, 4), dtype=np.float32)
+        out = run_single(
+            Layer("p", LayerKind.POOL_AVG, kernel=2, stride=2), x
+        )
+        assert np.allclose(out, 1.0)
+
+    def test_dropout_is_identity(self, rng):
+        x = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        assert np.array_equal(run_single(Layer("d", LayerKind.DROPOUT), x), x)
+
+    def test_flatten(self, rng):
+        x = rng.normal(size=(2, 3, 3)).astype(np.float32)
+        out = run_single(Layer("f", LayerKind.FLATTEN), x)
+        assert out.shape == (18, 1, 1)
+
+
+class TestConv:
+    def test_identity_1x1_conv(self):
+        # A 1x1 conv whose filter picks channel 0 with weight 1.
+        graph = single_layer_graph(
+            Layer("c", LayerKind.CONV, out_channels=1, kernel=1),
+            TensorShape(1, 3, 3),
+        )
+        executor = NumpyExecutor(graph)
+        filters, bias = executor.store.arrays("c")
+        filters[:] = 1.0
+        bias[:] = 0.0
+        x = np.arange(9, dtype=np.float32).reshape(1, 3, 3)
+        assert np.array_equal(executor.run(x), x)
+
+    def test_conv_matches_direct_computation(self, rng):
+        graph = single_layer_graph(
+            Layer("c", LayerKind.CONV, out_channels=4, kernel=3, padding=1),
+            TensorShape(3, 5, 5),
+        )
+        executor = NumpyExecutor(graph)
+        filters, bias = executor.store.arrays("c")
+        x = rng.normal(size=(3, 5, 5)).astype(np.float32)
+        out = executor.run(x)
+        # Direct (slow) convolution at one output position.
+        padded = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        expected = (filters[2] * padded[:, 2:5, 1:4]).sum() + bias[2]
+        assert out[2, 2, 1] == pytest.approx(expected, rel=1e-5)
+
+    def test_grouped_conv_isolates_channels(self, rng):
+        graph = single_layer_graph(
+            Layer("c", LayerKind.CONV, out_channels=2, kernel=1, groups=2),
+            TensorShape(2, 3, 3),
+        )
+        executor = NumpyExecutor(graph)
+        filters, bias = executor.store.arrays("c")
+        filters[:] = 1.0
+        bias[:] = 0.0
+        x = np.stack(
+            [np.full((3, 3), 2.0), np.full((3, 3), 5.0)]
+        ).astype(np.float32)
+        out = executor.run(x)
+        assert np.allclose(out[0], 2.0)  # group 0 sees only channel 0
+        assert np.allclose(out[1], 5.0)
+
+
+class TestFullModels:
+    def test_shapes_agree_with_inference(self, rng):
+        graph = tiny_branchy_dnn()
+        executor = NumpyExecutor(graph)
+        tensors = executor.run_all(executor.make_input(rng))
+        for name, tensor in tensors.items():
+            shape = graph.info(name).output_shape
+            assert tensor.shape == (shape.channels, shape.height, shape.width)
+
+    def test_deterministic(self, rng):
+        graph = tiny_branchy_dnn()
+        x = NumpyExecutor(graph).make_input(rng)
+        a = NumpyExecutor(graph).run(x)
+        b = NumpyExecutor(graph).run(x)
+        assert np.array_equal(a, b)
+
+    def test_softmax_output_is_distribution(self, rng):
+        graph = tiny_branchy_dnn()
+        executor = NumpyExecutor(graph)
+        out = executor.run(executor.make_input(rng))
+        assert out.min() >= 0.0
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_input_shape_validated(self, rng):
+        graph = tiny_branchy_dnn()
+        executor = NumpyExecutor(graph)
+        with pytest.raises(ValueError):
+            executor.run(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_input_layer_not_executable(self, rng):
+        graph = tiny_branchy_dnn()
+        executor = NumpyExecutor(graph)
+        with pytest.raises(ValueError):
+            executor.execute_layer("data", [])

@@ -1,0 +1,115 @@
+"""Unit tests for the DNN DAG container."""
+
+import pytest
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+
+
+def chain_graph() -> DNNGraph:
+    g = DNNGraph("chain")
+    g.add(Layer("in", LayerKind.INPUT, input_shape=TensorShape(3, 8, 8)))
+    g.add(Layer("conv", LayerKind.CONV, out_channels=4, kernel=3, padding=1), ["in"])
+    g.add(Layer("relu", LayerKind.RELU), ["conv"])
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        g = chain_graph()
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add(Layer("conv", LayerKind.RELU), ["relu"])
+
+    def test_unknown_predecessor_rejected(self):
+        g = chain_graph()
+        with pytest.raises(ValueError, match="unknown predecessor"):
+            g.add(Layer("x", LayerKind.RELU), ["nope"])
+
+    def test_non_input_needs_predecessors(self):
+        g = DNNGraph("g")
+        g.add(Layer("in", LayerKind.INPUT, input_shape=TensorShape(1)))
+        with pytest.raises(ValueError, match="needs predecessors"):
+            g.add(Layer("r", LayerKind.RELU))
+
+    def test_input_takes_no_predecessors(self):
+        g = chain_graph()
+        with pytest.raises(ValueError, match="no predecessors"):
+            g.add(Layer("in2", LayerKind.INPUT, input_shape=TensorShape(1)), ["in"])
+
+    def test_add_after_freeze_rejected(self):
+        g = chain_graph().freeze()
+        with pytest.raises(RuntimeError):
+            g.add(Layer("x", LayerKind.RELU), ["relu"])
+
+
+class TestFreeze:
+    def test_requires_single_input(self):
+        g = DNNGraph("two-inputs")
+        g.add(Layer("a", LayerKind.INPUT, input_shape=TensorShape(1)))
+        g.add(Layer("b", LayerKind.INPUT, input_shape=TensorShape(1)))
+        g.add(Layer("cat", LayerKind.CONCAT), ["a", "b"])
+        with pytest.raises(ValueError, match="exactly 1 input"):
+            g.freeze()
+
+    def test_requires_single_output(self):
+        g = chain_graph()
+        g.add(Layer("branch", LayerKind.RELU), ["conv"])
+        with pytest.raises(ValueError, match="exactly 1 output"):
+            g.freeze()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            DNNGraph("empty").freeze()
+
+    def test_freeze_is_idempotent(self):
+        g = chain_graph()
+        assert g.freeze() is g.freeze()
+
+    def test_accessors_require_freeze(self):
+        g = chain_graph()
+        with pytest.raises(RuntimeError):
+            _ = g.topo_order
+        with pytest.raises(RuntimeError):
+            g.info("conv")
+
+
+class TestFrozenGraph:
+    def test_topological_order_respects_edges(self):
+        g = chain_graph().freeze()
+        order = g.topo_order
+        assert order.index("in") < order.index("conv") < order.index("relu")
+        assert g.input_name == "in"
+        assert g.output_name == "relu"
+
+    def test_branchy_topological_order(self, branchy_graph):
+        order = branchy_graph.topo_order
+        for name in order:
+            for pred in branchy_graph.predecessors(name):
+                assert order.index(pred) < order.index(name)
+
+    def test_layer_info_shapes(self):
+        g = chain_graph().freeze()
+        info = g.info("conv")
+        assert info.output_shape == TensorShape(4, 8, 8)
+        assert info.input_shapes == (TensorShape(3, 8, 8),)
+        assert info.input_bytes == 3 * 8 * 8 * 4
+        assert info.output_bytes == 4 * 8 * 8 * 4
+
+    def test_aggregates_are_sums(self):
+        g = chain_graph().freeze()
+        infos = g.infos()
+        assert g.total_weight_bytes == sum(i.weight_bytes for i in infos)
+        assert g.total_flops == sum(i.flops for i in infos)
+        assert g.size_mb == pytest.approx(g.total_weight_bytes / 2**20)
+
+    def test_contains_len_iter(self):
+        g = chain_graph().freeze()
+        assert "conv" in g and "nope" not in g
+        assert len(g) == 3
+        assert list(g) == g.topo_order
+
+    def test_summary_mentions_every_layer(self):
+        g = chain_graph().freeze()
+        text = g.summary()
+        for name in g.topo_order:
+            assert name in text

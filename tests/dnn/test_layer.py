@@ -1,0 +1,146 @@
+"""Unit tests for layer primitives: shapes, weights, FLOPs."""
+
+import pytest
+
+from repro.dnn.layer import BYTES_PER_SCALAR, Layer, LayerKind, TensorShape
+
+
+class TestTensorShape:
+    def test_elements_and_bytes(self):
+        shape = TensorShape(3, 224, 224)
+        assert shape.elements == 3 * 224 * 224
+        assert shape.nbytes == shape.elements * BYTES_PER_SCALAR
+
+    def test_fc_shape_defaults_to_1x1(self):
+        shape = TensorShape(1000)
+        assert (shape.height, shape.width) == (1, 1)
+        assert shape.elements == 1000
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_non_positive_dimensions(self, bad):
+        with pytest.raises(ValueError):
+            TensorShape(*bad)
+
+
+class TestConvLayer:
+    def make_conv(self, **kwargs):
+        defaults = dict(out_channels=8, kernel=3, stride=1, padding=1)
+        defaults.update(kwargs)
+        return Layer("conv", LayerKind.CONV, **defaults)
+
+    def test_same_padding_preserves_spatial_size(self):
+        conv = self.make_conv()
+        out = conv.output_shape([TensorShape(3, 16, 16)])
+        assert out == TensorShape(8, 16, 16)
+
+    def test_stride_two_halves_spatial_size(self):
+        conv = self.make_conv(stride=2)
+        out = conv.output_shape([TensorShape(3, 16, 16)])
+        assert out == TensorShape(8, 8, 8)
+
+    def test_weight_count_includes_bias(self):
+        conv = self.make_conv()
+        assert conv.weight_count([TensorShape(3, 16, 16)]) == 3 * 3 * 3 * 8 + 8
+
+    def test_grouped_conv_divides_weights(self):
+        dense = self.make_conv(out_channels=8)
+        grouped = self.make_conv(out_channels=8, groups=8)
+        shape = [TensorShape(8, 16, 16)]
+        assert grouped.weight_count(shape) < dense.weight_count(shape)
+        assert grouped.weight_count(shape) == 3 * 3 * 1 * 8 + 8
+
+    def test_grouped_conv_rejects_indivisible_channels(self):
+        conv = self.make_conv(groups=3)
+        with pytest.raises(ValueError):
+            conv.output_shape([TensorShape(8, 16, 16)])
+
+    def test_flops_formula(self):
+        conv = self.make_conv()
+        shape = [TensorShape(3, 16, 16)]
+        # 2 * k*k*in_c * out elements
+        assert conv.flops(shape) == 2 * 9 * 3 * 8 * 16 * 16
+
+    def test_output_collapse_raises(self):
+        conv = self.make_conv(kernel=5, padding=0)
+        with pytest.raises(ValueError):
+            conv.output_shape([TensorShape(3, 3, 3)])
+
+
+class TestFcLayer:
+    def test_shape_and_weights(self):
+        fc = Layer("fc", LayerKind.FC, out_features=10)
+        shape = [TensorShape(64)]
+        assert fc.output_shape(shape) == TensorShape(10)
+        assert fc.weight_count(shape) == 64 * 10 + 10
+        assert fc.flops(shape) == 2 * 64 * 10
+
+    def test_flattens_spatial_input_implicitly(self):
+        fc = Layer("fc", LayerKind.FC, out_features=10)
+        shape = [TensorShape(4, 2, 2)]
+        assert fc.weight_count(shape) == 16 * 10 + 10
+
+
+class TestPoolAndElementwise:
+    def test_max_pool_ceil_mode(self):
+        pool = Layer("pool", LayerKind.POOL_MAX, kernel=3, stride=2, padding=1)
+        out = pool.output_shape([TensorShape(8, 15, 15)])
+        assert out == TensorShape(8, 8, 8)
+
+    def test_global_pool_collapses_spatial(self):
+        pool = Layer("gap", LayerKind.GLOBAL_POOL_AVG)
+        assert pool.output_shape([TensorShape(32, 7, 7)]) == TensorShape(32)
+
+    def test_add_requires_matching_shapes(self):
+        add = Layer("add", LayerKind.ADD)
+        a, b = TensorShape(8, 4, 4), TensorShape(8, 4, 5)
+        with pytest.raises(ValueError):
+            add.output_shape([a, b])
+        assert add.output_shape([a, a]) == a
+
+    def test_concat_sums_channels(self):
+        concat = Layer("cat", LayerKind.CONCAT)
+        out = concat.output_shape([TensorShape(8, 4, 4), TensorShape(16, 4, 4)])
+        assert out == TensorShape(24, 4, 4)
+
+    def test_concat_rejects_mismatched_spatial(self):
+        concat = Layer("cat", LayerKind.CONCAT)
+        with pytest.raises(ValueError):
+            concat.output_shape([TensorShape(8, 4, 4), TensorShape(8, 5, 4)])
+
+    def test_relu_preserves_shape_and_has_no_weights(self):
+        relu = Layer("relu", LayerKind.RELU)
+        shape = TensorShape(8, 4, 4)
+        assert relu.output_shape([shape]) == shape
+        assert relu.weight_count([shape]) == 0
+
+    def test_batch_norm_and_scale_weights(self):
+        shape = [TensorShape(32, 8, 8)]
+        bn = Layer("bn", LayerKind.BATCH_NORM)
+        scale = Layer("sc", LayerKind.SCALE)
+        assert bn.weight_count(shape) == 64
+        assert scale.weight_count(shape) == 64
+
+
+class TestValidation:
+    def test_input_layer_requires_shape(self):
+        with pytest.raises(ValueError):
+            Layer("in", LayerKind.INPUT).validate()
+
+    def test_conv_requires_positive_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Layer("c", LayerKind.CONV, out_channels=0, kernel=3).validate()
+
+    def test_fc_requires_out_features(self):
+        with pytest.raises(ValueError):
+            Layer("f", LayerKind.FC).validate()
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Layer("", LayerKind.RELU).validate()
+
+    def test_weighted_kind_classification(self):
+        assert LayerKind.CONV.has_weights
+        assert LayerKind.FC.has_weights
+        assert not LayerKind.RELU.has_weights
+        assert LayerKind.CONV.is_compute_intensive
+        assert not LayerKind.POOL_MAX.is_compute_intensive

@@ -1,0 +1,120 @@
+"""Model-zoo tests: the reconstructions must land near Table I."""
+
+import pytest
+
+from repro.dnn.layer import LayerKind
+from repro.dnn.models import (
+    build_model,
+    inception_21k,
+    mobilenet_v1,
+    resnet50,
+    tiny_branchy_dnn,
+    tiny_linear_dnn,
+)
+
+# Table I of the paper: name -> (# layers, size MB).
+TABLE_I = {
+    "mobilenet": (110, 16),
+    "inception": (312, 128),
+    "resnet": (245, 98),
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_I))
+class TestTableI:
+    def test_layer_count_close_to_paper(self, name):
+        paper_layers, _ = TABLE_I[name]
+        graph = build_model(name)
+        assert abs(len(graph) - paper_layers) / paper_layers < 0.10
+
+    def test_size_close_to_paper(self, name):
+        _, paper_mb = TABLE_I[name]
+        graph = build_model(name)
+        assert abs(graph.size_mb - paper_mb) / paper_mb < 0.10
+
+    def test_single_input_single_output(self, name):
+        graph = build_model(name)
+        assert graph.layer(graph.input_name).kind is LayerKind.INPUT
+        assert graph.layer(graph.output_name).kind is LayerKind.SOFTMAX
+
+
+class TestMobileNet:
+    def test_uses_depthwise_convolutions(self):
+        graph = mobilenet_v1()
+        grouped = [
+            name for name in graph.topo_order if graph.layer(name).groups > 1
+        ]
+        assert len(grouped) == 13  # one depthwise conv per block
+
+    def test_classifier_width(self):
+        graph = mobilenet_v1(num_classes=1000)
+        assert graph.info("fc").output_shape.channels == 1000
+
+    def test_flops_near_published_value(self):
+        # MobileNet v1 is ~1.1 GFLOPs (569 MMACs x 2).
+        assert 0.9e9 < mobilenet_v1().total_flops < 1.4e9
+
+
+class TestInception:
+    def test_classifier_holds_most_weights(self):
+        graph = inception_21k()
+        fc_bytes = graph.info("fc1").weight_bytes
+        # The 21k-way classifier dominates the model (the property behind
+        # fractional migration working so well on Inception).
+        assert fc_bytes / graph.total_weight_bytes > 0.6
+
+    def test_has_concat_modules(self):
+        graph = inception_21k()
+        concats = [
+            name for name in graph.topo_order
+            if graph.info(name).kind is LayerKind.CONCAT
+        ]
+        assert len(concats) == 10  # 3a-3c, 4a-4e, 5a-5b
+
+    def test_compute_concentrated_in_front(self):
+        graph = inception_21k()
+        infos = graph.infos()
+        half = len(infos) // 2
+        front = sum(i.flops for i in infos[:half])
+        back = sum(i.flops for i in infos[half:])
+        assert front > back
+
+
+class TestResNet:
+    def test_residual_adds_present(self):
+        graph = resnet50()
+        adds = [
+            name for name in graph.topo_order
+            if graph.info(name).kind is LayerKind.ADD
+        ]
+        assert len(adds) == 16  # 3 + 4 + 6 + 3 bottleneck blocks
+
+    def test_every_add_has_two_inputs(self):
+        graph = resnet50()
+        for name in graph.topo_order:
+            if graph.info(name).kind is LayerKind.ADD:
+                assert len(graph.predecessors(name)) == 2
+
+    def test_final_feature_width(self):
+        graph = resnet50()
+        assert graph.info("pool5").output_shape.channels == 2048
+
+
+class TestTinyModels:
+    def test_tiny_linear_depth_parameter(self):
+        assert len(tiny_linear_dnn(depth=2)) < len(tiny_linear_dnn(depth=6))
+
+    def test_tiny_linear_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            tiny_linear_dnn(depth=0)
+
+    def test_tiny_branchy_is_a_dag(self):
+        graph = tiny_branchy_dnn()
+        assert len(graph.predecessors("join")) == 2
+
+    def test_unknown_model_name(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("transformer-xl")
+
+    def test_build_model_is_case_insensitive(self):
+        assert build_model("MobileNet").name == "mobilenet_v1"

@@ -1,0 +1,127 @@
+"""Tests for deterministic weights and wire serialization."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layer import LayerKind
+from repro.dnn.weights import (
+    WeightStore,
+    deserialize_arrays,
+    deserialize_chunk,
+    serialize_arrays,
+    serialize_chunk,
+    serialize_layer,
+)
+
+
+@pytest.fixture(scope="module")
+def store(tiny_graph):
+    return WeightStore(tiny_graph)
+
+
+class TestWeightStore:
+    def test_shapes_match_layer_definitions(self, store, tiny_graph):
+        conv = store.arrays("conv0")
+        layer = tiny_graph.layer("conv0")
+        in_channels = tiny_graph.info("conv0").input_shapes[0].channels
+        assert conv[0].shape == (
+            layer.out_channels, in_channels, layer.kernel, layer.kernel,
+        )
+        assert conv[1].shape == (layer.out_channels,)
+
+    def test_payload_matches_weight_bytes(self, store, tiny_graph):
+        for info in tiny_graph.infos():
+            assert store.payload_bytes(info.name) == info.weight_bytes
+
+    def test_weightless_layers_have_no_arrays(self, store, tiny_graph):
+        for info in tiny_graph.infos():
+            if info.kind in (LayerKind.RELU, LayerKind.SOFTMAX,
+                             LayerKind.GLOBAL_POOL_AVG, LayerKind.INPUT):
+                assert store.arrays(info.name) == ()
+
+    def test_deterministic_across_stores(self, tiny_graph):
+        a = WeightStore(tiny_graph).arrays("conv0")
+        b = WeightStore(tiny_graph).arrays("conv0")
+        for left, right in zip(a, b):
+            assert np.array_equal(left, right)
+
+    def test_different_layers_differ(self, tiny_graph):
+        store = WeightStore(tiny_graph)
+        assert not np.array_equal(
+            store.arrays("conv0")[0], store.arrays("conv1")[0]
+        )
+
+    def test_caching_returns_same_objects(self, store):
+        assert store.arrays("conv0") is store.arrays("conv0")
+
+    def test_float32(self, store, tiny_graph):
+        for name in tiny_graph.topo_order:
+            for array in store.arrays(name):
+                assert array.dtype == np.float32
+
+    def test_requires_frozen_graph(self):
+        from repro.dnn.graph import DNNGraph
+        from repro.dnn.layer import Layer, TensorShape
+
+        g = DNNGraph("g")
+        g.add(Layer("in", LayerKind.INPUT, input_shape=TensorShape(1)))
+        with pytest.raises(ValueError):
+            WeightStore(g)
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng):
+        arrays = (
+            rng.normal(size=(4, 3, 3, 3)).astype(np.float32),
+            rng.normal(size=(4,)).astype(np.float32),
+        )
+        back = deserialize_arrays(serialize_arrays(arrays))
+        for left, right in zip(arrays, back):
+            assert np.array_equal(left, right)
+
+    def test_empty_tuple_roundtrip(self):
+        assert deserialize_arrays(serialize_arrays(())) == ()
+
+    def test_rejects_non_float32(self):
+        with pytest.raises(ValueError):
+            serialize_arrays((np.zeros(3, dtype=np.float64),))
+
+    def test_corruption_detected(self, rng):
+        blob = bytearray(
+            serialize_arrays((rng.normal(size=8).astype(np.float32),))
+        )
+        blob[12] ^= 0xFF  # flip a payload byte
+        with pytest.raises(ValueError, match="checksum"):
+            deserialize_arrays(bytes(blob))
+
+    def test_truncation_detected(self, rng):
+        blob = serialize_arrays((rng.normal(size=8).astype(np.float32),))
+        with pytest.raises(ValueError):
+            deserialize_arrays(blob[:10])
+
+    def test_bad_magic_detected(self, rng):
+        blob = bytearray(
+            serialize_arrays((rng.normal(size=8).astype(np.float32),))
+        )
+        blob[0] = ord("X")
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_arrays(bytes(blob))
+
+    def test_layer_blob_carries_payload(self, store, tiny_graph):
+        blob = serialize_layer(store, "conv0")
+        # Framed size = payload + bounded header overhead.
+        payload = store.payload_bytes("conv0")
+        assert payload < len(blob) < payload + 256
+
+    def test_chunk_roundtrip(self, store, tiny_graph):
+        names = tuple(tiny_graph.topo_order[1:4])
+        back = deserialize_chunk(serialize_chunk(store, names))
+        assert set(back) == set(names)
+        for name in names:
+            for left, right in zip(store.arrays(name), back[name]):
+                assert np.array_equal(left, right)
+
+    def test_chunk_trailing_bytes_detected(self, store, tiny_graph):
+        blob = serialize_chunk(store, (tiny_graph.topo_order[1],))
+        with pytest.raises(ValueError, match="trailing"):
+            deserialize_chunk(blob + b"xx")

@@ -1,0 +1,107 @@
+"""Tests for the extended model zoo (AlexNet, VGG-16, SqueezeNet) and LRN."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.execution import NumpyExecutor, _lrn
+from repro.dnn.layer import LayerKind
+from repro.dnn.models import build_model
+from repro.dnn.zoo_extra import alexnet, squeezenet, vgg16
+
+# Published parameter counts -> float32 MB (decimal-ish tolerance).
+PUBLISHED_MB = {"alexnet": 233, "vgg16": 528, "squeezenet": 4.8}
+
+
+@pytest.mark.parametrize("name", sorted(PUBLISHED_MB))
+class TestPublishedSizes:
+    def test_size_matches_published(self, name):
+        graph = build_model(name)
+        assert abs(graph.size_mb - PUBLISHED_MB[name]) / PUBLISHED_MB[name] < 0.05
+
+    def test_single_input_output(self, name):
+        graph = build_model(name)
+        assert graph.layer(graph.input_name).kind is LayerKind.INPUT
+        assert graph.layer(graph.output_name).kind is LayerKind.SOFTMAX
+
+
+class TestAlexNet:
+    def test_fc_tail_dominates(self):
+        graph = alexnet()
+        fc_bytes = sum(
+            graph.info(n).weight_bytes
+            for n in ("fc6", "fc7", "fc8")
+        )
+        assert fc_bytes / graph.total_weight_bytes > 0.9
+
+    def test_uses_lrn_and_grouped_convs(self):
+        graph = alexnet()
+        kinds = {graph.info(n).kind for n in graph.topo_order}
+        assert LayerKind.LRN in kinds
+        grouped = [n for n in graph.topo_order if graph.layer(n).groups > 1]
+        assert len(grouped) == 3  # conv2, conv4, conv5
+
+    def test_fc6_input_is_256x6x6(self):
+        graph = alexnet()
+        assert graph.info("fc6").input_shapes[0].elements == 256 * 6 * 6
+
+
+class TestVgg16:
+    def test_thirteen_convs(self):
+        graph = vgg16()
+        convs = [
+            n for n in graph.topo_order
+            if graph.info(n).kind is LayerKind.CONV
+        ]
+        assert len(convs) == 13
+
+    def test_flops_near_published(self):
+        # VGG-16 is ~30.9 GFLOPs (15.5 GMACs).
+        assert 28e9 < vgg16().total_flops < 34e9
+
+
+class TestSqueezeNet:
+    def test_fire_modules_concat(self):
+        graph = squeezenet()
+        concats = [
+            n for n in graph.topo_order
+            if graph.info(n).kind is LayerKind.CONCAT
+        ]
+        assert len(concats) == 8
+
+    def test_runs_end_to_end(self, rng):
+        graph = squeezenet()
+        executor = NumpyExecutor(graph)
+        out = executor.run(executor.make_input(rng))
+        assert out.sum() == pytest.approx(1.0, abs=1e-4)
+        assert out.shape == (1000, 1, 1)
+
+
+class TestLrn:
+    def test_preserves_shape_and_sign(self, rng):
+        x = rng.normal(size=(8, 4, 4)).astype(np.float32)
+        out = _lrn(x)
+        assert out.shape == x.shape
+        assert np.all(np.sign(out) == np.sign(x))
+
+    def test_shrinks_magnitudes(self, rng):
+        x = (rng.normal(size=(8, 4, 4)) * 100).astype(np.float32)
+        out = _lrn(x)
+        assert np.all(np.abs(out) <= np.abs(x) + 1e-6)
+
+    def test_zero_input_is_zero(self):
+        assert np.array_equal(_lrn(np.zeros((4, 2, 2), np.float32)),
+                              np.zeros((4, 2, 2), np.float32))
+
+    def test_matches_naive_window_sum(self, rng):
+        x = rng.normal(size=(7, 2, 2)).astype(np.float32)
+        out = _lrn(x, local_size=5, alpha=1e-4, beta=0.75)
+        channels = x.shape[0]
+        for c in range(channels):
+            lo, hi = max(0, c - 2), min(channels, c + 3)
+            window = (x[lo:hi] ** 2).sum(axis=0)
+            expected = x[c] / (1.0 + (1e-4 / 5) * window) ** 0.75
+            assert np.allclose(out[c], expected, atol=1e-6)
+
+    def test_lrn_flops_accounted(self):
+        graph = alexnet()
+        assert graph.info("norm1").flops > 0

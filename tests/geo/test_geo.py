@@ -1,0 +1,117 @@
+"""Tests for geometry, hex grid, and the edge-server registry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BoundingBox, euclidean
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+
+
+class TestGeometry:
+    def test_euclidean(self):
+        assert euclidean((0, 0), (3, 4)) == 5.0
+
+    def test_bbox_properties(self):
+        box = BoundingBox(0, 0, 10, 20)
+        assert box.width == 10 and box.height == 20 and box.area == 200
+
+    def test_bbox_contains_and_clamp(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains((5, 5))
+        assert not box.contains((11, 5))
+        assert box.clamp((11, -2)) == (10, 0)
+
+    def test_degenerate_bbox_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 0, 10)
+
+    def test_sample_inside(self, rng):
+        box = BoundingBox(2, 3, 4, 5)
+        for _ in range(20):
+            assert box.contains(box.sample(rng))
+
+
+class TestHexGrid:
+    def test_cell_of_center_roundtrip(self):
+        grid = HexGrid(50.0)
+        for q in range(-3, 4):
+            for r in range(-3, 4):
+                cell = HexCell(q, r)
+                assert grid.cell_of(grid.center(cell)) == cell
+
+    def test_cell_of_is_nearest_center(self, rng):
+        grid = HexGrid(50.0)
+        for _ in range(100):
+            point = (float(rng.uniform(-500, 500)), float(rng.uniform(-500, 500)))
+            cell = grid.cell_of(point)
+            own = euclidean(point, grid.center(cell))
+            for neighbor in cell.neighbors():
+                assert own <= euclidean(point, grid.center(neighbor)) + 1e-9
+
+    def test_neighbor_distance(self):
+        grid = HexGrid(50.0)
+        origin = HexCell(0, 0)
+        for neighbor in origin.neighbors():
+            assert grid.center_distance(origin, neighbor) == pytest.approx(
+                math.sqrt(3) * 50.0
+            )
+
+    def test_cells_within_zero_distance(self):
+        grid = HexGrid(50.0)
+        cells = grid.cells_within((0.0, 0.0), 0.0)
+        assert cells == [HexCell(0, 0)]
+
+    def test_cells_within_counts(self):
+        grid = HexGrid(50.0)
+        # Radius covering exactly the first ring: 6 neighbors + origin.
+        cells = grid.cells_within((0.0, 0.0), math.sqrt(3) * 50.0 + 1.0)
+        assert len(cells) == 7
+
+    def test_cells_within_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HexGrid(50.0).cells_within((0, 0), -1.0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            HexGrid(0.0)
+
+
+class TestRegistry:
+    def test_allocation_from_points(self):
+        grid = HexGrid(50.0)
+        points = [(0.0, 0.0), (1.0, 1.0), (500.0, 500.0)]
+        registry = EdgeServerRegistry.from_visited_points(grid, points)
+        assert registry.num_servers == 2  # first two share a cell
+
+    def test_server_ids_stable(self):
+        grid = HexGrid(50.0)
+        registry = EdgeServerRegistry(grid)
+        cell = grid.cell_of((0.0, 0.0))
+        first = registry.ensure_server(cell)
+        second = registry.ensure_server(cell)
+        assert first == second
+
+    def test_server_at_unallocated_cell_is_none(self):
+        grid = HexGrid(50.0)
+        registry = EdgeServerRegistry.from_visited_points(grid, [(0.0, 0.0)])
+        assert registry.server_at((5000.0, 5000.0)) is None
+
+    def test_round_trip_server_cell_location(self):
+        grid = HexGrid(50.0)
+        registry = EdgeServerRegistry.from_visited_points(grid, [(120.0, 80.0)])
+        server_id = registry.server_at((120.0, 80.0))
+        assert server_id is not None
+        cell = registry.cell_of_server(server_id)
+        assert registry.server_for_cell(cell) == server_id
+        assert registry.server_location(server_id) == grid.center(cell)
+
+    def test_servers_within_radius(self):
+        grid = HexGrid(50.0)
+        points = [grid.center(HexCell(q, 0)) for q in range(5)]
+        registry = EdgeServerRegistry.from_visited_points(grid, points)
+        near = registry.servers_within(grid.center(HexCell(0, 0)), 100.0)
+        far = registry.servers_within(grid.center(HexCell(0, 0)), 500.0)
+        assert len(near) < len(far) <= 5

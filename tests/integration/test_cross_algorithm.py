@@ -1,0 +1,90 @@
+"""Cross-algorithm integration: alternative partitioners drive the same
+runtime machinery (collaboration, schedules, simulation) correctly."""
+
+import numpy as np
+import pytest
+
+from repro.core.collaboration import execute_collaboratively
+from repro.dnn.execution import NumpyExecutor
+from repro.dnn.models import tiny_branchy_dnn
+from repro.partitioning.execution_graph import ExecutionCosts
+from repro.partitioning.mincut import mincut_plan
+from repro.partitioning.neurosurgeon import neurosurgeon_plan
+from repro.partitioning.uploading import build_upload_schedule
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+
+
+@pytest.fixture(scope="module")
+def world():
+    graph = tiny_branchy_dnn()
+    profile = ExecutionProfile.build(graph, odroid_xu4(), titan_xp_server())
+    costs = ExecutionCosts.build(
+        graph, profile.client_times, profile.server_times, 35e6, 50e6
+    )
+    return graph, costs
+
+
+class TestAlternativePlansExecute:
+    @pytest.mark.parametrize("planner", [neurosurgeon_plan, mincut_plan])
+    def test_plans_execute_identically_to_local(self, world, planner, rng):
+        graph, costs = world
+        plan = planner(costs)
+        executor = NumpyExecutor(graph)
+        x = executor.make_input(rng)
+        local = executor.run(x)
+        collaborative = execute_collaboratively(
+            graph, plan, x, NumpyExecutor(graph), NumpyExecutor(graph)
+        )
+        assert np.allclose(local, collaborative.output, atol=1e-6)
+
+    @pytest.mark.parametrize("planner", [neurosurgeon_plan, mincut_plan])
+    def test_plans_produce_valid_upload_schedules(self, world, planner):
+        graph, costs = world
+        plan = planner(costs)
+        schedule = build_upload_schedule(costs, plan)
+        scheduled = [n for c in schedule.chunks for n in c.layer_names]
+        assert sorted(scheduled) == sorted(plan.server_layers)
+        latencies = schedule.latencies
+        assert all(a >= b - 1e-12 for a, b in zip(latencies, latencies[1:]))
+
+    def test_collaborative_transfer_bytes_match_routed_tensors(self, world, rng):
+        """The runtime's actual transfers equal the analytic prediction."""
+        from repro.core.routing import routed_tensors
+        from repro.partitioning.shortest_path import optimal_plan
+
+        graph, costs = world
+        plan = optimal_plan(costs)
+        executor = NumpyExecutor(graph)
+        x = executor.make_input(rng)
+        collaborative = execute_collaboratively(
+            graph, plan, x, NumpyExecutor(graph), NumpyExecutor(graph)
+        )
+        predicted = routed_tensors(costs, plan)
+        # The analytic model counts every tensor alive across a switch
+        # boundary; the lazy runtime moves only consumed tensors, so it
+        # can never move more.
+        assert collaborative.uplink_bytes <= predicted.uplink_bytes + 1e-9
+        assert collaborative.downlink_bytes <= predicted.downlink_bytes + 1e-9
+
+
+class TestScheduleEdgeCases:
+    def test_chunks_within_bytes_boundary_exact(self, world):
+        from repro.partitioning.shortest_path import optimal_plan
+
+        graph, costs = world
+        schedule = build_upload_schedule(costs, optimal_plan(costs))
+        cumulative = schedule.cumulative_bytes()
+        for i, boundary in enumerate(cumulative):
+            chunks = schedule.chunks_within_bytes(boundary)
+            assert len(chunks) >= i + 1
+
+    def test_single_giant_layer_becomes_own_chunk(self, world):
+        from repro.partitioning.shortest_path import optimal_plan
+
+        graph, costs = world
+        plan = optimal_plan(costs)
+        schedule = build_upload_schedule(costs, plan, max_chunk_bytes=1.0)
+        # Every chunk is either <= 1 byte or a single (oversized) layer.
+        for chunk in schedule.chunks:
+            assert chunk.nbytes <= 1.0 or len(chunk.indices) == 1

@@ -1,0 +1,117 @@
+"""Integration tests: the full PerDNN pipeline on real (small) components.
+
+These wire every subsystem together the way the benchmarks do — real model
+zoo graphs, the analytic profiler, the GPU-aware estimator, the partitioner,
+synthetic trajectories, and the large-scale simulator — and assert the
+paper's qualitative results hold end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.dnn.models import mobilenet_v1
+from repro.estimation.estimator import RFWithLoadEstimator
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile, generate_contention_dataset
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.simulation.single_client import (
+    simulate_handoff,
+    upload_window_throughput,
+)
+from repro.trajectories.synthetic import kaist_like
+
+
+@pytest.fixture(scope="module")
+def mobilenet_partitioner():
+    profile = ExecutionProfile.build(
+        mobilenet_v1(), odroid_xu4(), titan_xp_server()
+    )
+    config = PerDNNConfig()
+    return DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+
+
+class TestRealModelPipeline:
+    def test_offloading_beats_local(self, mobilenet_partitioner):
+        result = mobilenet_partitioner.partition(1.0)
+        assert result.plan.latency < mobilenet_partitioner.local_latency()
+        assert result.plan.offloads_anything
+
+    def test_handoff_experiment_end_to_end(self, mobilenet_partitioner):
+        config = PerDNNConfig()
+        total = mobilenet_partitioner.partition(1.0).schedule.total_bytes
+        ionn = simulate_handoff(mobilenet_partitioner, config)
+        perdnn = simulate_handoff(
+            mobilenet_partitioner, config, premigrated_bytes=total
+        )
+        assert (
+            perdnn.peak_latency_after_switch <= ionn.peak_latency_after_switch
+        )
+
+    def test_throughput_experiment_end_to_end(self, mobilenet_partitioner):
+        result = upload_window_throughput(mobilenet_partitioner, PerDNNConfig())
+        # Table II magnitudes for MobileNet: a handful of queries in ~4 s.
+        assert 2 <= result.miss_queries <= 10
+        assert result.miss_queries <= result.hit_queries
+
+    def test_estimator_pipeline_end_to_end(self, mobilenet_partitioner):
+        rng = np.random.default_rng(3)
+        samples = generate_contention_dataset(
+            mobilenet_partitioner.graph,
+            titan_xp_server(),
+            rng,
+            client_counts=(1, 8),
+            rounds_per_count=6,
+        )
+        estimator = RFWithLoadEstimator(rng=rng).fit(samples)
+        light = [s for s in samples if s.stats.num_clients == 1]
+        heavy = [s for s in samples if s.stats.num_clients == 8]
+        light_prediction = estimator.predict_batch(light[:30]).mean()
+        heavy_prediction = estimator.predict_batch(heavy[:30]).mean()
+        assert heavy_prediction > light_prediction
+
+
+class TestFullSimulationPipeline:
+    @pytest.fixture(scope="class")
+    def results(self, mobilenet_partitioner):
+        dataset = kaist_like(
+            np.random.default_rng(8), num_users=10, duration_steps=150
+        )
+        out = {}
+        for policy in (
+            MigrationPolicy.NONE,
+            MigrationPolicy.PERDNN,
+            MigrationPolicy.OPTIMAL,
+        ):
+            settings = SimulationSettings(
+                policy=policy, migration_radius_m=100.0, max_steps=40, seed=2
+            )
+            out[policy] = run_large_scale(
+                dataset, mobilenet_partitioner, settings
+            )
+        return out
+
+    def test_hit_ratio_ordering(self, results):
+        assert results[MigrationPolicy.NONE].hit_ratio == 0.0
+        assert (
+            0.0
+            < results[MigrationPolicy.PERDNN].hit_ratio
+            <= results[MigrationPolicy.OPTIMAL].hit_ratio
+        )
+        assert results[MigrationPolicy.OPTIMAL].hit_ratio == 1.0
+
+    def test_coldstart_throughput_ordering(self, results):
+        assert (
+            results[MigrationPolicy.NONE].coldstart_queries
+            <= results[MigrationPolicy.PERDNN].coldstart_queries
+            <= results[MigrationPolicy.OPTIMAL].coldstart_queries
+        )
+
+    def test_only_perdnn_uses_backhaul(self, results):
+        assert results[MigrationPolicy.NONE].uplink.total_bytes == 0.0
+        assert results[MigrationPolicy.OPTIMAL].uplink.total_bytes == 0.0
+        assert results[MigrationPolicy.PERDNN].uplink.total_bytes > 0.0

@@ -1,0 +1,116 @@
+"""Tests for linear/logarithmic regression and linear SVR."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import BestOfLinearLog, LinearRegression, LogarithmicRegression
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.svr import LinearSVR, MultiOutputLinearSVR
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_function(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = LinearRegression().fit(X, y)
+        assert mean_absolute_error(y, model.predict(X)) < 1e-9
+
+    def test_bias_term_learned(self, rng):
+        X = np.zeros((50, 2))
+        y = np.full(50, 7.0)
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.predict(X), 7.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearRegression().predict(np.zeros((1, 1)))
+
+
+class TestLogarithmicRegression:
+    def test_recovers_log_function(self, rng):
+        X = rng.uniform(0, 100, size=(200, 1))
+        y = 3.0 * np.log1p(X[:, 0]) + 1.0
+        model = LogarithmicRegression().fit(X, y)
+        assert mean_absolute_error(y, model.predict(X)) < 1e-9
+
+    def test_rejects_negative_features(self):
+        with pytest.raises(ValueError):
+            LogarithmicRegression().fit(np.array([[-1.0]]), np.array([0.0]))
+
+
+class TestBestOfLinearLog:
+    def test_picks_linear_for_linear_data(self, rng):
+        X = rng.uniform(0, 10, size=(200, 2))
+        y = X @ np.array([1.0, 2.0])
+        model = BestOfLinearLog().fit(X, y)
+        assert model.chosen_form == "linear"
+
+    def test_picks_log_for_log_data(self, rng):
+        X = rng.uniform(0, 1000, size=(300, 1))
+        y = np.log1p(X[:, 0])
+        model = BestOfLinearLog().fit(X, y)
+        assert model.chosen_form == "log"
+
+    def test_negative_features_fall_back_to_linear(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = BestOfLinearLog().fit(X, y)
+        assert model.chosen_form == "linear"
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BestOfLinearLog().predict(np.zeros((1, 1)))
+
+
+class TestLinearSVR:
+    def test_recovers_linear_function(self, rng):
+        X = rng.normal(size=(400, 3))
+        y = X @ np.array([1.5, -2.0, 0.5]) + 0.3
+        model = LinearSVR(rng=rng).fit(X, y)
+        assert mean_absolute_error(y, model.predict(X)) < 0.05
+        assert np.allclose(model.weights_, [1.5, -2.0, 0.5], atol=0.1)
+
+    def test_epsilon_tube_tolerates_small_noise(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] + rng.uniform(-0.05, 0.05, size=300)
+        model = LinearSVR(epsilon=0.1, rng=rng).fit(X, y)
+        assert abs(model.weights_[0] - 1.0) < 0.15
+
+    def test_early_stopping_via_tolerance(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        model = LinearSVR(epochs=500, tolerance=1e-2, rng=rng).fit(X, y)
+        assert model.n_iterations_ < 500
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LinearSVR(epsilon=-0.1)
+        with pytest.raises(ValueError):
+            LinearSVR(C=0.0)
+
+    def test_shape_validation(self, rng):
+        model = LinearSVR(rng=rng).fit(rng.normal(size=(20, 2)), rng.normal(size=20))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 3)))
+        with pytest.raises(RuntimeError):
+            LinearSVR().predict(np.zeros((1, 2)))
+
+
+class TestMultiOutputLinearSVR:
+    def test_independent_outputs(self, rng):
+        X = rng.normal(size=(300, 2))
+        Y = np.stack([X[:, 0] * 2.0, X[:, 1] * -1.0], axis=1)
+        model = MultiOutputLinearSVR(rng=rng).fit(X, Y)
+        predictions = model.predict(X)
+        assert predictions.shape == Y.shape
+        assert mean_absolute_error(Y.ravel(), predictions.ravel()) < 0.05
+
+    def test_requires_2d_targets(self, rng):
+        with pytest.raises(ValueError):
+            MultiOutputLinearSVR(rng=rng).fit(
+                rng.normal(size=(10, 2)), rng.normal(size=10)
+            )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MultiOutputLinearSVR().predict(np.zeros((1, 2)))

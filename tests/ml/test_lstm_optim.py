@@ -1,0 +1,126 @@
+"""Tests for the numpy LSTM and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.optim import SGD, Adam
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        params = {"x": np.array([5.0])}
+        adam = Adam(params, learning_rate=0.1)
+        for _ in range(500):
+            adam.step({"x": 2.0 * params["x"]})  # d/dx x^2
+        assert abs(params["x"][0]) < 1e-2
+
+    def test_missing_gradient_raises(self):
+        adam = Adam({"a": np.zeros(2), "b": np.zeros(2)})
+        with pytest.raises(ValueError, match="missing gradients"):
+            adam.step({"a": np.zeros(2)})
+
+    def test_shape_mismatch_raises(self):
+        adam = Adam({"a": np.zeros(2)})
+        with pytest.raises(ValueError, match="shape mismatch"):
+            adam.step({"a": np.zeros(3)})
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam({}, learning_rate=0.0)
+
+
+class TestSGD:
+    def test_single_step(self):
+        params = {"w": np.array([1.0])}
+        SGD(params, learning_rate=0.5).step({"w": np.array([1.0])})
+        assert params["w"][0] == pytest.approx(0.5)
+
+    def test_decay_shrinks_rate(self):
+        params = {"w": np.array([0.0])}
+        sgd = SGD(params, learning_rate=1.0, decay=1.0)
+        sgd.step({"w": np.array([-1.0])})  # step 1: rate = 1/2
+        assert params["w"][0] == pytest.approx(0.5)
+        sgd.step({"w": np.array([-1.0])})  # step 2: rate = 1/3
+        assert params["w"][0] == pytest.approx(0.5 + 1.0 / 3.0)
+
+
+class TestLSTMRegressor:
+    def test_learns_constant_velocity_extrapolation(self, rng):
+        n, T = 300, 5
+        seq = np.cumsum(rng.normal(0.2, 0.05, size=(n, T + 1, 2)), axis=1)
+        model = LSTMRegressor(hidden_size=16, epochs=40, rng=rng)
+        model.fit(seq[:, :T, :], seq[:, T, :])
+        mae = mean_absolute_error(seq[:, T, :], model.predict(seq[:, :T, :]))
+        assert mae < 0.15
+
+    def test_training_loss_decreases(self, rng):
+        n, T = 200, 4
+        seq = np.cumsum(rng.normal(0.1, 0.05, size=(n, T + 1, 1)), axis=1)
+        model = LSTMRegressor(hidden_size=8, epochs=30, rng=rng)
+        model.fit(seq[:, :T, :], seq[:, T, :])
+        assert model.training_losses_[-1] < 0.5 * model.training_losses_[0]
+
+    def test_mse_loss_option(self, rng):
+        X = rng.normal(size=(100, 3, 2))
+        Y = X[:, -1, :]
+        model = LSTMRegressor(hidden_size=8, epochs=20, loss="mse", rng=rng)
+        model.fit(X, Y)
+        assert model.predict(X).shape == Y.shape
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            LSTMRegressor(loss="huber")
+
+    def test_invalid_hidden_size(self):
+        with pytest.raises(ValueError):
+            LSTMRegressor(hidden_size=0)
+
+    def test_shape_validation(self, rng):
+        model = LSTMRegressor(hidden_size=4, epochs=2, rng=rng)
+        with pytest.raises(ValueError):
+            model.fit(rng.normal(size=(10, 3)), rng.normal(size=(10, 2)))
+        model.fit(rng.normal(size=(10, 3, 2)), rng.normal(size=(10, 2)))
+        with pytest.raises(ValueError):
+            model.predict(rng.normal(size=(5, 3, 4)))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            LSTMRegressor().predict(np.zeros((1, 2, 2)))
+
+    def test_deterministic_under_seed(self):
+        X = np.random.default_rng(0).normal(size=(50, 4, 2))
+        Y = X[:, -1, :]
+        a = LSTMRegressor(hidden_size=8, epochs=5, rng=np.random.default_rng(9))
+        b = LSTMRegressor(hidden_size=8, epochs=5, rng=np.random.default_rng(9))
+        assert np.allclose(a.fit(X, Y).predict(X), b.fit(X, Y).predict(X))
+
+    def test_gradient_check_against_numerical(self):
+        """BPTT gradients must match finite differences (MSE loss)."""
+        rng = np.random.default_rng(5)
+        model = LSTMRegressor(hidden_size=3, loss="mse", rng=rng)
+        X = rng.normal(size=(4, 3, 2))
+        Y = rng.normal(size=(4, 1))
+        params = model._init_params(2, 1)
+
+        def loss_value() -> float:
+            prediction, _ = model._forward(X, params)
+            return float(np.mean((prediction - Y) ** 2))
+
+        prediction, cache = model._forward(X, params)
+        d_pred = 2.0 * (prediction - Y) / prediction.size
+        grads = model._backward(d_pred, cache, params)
+        eps = 1e-6
+        for name in ("Wx", "Wh", "b", "Wy", "by"):
+            flat = params[name].reshape(-1)
+            index = 0  # check the first coordinate of each parameter
+            original = flat[index]
+            flat[index] = original + eps
+            up = loss_value()
+            flat[index] = original - eps
+            down = loss_value()
+            flat[index] = original
+            numerical = (up - down) / (2 * eps)
+            analytic = grads[name].reshape(-1)[index]
+            assert analytic == pytest.approx(numerical, rel=1e-4, abs=1e-7), name

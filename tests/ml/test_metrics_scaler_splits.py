@@ -1,0 +1,100 @@
+"""Tests for ML utilities: metrics, scaler, splits."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score, rmse
+from repro.ml.scaler import StandardScaler
+from repro.ml.splits import kfold_indices, train_test_split
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_absolute_error(y, y) == 0.0
+        assert mean_squared_error(y, y) == 0.0
+        assert r2_score(y, y) == 1.0
+
+    def test_known_values(self):
+        y_true = np.array([0.0, 0.0])
+        y_pred = np.array([1.0, -3.0])
+        assert mean_absolute_error(y_true, y_pred) == 2.0
+        assert mean_squared_error(y_true, y_pred) == 5.0
+        assert rmse(y_true, y_pred) == pytest.approx(np.sqrt(5.0))
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.full(3, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_constant_target_edge_case(self):
+        y = np.array([2.0, 2.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.array([]), np.array([]))
+
+
+class TestStandardScaler:
+    def test_fit_transform_standardizes(self, rng):
+        X = rng.normal(5.0, 3.0, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_safe(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(3))
+
+
+class TestSplits:
+    def test_train_test_split_partition(self, rng):
+        train, test = train_test_split(100, 0.25, rng)
+        assert len(train) == 75 and len(test) == 25
+        assert set(train) | set(test) == set(range(100))
+        assert not set(train) & set(test)
+
+    def test_split_always_leaves_training_data(self, rng):
+        train, test = train_test_split(2, 0.99, rng)
+        assert len(train) >= 1 and len(test) >= 1
+
+    def test_split_validation(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5, rng)
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0, rng)
+
+    def test_kfold_covers_all_indices(self, rng):
+        folds = kfold_indices(20, 4, rng)
+        assert len(folds) == 4
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(20))
+        for train, test in folds:
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_kfold_validation(self, rng):
+        with pytest.raises(ValueError):
+            kfold_indices(5, 1, rng)
+        with pytest.raises(ValueError):
+            kfold_indices(3, 4, rng)

@@ -1,0 +1,129 @@
+"""Tests for the CART regression tree and random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.tree import RegressionTree
+
+
+@pytest.fixture
+def step_data(rng):
+    """y is a clean step function of the first feature."""
+    X = rng.uniform(0, 1, size=(400, 3))
+    y = np.where(X[:, 0] > 0.5, 2.0, -1.0)
+    return X, y
+
+
+class TestRegressionTree:
+    def test_learns_step_function_exactly(self, step_data, rng):
+        X, y = step_data
+        tree = RegressionTree(max_depth=3, rng=rng).fit(X, y)
+        assert mean_absolute_error(y, tree.predict(X)) < 1e-9
+
+    def test_depth_one_is_single_split(self, step_data, rng):
+        X, y = step_data
+        tree = RegressionTree(max_depth=1, rng=rng).fit(X, y)
+        assert tree.depth <= 1
+        assert len(set(tree.predict(X).tolist())) <= 2
+
+    def test_constant_target_yields_leaf(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = np.full(50, 3.5)
+        tree = RegressionTree(rng=rng).fit(X, y)
+        assert tree.depth == 0
+        assert np.allclose(tree.predict(X), 3.5)
+
+    def test_min_samples_leaf_respected(self, rng):
+        X = rng.uniform(size=(20, 1))
+        y = X[:, 0]
+        tree = RegressionTree(min_samples_leaf=10, max_depth=5, rng=rng).fit(X, y)
+        # With 20 samples and >=10 per leaf there can be at most one split.
+        assert tree.depth <= 1
+
+    def test_feature_importances_identify_signal(self, step_data, rng):
+        X, y = step_data
+        tree = RegressionTree(rng=rng).fit(X, y)
+        importances = tree.feature_importances_
+        assert importances is not None
+        assert importances[0] > 0.9
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_prediction_within_target_range(self, rng):
+        X = rng.normal(size=(200, 4))
+        y = rng.normal(size=200)
+        tree = RegressionTree(rng=rng).fit(X, y)
+        preds = tree.predict(rng.normal(size=(50, 4)))
+        assert preds.min() >= y.min() and preds.max() <= y.max()
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_wrong_feature_count_raises(self, step_data, rng):
+        X, y = step_data
+        tree = RegressionTree(rng=rng).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 5)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_max_features_sqrt(self, step_data, rng):
+        X, y = step_data
+        tree = RegressionTree(max_features="sqrt", rng=rng).fit(X, y)
+        assert tree.predict(X).shape == y.shape
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_data(self, rng):
+        X = rng.uniform(0, 1, size=(600, 4))
+        y = np.sin(4 * X[:, 0]) + X[:, 1] ** 2 + 0.2 * rng.normal(size=600)
+        X_test = rng.uniform(0, 1, size=(200, 4))
+        y_test = np.sin(4 * X_test[:, 0]) + X_test[:, 1] ** 2
+        tree = RegressionTree(max_depth=12, rng=rng).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=20, rng=rng).fit(X, y)
+        assert mean_absolute_error(y_test, forest.predict(X_test)) < (
+            mean_absolute_error(y_test, tree.predict(X_test))
+        )
+
+    def test_prediction_is_tree_average(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        forest = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, max_features=None, rng=rng
+        ).fit(X, y)
+        manual = np.mean([t.predict(X) for t in forest._trees], axis=0)
+        assert np.allclose(forest.predict(X), manual)
+
+    def test_importances_normalized(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = 2 * X[:, 2] + 0.05 * rng.normal(size=200)
+        forest = RandomForestRegressor(n_estimators=10, rng=rng).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+        assert np.argmax(forest.feature_importances_) == 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            RandomForestRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_deterministic_under_seed(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = X.sum(axis=1)
+        a = RandomForestRegressor(
+            n_estimators=5, rng=np.random.default_rng(3)
+        ).fit(X, y)
+        b = RandomForestRegressor(
+            n_estimators=5, rng=np.random.default_rng(3)
+        ).fit(X, y)
+        assert np.allclose(a.predict(X), b.predict(X))

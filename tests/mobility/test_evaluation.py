@@ -1,0 +1,128 @@
+"""Tests for the mobility evaluation harness (Table III / Fig 6 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.hexgrid import HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.mobility.evaluation import (
+    benefit_cost_ratio,
+    evaluate_predictor,
+    futile_prediction_ratio,
+    point_prediction_mae,
+    sliding_windows,
+)
+from repro.mobility.markov import MarkovPredictor
+from repro.mobility.predictor import PointPredictor
+from repro.mobility.svr import SVRPredictor
+from repro.trajectories.synthetic import kaist_like
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    rng = np.random.default_rng(77)
+    dataset = kaist_like(rng, num_users=8, duration_steps=150)
+    grid = HexGrid(50.0)
+    registry = EdgeServerRegistry.from_visited_points(grid, dataset.all_points())
+    train, test = dataset.split_users(0.35, rng)
+    return dataset, grid, registry, train, test
+
+
+class PerfectOracle(PointPredictor):
+    """Test double that 'predicts' using the ground-truth next point."""
+
+    name = "oracle"
+
+    def __init__(self, history: int = 5):
+        self.history = history
+        self._lookup: dict = {}
+
+    def fit(self, dataset):
+        for trajectory in dataset.trajectories:
+            X, y = trajectory.windows(self.history)
+            for window, target in zip(X, y):
+                self._lookup[window.tobytes()] = target
+        return self
+
+    def predict_points(self, windows):
+        return np.stack([self._lookup[w.tobytes()] for w in windows])
+
+
+class TestSlidingWindows:
+    def test_window_counts(self, small_world):
+        dataset, *_ = small_world
+        X, y = sliding_windows(dataset, history=5)
+        expected = sum(max(0, len(t) - 5) for t in dataset.trajectories)
+        assert len(X) == len(y) == expected
+
+    def test_empty_for_long_history(self, small_world):
+        dataset, *_ = small_world
+        X, y = sliding_windows(dataset, history=10_000)
+        assert len(X) == 0
+
+
+class TestEvaluatePredictor:
+    def test_oracle_scores_perfect_top1(self, small_world):
+        dataset, grid, registry, train, test = small_world
+        oracle = PerfectOracle().fit(test)
+        accuracy = evaluate_predictor(oracle, test, registry)
+        assert accuracy.top_k_accuracy[1] == pytest.approx(100.0)
+        assert accuracy.mae_meters == pytest.approx(0.0)
+
+    def test_top2_at_least_top1(self, small_world):
+        _, grid, registry, train, test = small_world
+        rng = np.random.default_rng(5)
+        predictor = SVRPredictor(rng=rng).fit(train)
+        accuracy = evaluate_predictor(predictor, test, registry)
+        assert accuracy.top_k_accuracy[2] >= accuracy.top_k_accuracy[1]
+        assert 0 <= accuracy.top_k_accuracy[1] <= 100.0
+        assert accuracy.evaluated_windows > 0
+
+    def test_markov_accuracy_bounds(self, small_world):
+        _, grid, registry, train, test = small_world
+        predictor = MarkovPredictor(grid).fit(train)
+        accuracy = evaluate_predictor(predictor, test, registry)
+        assert accuracy.mae_meters is None
+        assert 0 <= accuracy.top_k_accuracy[2] <= 100.0
+
+    def test_unsupported_predictor_type(self, small_world):
+        from repro.mobility.predictor import MobilityPredictor
+
+        class Weird(MobilityPredictor):
+            def fit(self, dataset):
+                return self
+
+        _, _, registry, _, test = small_world
+        with pytest.raises(TypeError):
+            evaluate_predictor(Weird(), test, registry)
+
+    def test_point_prediction_mae(self, small_world):
+        *_, test = small_world
+        oracle = PerfectOracle().fit(test)
+        assert point_prediction_mae(oracle, test, history=5) == pytest.approx(0.0)
+
+
+class TestFutileAndBenefit:
+    def test_futile_ratio_bounds(self, small_world):
+        dataset, grid, *_ = small_world
+        ratio = futile_prediction_ratio(dataset, grid)
+        assert 0.0 <= ratio <= 1.0
+
+    def test_slow_walkers_are_mostly_futile(self, small_world):
+        """Campus walkers usually stay in their 50 m cell for 30 s."""
+        dataset, grid, *_ = small_world
+        assert futile_prediction_ratio(dataset, grid) > 0.5
+
+    def test_longer_interval_reduces_futility(self, small_world):
+        dataset, grid, *_ = small_world
+        short = futile_prediction_ratio(dataset, grid)
+        long = futile_prediction_ratio(dataset.subsample(4), grid)
+        assert long < short
+
+    def test_benefit_cost_formula(self):
+        assert benefit_cost_ratio(0.5, 0.5) == pytest.approx(0.25)
+        assert benefit_cost_ratio(1.0, 0.0) == 1.0
+        with pytest.raises(ValueError):
+            benefit_cost_ratio(1.5, 0.0)
+        with pytest.raises(ValueError):
+            benefit_cost_ratio(0.5, -0.1)

@@ -1,0 +1,103 @@
+"""Tests for transportation-mode-aware prediction."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BoundingBox
+from repro.mobility.modes import (
+    ModeAwareSVRPredictor,
+    ModeThresholds,
+    window_speeds,
+)
+from repro.mobility.trajectory import Trajectory, TrajectoryDataset
+
+
+class TestModeThresholds:
+    def test_classification(self):
+        thresholds = ModeThresholds(walk_max=2.0, bike_max=6.0)
+        assert thresholds.classify(0.5) == "walk"
+        assert thresholds.classify(3.0) == "bike"
+        assert thresholds.classify(10.0) == "vehicle"
+
+    def test_boundaries(self):
+        thresholds = ModeThresholds(walk_max=2.0, bike_max=6.0)
+        assert thresholds.classify(2.0) == "bike"
+        assert thresholds.classify(6.0) == "vehicle"
+
+
+class TestWindowSpeeds:
+    def test_constant_velocity(self):
+        window = np.array([[[0.0, 0.0], [10.0, 0.0], [20.0, 0.0]]])
+        speeds = window_speeds(window, interval_seconds=5.0)
+        assert speeds[0] == pytest.approx(2.0)
+
+    def test_stationary(self):
+        window = np.zeros((1, 4, 2))
+        assert window_speeds(window, 10.0)[0] == 0.0
+
+
+def multi_mode_dataset(rng: np.random.Generator) -> TrajectoryDataset:
+    """Half the users walk (1 m/s), half drive (10 m/s), straight lines."""
+    trajectories = []
+    for user in range(16):
+        speed = 1.0 if user % 2 == 0 else 10.0
+        start = rng.uniform(1000, 9000, size=2)
+        direction = rng.uniform(-1, 1, size=2)
+        direction /= np.hypot(*direction)
+        points = start + np.outer(np.arange(40) * speed * 20.0, direction)
+        trajectories.append(Trajectory(user, 20.0, points))
+    return TrajectoryDataset(
+        name="multi-mode",
+        interval_seconds=20.0,
+        bbox=BoundingBox(-20000, -20000, 30000, 30000),
+        trajectories=tuple(trajectories),
+    )
+
+
+class TestModeAwareSVRPredictor:
+    def test_learns_both_modes(self, rng):
+        dataset = multi_mode_dataset(rng)
+        predictor = ModeAwareSVRPredictor(
+            min_mode_samples=50, epochs=600, rng=rng
+        ).fit(dataset)
+        assert predictor.mode_counts_["walk"] > 0
+        assert predictor.mode_counts_["vehicle"] > 0
+        errors = []
+        for trajectory in dataset.trajectories[:6]:
+            window = trajectory.points[:5]
+            predicted = np.array(predictor.predict_point(window))
+            actual = trajectory.points[5]
+            errors.append(float(np.hypot(*(predicted - actual))))
+        # Vehicle legs move 200 m per step; predictions must be far more
+        # accurate than that on average.
+        assert np.mean(errors) < 60.0
+
+    def test_sparse_modes_fall_back_to_global(self, rng):
+        dataset = multi_mode_dataset(rng)
+        predictor = ModeAwareSVRPredictor(
+            min_mode_samples=10_000, epochs=50, rng=rng
+        ).fit(dataset)
+        assert predictor._per_mode == {}
+        # Still predicts via the global model.
+        window = dataset.trajectories[0].points[:5]
+        assert len(predictor.predict_point(window)) == 2
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ModeAwareSVRPredictor().predict_points(np.zeros((1, 5, 2)))
+
+    def test_window_shape_validation(self, rng):
+        predictor = ModeAwareSVRPredictor(epochs=10, rng=rng)
+        predictor.fit(multi_mode_dataset(rng))
+        with pytest.raises(ValueError):
+            predictor.predict_points(np.zeros((1, 3, 2)))
+
+    def test_empty_dataset_rejected(self, rng):
+        dataset = TrajectoryDataset(
+            name="short",
+            interval_seconds=20.0,
+            bbox=BoundingBox(0, 0, 100, 100),
+            trajectories=(Trajectory(0, 20.0, np.zeros((2, 2))),),
+        )
+        with pytest.raises(ValueError):
+            ModeAwareSVRPredictor(rng=rng).fit(dataset)

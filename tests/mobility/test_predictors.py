@@ -1,0 +1,144 @@
+"""Tests for the Markov, SVR, and LSTM mobility predictors."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BoundingBox
+from repro.geo.hexgrid import HexGrid
+from repro.mobility.lstm import LSTMPredictor
+from repro.mobility.markov import MarkovPredictor
+from repro.mobility.svr import SVRPredictor
+from repro.mobility.trajectory import Trajectory, TrajectoryDataset
+
+
+def constant_velocity_dataset(
+    rng: np.random.Generator, users: int = 12, n: int = 40
+) -> TrajectoryDataset:
+    """Users moving in straight lines: next = 2*p[-1] - p[-2] exactly."""
+    trajectories = []
+    for user in range(users):
+        start = rng.uniform(100, 900, size=2)
+        velocity = rng.uniform(-30, 30, size=2)
+        points = start + np.outer(np.arange(n), velocity)
+        trajectories.append(Trajectory(user, 20.0, points))
+    return TrajectoryDataset(
+        name="cv",
+        interval_seconds=20.0,
+        bbox=BoundingBox(-5000, -5000, 5000, 5000),
+        trajectories=tuple(trajectories),
+    )
+
+
+class TestSVRPredictor:
+    def test_learns_constant_velocity(self, rng):
+        dataset = constant_velocity_dataset(rng)
+        predictor = SVRPredictor(history=5, rng=rng).fit(dataset)
+        trajectory = dataset.trajectories[0]
+        window = trajectory.points[:5]
+        predicted = predictor.predict_point(window)
+        actual = trajectory.points[5]
+        assert np.hypot(*(np.array(predicted) - actual)) < 15.0
+
+    def test_batch_prediction_shape(self, rng):
+        dataset = constant_velocity_dataset(rng)
+        predictor = SVRPredictor(history=5, rng=rng).fit(dataset)
+        windows = np.stack([t.points[:5] for t in dataset.trajectories[:3]])
+        assert predictor.predict_points(windows).shape == (3, 2)
+
+    def test_window_shape_validation(self, rng):
+        dataset = constant_velocity_dataset(rng)
+        predictor = SVRPredictor(history=5, rng=rng).fit(dataset)
+        with pytest.raises(ValueError):
+            predictor.predict_point(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            predictor.predict_points(np.zeros((2, 4, 2)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            SVRPredictor().predict_points(np.zeros((1, 5, 2)))
+
+    def test_fit_requires_long_enough_traces(self, rng):
+        dataset = constant_velocity_dataset(rng, n=3)
+        with pytest.raises(ValueError):
+            SVRPredictor(history=5, rng=rng).fit(dataset)
+
+
+class TestLSTMPredictor:
+    def test_learns_constant_velocity(self, rng):
+        dataset = constant_velocity_dataset(rng)
+        predictor = LSTMPredictor(history=5, epochs=60, rng=rng).fit(dataset)
+        trajectory = dataset.trajectories[0]
+        predicted = predictor.predict_point(trajectory.points[:5])
+        actual = trajectory.points[5]
+        assert np.hypot(*(np.array(predicted) - actual)) < 80.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LSTMPredictor().predict_points(np.zeros((1, 5, 2)))
+
+
+class TestMarkovPredictor:
+    @pytest.fixture
+    def grid(self):
+        return HexGrid(50.0)
+
+    def cyclic_dataset(self, grid) -> TrajectoryDataset:
+        """Users repeatedly walking A -> B -> C -> A between cell centres."""
+        from repro.geo.hexgrid import HexCell
+
+        centers = [
+            grid.center(HexCell(0, 0)),
+            grid.center(HexCell(2, 0)),
+            grid.center(HexCell(0, 2)),
+        ]
+        points = np.array(centers * 10)
+        return TrajectoryDataset(
+            name="cycle",
+            interval_seconds=20.0,
+            bbox=BoundingBox(-1000, -1000, 1000, 1000),
+            trajectories=(Trajectory(0, 20.0, points),),
+        )
+
+    def test_learns_deterministic_cycle(self, grid):
+        from repro.geo.hexgrid import HexCell
+
+        dataset = self.cyclic_dataset(grid)
+        predictor = MarkovPredictor(grid).fit(dataset)
+        recent = [HexCell(0, 0), HexCell(2, 0)]
+        ranked = predictor.predict_cells(recent, top_k=1)
+        assert ranked[0][0] == HexCell(0, 2)
+        assert ranked[0][1] > 0.9
+
+    def test_unseen_context_falls_back_to_unconditional(self, grid):
+        from repro.geo.hexgrid import HexCell
+
+        dataset = self.cyclic_dataset(grid)
+        predictor = MarkovPredictor(grid).fit(dataset)
+        ranked = predictor.predict_cells([HexCell(50, 50)], top_k=3)
+        assert len(ranked) == 3  # the three cells of the cycle
+        assert sum(p for _, p in ranked) == pytest.approx(1.0)
+
+    def test_probabilities_descending(self, grid, rng):
+        from repro.trajectories.synthetic import kaist_like
+
+        dataset = kaist_like(rng, num_users=5, duration_steps=100)
+        predictor = MarkovPredictor(grid).fit(dataset)
+        cells = predictor.cells_of_points(dataset.trajectories[0].points[:5])
+        ranked = predictor.predict_cells(cells, top_k=5)
+        probabilities = [p for _, p in ranked]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_top_k_validation(self, grid):
+        predictor = MarkovPredictor(grid)
+        with pytest.raises(ValueError):
+            predictor.predict_cells([], top_k=0)
+
+    def test_parameter_validation(self, grid):
+        with pytest.raises(ValueError):
+            MarkovPredictor(grid, max_order=0)
+        with pytest.raises(ValueError):
+            MarkovPredictor(grid, subsequence_ratio=0.0)
+
+    def test_empty_model_returns_nothing(self, grid):
+        predictor = MarkovPredictor(grid)
+        assert predictor.predict_cells([], top_k=2) == []

@@ -1,0 +1,105 @@
+"""Tests for link speeds, transfer arithmetic, and traffic metering."""
+
+import pytest
+
+from repro.network.links import LAB_WIFI, NetworkSpeed
+from repro.network.traffic import TrafficMeter
+from repro.network.transfer import transfer_seconds, transferable_bytes
+
+
+class TestLinks:
+    def test_lab_wifi_matches_paper(self):
+        assert LAB_WIFI.downlink_bps == 50e6
+        assert LAB_WIFI.uplink_bps == 35e6
+
+    def test_from_mbps(self):
+        speed = NetworkSpeed.from_mbps(downlink=100, uplink=20)
+        assert speed.downlink_bps == 100e6
+        assert speed.uplink_bps == 20e6
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            NetworkSpeed(0.0, 1.0)
+
+
+class TestTransfer:
+    def test_paper_upload_time(self):
+        # Inception (~128 MB decimal) at 35 Mbps: the paper's 29.3 s.
+        assert transfer_seconds(128e6, 35e6) == pytest.approx(29.26, abs=0.05)
+
+    def test_inverse_relationship(self):
+        nbytes = 1e6
+        seconds = transfer_seconds(nbytes, 35e6)
+        assert transferable_bytes(seconds, 35e6) == pytest.approx(nbytes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            transfer_seconds(-1, 1)
+        with pytest.raises(ValueError):
+            transfer_seconds(1, 0)
+        with pytest.raises(ValueError):
+            transferable_bytes(-1, 1)
+
+
+class TestTrafficMeter:
+    def test_record_updates_both_directions(self):
+        meter = TrafficMeter(interval_seconds=10.0)
+        meter.record(interval=0, source=1, destination=2, nbytes=1000.0)
+        assert meter.uplink_bytes(1, 0) == 1000.0
+        assert meter.downlink_bytes(2, 0) == 1000.0
+        assert meter.uplink_bytes(2, 0) == 0.0
+
+    def test_peak_mbps_computation(self):
+        meter = TrafficMeter(interval_seconds=10.0)
+        meter.record(0, 1, 2, 12.5e6)  # 12.5 MB in 10 s = 10 Mbps
+        summary = meter.uplink_summary()
+        assert summary.peak_mbps == pytest.approx(10.0)
+        assert summary.peak_server == 1
+        assert summary.peak_interval == 0
+
+    def test_peaks_accumulate_within_interval(self):
+        meter = TrafficMeter(interval_seconds=1.0)
+        meter.record(0, 1, 2, 1e6)
+        meter.record(0, 1, 3, 1e6)
+        assert meter.uplink_summary().peak_mbps == pytest.approx(16.0)
+
+    def test_server_peaks_are_per_server_maxima(self):
+        meter = TrafficMeter(interval_seconds=1.0)
+        meter.record(0, 1, 2, 2e6)
+        meter.record(1, 1, 2, 1e6)
+        summary = meter.uplink_summary()
+        assert summary.server_peaks_mbps[1] == pytest.approx(16.0)
+
+    def test_fraction_under_threshold(self):
+        meter = TrafficMeter(interval_seconds=1.0)
+        meter.record(0, 1, 2, 100e6)  # server 1 peaks at 800 Mbps
+        meter.record(0, 3, 4, 1e6)  # server 3 peaks at 8 Mbps
+        summary = meter.uplink_summary()
+        assert summary.fraction_of_servers_under(100.0) == pytest.approx(0.5)
+
+    def test_fraction_with_no_traffic(self):
+        meter = TrafficMeter(interval_seconds=1.0)
+        assert meter.uplink_summary().fraction_of_servers_under(1.0) == 1.0
+
+    def test_top_servers_ranking(self):
+        meter = TrafficMeter(interval_seconds=1.0)
+        meter.record(0, 1, 9, 3e6)
+        meter.record(0, 2, 9, 5e6)
+        meter.record(0, 3, 9, 1e6)
+        assert meter.uplink_summary().top_servers(2) == [2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficMeter(0.0)
+        meter = TrafficMeter(1.0)
+        with pytest.raises(ValueError):
+            meter.record(0, 1, 1, 10.0)
+        with pytest.raises(ValueError):
+            meter.record(0, 1, 2, -1.0)
+
+    def test_total_bytes(self):
+        meter = TrafficMeter(1.0)
+        meter.record(0, 1, 2, 10.0)
+        meter.record(1, 2, 1, 30.0)
+        assert meter.uplink_summary().total_bytes == 40.0
+        assert meter.downlink_summary().total_bytes == 40.0

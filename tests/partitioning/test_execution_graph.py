@@ -1,0 +1,87 @@
+"""Tests for ExecutionCosts: cut bytes, bandwidth arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning.execution_graph import ExecutionCosts
+
+
+@pytest.fixture
+def costs(tiny_profile):
+    return ExecutionCosts.build(
+        tiny_profile.graph,
+        tiny_profile.client_times,
+        tiny_profile.server_times,
+        uplink_bps=35e6,
+        downlink_bps=50e6,
+    )
+
+
+class TestBuild:
+    def test_arrays_aligned_with_topo_order(self, costs, tiny_graph):
+        assert costs.layer_names == tuple(tiny_graph.topo_order)
+        assert costs.num_layers == len(tiny_graph)
+        assert costs.cut_bytes.shape == (costs.num_layers + 1,)
+
+    def test_boundary_zero_is_input_tensor(self, costs, tiny_graph):
+        input_bytes = tiny_graph.info(tiny_graph.input_name).output_bytes
+        assert costs.cut_bytes[0] == input_bytes
+
+    def test_final_boundary_is_result_tensor(self, costs, tiny_graph):
+        out_bytes = tiny_graph.info(tiny_graph.output_name).output_bytes
+        assert costs.cut_bytes[-1] == out_bytes
+
+    def test_chain_cut_equals_layer_output(self, costs, tiny_graph):
+        # In a linear chain, the tensor alive across boundary i is exactly
+        # the output of layer i-1.
+        order = tiny_graph.topo_order
+        for i in range(1, costs.num_layers):
+            expected = tiny_graph.info(order[i - 1]).output_bytes
+            assert costs.cut_bytes[i] == expected
+
+    def test_skip_connection_widens_cut(self, branchy_profile):
+        costs = ExecutionCosts.build(
+            branchy_profile.graph,
+            branchy_profile.client_times,
+            branchy_profile.server_times,
+            35e6,
+            50e6,
+        )
+        graph = branchy_profile.graph
+        order = graph.topo_order
+        # Across the boundary inside the left branch, both the stem output
+        # (consumed later by `right`/`join`) and the left-branch tensor are
+        # alive -> the cut must exceed any single tensor there.
+        left_conv = order.index("left")
+        stem_out = graph.info("stem/relu").output_bytes
+        assert costs.cut_bytes[left_conv + 1] > stem_out
+
+    def test_rejects_non_positive_bandwidth(self, tiny_profile):
+        with pytest.raises(ValueError):
+            ExecutionCosts.build(
+                tiny_profile.graph,
+                tiny_profile.client_times,
+                tiny_profile.server_times,
+                0.0,
+                50e6,
+            )
+
+
+class TestHelpers:
+    def test_upload_download_seconds(self, costs):
+        assert costs.upload_seconds(35e6 / 8) == pytest.approx(1.0)
+        assert costs.download_seconds(50e6 / 8) == pytest.approx(1.0)
+
+    def test_local_latency_is_client_sum(self, costs):
+        assert costs.local_latency() == pytest.approx(costs.client_times.sum())
+
+    def test_scaled_server(self, costs):
+        scaled = costs.scaled_server(2.0)
+        assert np.allclose(scaled.server_times, 2.0 * costs.server_times)
+        assert np.allclose(scaled.client_times, costs.client_times)
+        with pytest.raises(ValueError):
+            costs.scaled_server(0.5)
+
+    def test_with_server_times_shape_check(self, costs):
+        with pytest.raises(ValueError):
+            costs.with_server_times(np.zeros(3))

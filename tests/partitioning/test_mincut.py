@@ -1,0 +1,113 @@
+"""Tests for the min-cut DAG partitioner."""
+
+import pytest
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.mincut import (
+    build_flow_network,
+    mincut_plan,
+    realized_latency,
+)
+from repro.partitioning.shortest_path import optimal_plan
+
+
+@pytest.fixture
+def costs(tiny_profile):
+    return ExecutionCosts.build(
+        tiny_profile.graph,
+        tiny_profile.client_times,
+        tiny_profile.server_times,
+        35e6,
+        50e6,
+    )
+
+
+class TestFlowNetwork:
+    def test_every_layer_connected_to_terminals(self, costs):
+        flow = build_flow_network(costs)
+        for name in costs.layer_names:
+            assert flow.has_edge("__client__", name)
+            assert flow.has_edge(name, "__server__")
+
+    def test_tensor_edges_present(self, costs):
+        flow = build_flow_network(costs)
+        graph = costs.graph
+        for name in costs.layer_names:
+            for successor in graph.successors(name):
+                assert flow.has_edge(name, successor)
+                assert flow.has_edge(successor, name)
+
+    def test_capacities_nonnegative(self, costs):
+        flow = build_flow_network(costs)
+        for _, _, data in flow.edges(data=True):
+            assert data["capacity"] >= 0.0
+
+
+class TestMincutPlan:
+    def test_matches_dp_on_chain_models(self, costs):
+        dp = optimal_plan(costs)
+        mc = mincut_plan(costs)
+        assert realized_latency(costs, mc) == pytest.approx(
+            dp.latency, rel=1e-6
+        )
+
+    def test_matches_dp_on_branchy_model(self, branchy_profile):
+        costs = ExecutionCosts.build(
+            branchy_profile.graph,
+            branchy_profile.client_times,
+            branchy_profile.server_times,
+            35e6,
+            50e6,
+        )
+        dp = optimal_plan(costs)
+        mc = mincut_plan(costs)
+        assert realized_latency(costs, mc) <= dp.latency * 1.05
+
+    def test_cut_value_is_lower_bound_on_realization(self, costs):
+        mc = mincut_plan(costs)
+        # The cut value counts each crossing once; the realized prefix-walk
+        # latency can only add transfers.
+        assert realized_latency(costs, mc) >= mc.latency - 1e-9
+
+    def test_all_local_when_server_useless(self, costs):
+        # Make the server catastrophically slow: everything stays local.
+        slow = costs.with_server_times(costs.server_times * 1e6)
+        mc = mincut_plan(slow)
+        assert not mc.offloads_anything
+        assert realized_latency(slow, mc) == pytest.approx(slow.local_latency())
+
+    def test_never_beats_dp(self, tiny_partitioner):
+        for slowdown in (1.0, 2.0, 4.0, 16.0):
+            costs = tiny_partitioner.partition(slowdown).costs
+            dp = optimal_plan(costs)
+            mc = mincut_plan(costs)
+            assert realized_latency(costs, mc) >= dp.latency - 1e-9
+
+
+class TestRealizedLatency:
+    def test_all_client_plan(self, costs):
+        from repro.partitioning.shortest_path import PartitionPlan
+
+        plan = PartitionPlan(
+            placements=tuple([Placement.CLIENT] * costs.num_layers),
+            latency=0.0,
+            layer_names=costs.layer_names,
+        )
+        assert realized_latency(costs, plan) == pytest.approx(
+            costs.local_latency()
+        )
+
+    def test_all_server_plan_pays_both_transfers(self, costs):
+        from repro.partitioning.shortest_path import PartitionPlan
+
+        plan = PartitionPlan(
+            placements=tuple([Placement.SERVER] * costs.num_layers),
+            latency=0.0,
+            layer_names=costs.layer_names,
+        )
+        expected = (
+            float(costs.server_times.sum())
+            + costs.cut_bytes[0] * 8.0 / costs.uplink_bps
+            + costs.cut_bytes[-1] * 8.0 / costs.downlink_bps
+        )
+        assert realized_latency(costs, plan) == pytest.approx(expected)

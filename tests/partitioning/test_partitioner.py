@@ -1,0 +1,54 @@
+"""Tests for the DNNPartitioner facade (caching, quantization)."""
+
+import pytest
+
+from repro.partitioning.partitioner import DNNPartitioner
+
+
+class TestPartitioner:
+    def test_caches_by_quantized_slowdown(self, tiny_profile):
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        a = partitioner.partition(1.05)
+        b = partitioner.partition(1.10)  # same 0.25 bucket
+        assert a is b
+        c = partitioner.partition(1.6)
+        assert c is not a
+
+    def test_slowdown_below_one_clamped(self, tiny_profile):
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        assert partitioner.partition(0.2) is partitioner.partition(1.0)
+
+    def test_higher_slowdown_never_faster(self, tiny_profile):
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        lat1 = partitioner.partition(1.0).plan.latency
+        lat4 = partitioner.partition(4.0).plan.latency
+        assert lat4 >= lat1 - 1e-12
+
+    def test_higher_slowdown_offloads_less(self, tiny_profile):
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        few = len(partitioner.partition(8.0).plan.server_indices)
+        many = len(partitioner.partition(1.0).plan.server_indices)
+        assert few <= many
+
+    def test_local_latency(self, tiny_profile):
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        assert partitioner.local_latency() == pytest.approx(
+            sum(tiny_profile.client_times.values())
+        )
+
+    def test_invalid_quantum_rejected(self, tiny_profile):
+        with pytest.raises(ValueError):
+            DNNPartitioner(tiny_profile, 35e6, 50e6, slowdown_quantum=0.0)
+
+    def test_max_chunk_bytes_forwarded(self, tiny_profile):
+        coarse = DNNPartitioner(
+            tiny_profile, 35e6, 50e6, max_chunk_bytes=None
+        ).partition(1.0)
+        fine = DNNPartitioner(
+            tiny_profile, 35e6, 50e6, max_chunk_bytes=10_000.0
+        ).partition(1.0)
+        assert len(fine.schedule.chunks) >= len(coarse.schedule.chunks)
+
+    def test_graph_property(self, tiny_profile):
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        assert partitioner.graph is tiny_profile.graph

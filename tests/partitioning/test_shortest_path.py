@@ -1,0 +1,163 @@
+"""Tests for the shortest-path partitioner, including brute-force optimality."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.partitioning.execution_graph import ExecutionCosts, Placement
+from repro.partitioning.shortest_path import (
+    constrained_latency,
+    constrained_plan,
+    optimal_plan,
+)
+
+
+def brute_force_latency(costs: ExecutionCosts, allowed: set[str]) -> float:
+    """Enumerate every placement vector and take the cheapest."""
+    n = costs.num_layers
+    up = costs.cut_bytes * 8.0 / costs.uplink_bps
+    down = costs.cut_bytes * 8.0 / costs.downlink_bps
+    best = float("inf")
+    for assignment in itertools.product((0, 1), repeat=n):
+        if any(
+            side == 1 and costs.layer_names[i] not in allowed
+            for i, side in enumerate(assignment)
+        ):
+            continue
+        cost = 0.0
+        side = 0  # execution starts at the client
+        for i, layer_side in enumerate(assignment):
+            if layer_side != side:
+                cost += up[i] if layer_side == 1 else down[i]
+                side = layer_side
+            cost += (
+                costs.server_times[i] if layer_side else costs.client_times[i]
+            )
+        if side == 1:  # result must return to the client
+            cost += down[n]
+        best = min(best, cost)
+    return best
+
+
+def synthetic_costs(
+    client: list[float], server: list[float], cuts: list[float],
+    uplink: float = 8.0, downlink: float = 8.0,
+) -> ExecutionCosts:
+    """Hand-built costs (bandwidth 8 bps -> transfer seconds == cut bytes)."""
+    from repro.dnn.graph import DNNGraph
+    from repro.dnn.layer import Layer, LayerKind, TensorShape
+
+    n = len(client)
+    graph = DNNGraph("synthetic")
+    graph.add(Layer("L0", LayerKind.INPUT, input_shape=TensorShape(1)))
+    for i in range(1, n):
+        graph.add(Layer(f"L{i}", LayerKind.RELU), [f"L{i-1}"])
+    graph.freeze()
+    names = tuple(graph.topo_order)
+    return ExecutionCosts(
+        graph=graph,
+        layer_names=names,
+        client_times=np.array(client, dtype=float),
+        server_times=np.array(server, dtype=float),
+        weight_bytes=np.ones(n),
+        cut_bytes=np.array(cuts, dtype=float),
+        uplink_bps=uplink,
+        downlink_bps=downlink,
+    )
+
+
+class TestOptimality:
+    def test_matches_brute_force_on_random_chains(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(2, 7))
+            costs = synthetic_costs(
+                client=rng.uniform(0.1, 2.0, n).tolist(),
+                server=rng.uniform(0.01, 0.5, n).tolist(),
+                cuts=rng.uniform(0.0, 1.5, n + 1).tolist(),
+            )
+            plan = optimal_plan(costs)
+            expected = brute_force_latency(costs, set(costs.layer_names))
+            assert plan.latency == pytest.approx(expected)
+
+    def test_constrained_matches_brute_force(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(2, 7))
+            costs = synthetic_costs(
+                client=rng.uniform(0.1, 2.0, n).tolist(),
+                server=rng.uniform(0.01, 0.5, n).tolist(),
+                cuts=rng.uniform(0.0, 1.5, n + 1).tolist(),
+            )
+            allowed = {
+                name for name in costs.layer_names if rng.random() < 0.5
+            }
+            latency = constrained_latency(costs, frozenset(allowed))
+            expected = brute_force_latency(costs, allowed)
+            assert latency == pytest.approx(expected)
+
+    def test_plan_placements_reproduce_latency(self, rng):
+        """Walking the returned placements must cost exactly plan.latency."""
+        for _ in range(10):
+            n = int(rng.integers(2, 7))
+            costs = synthetic_costs(
+                client=rng.uniform(0.1, 2.0, n).tolist(),
+                server=rng.uniform(0.01, 0.5, n).tolist(),
+                cuts=rng.uniform(0.0, 1.5, n + 1).tolist(),
+            )
+            plan = optimal_plan(costs)
+            up = costs.cut_bytes * 8.0 / costs.uplink_bps
+            down = costs.cut_bytes * 8.0 / costs.downlink_bps
+            cost, side = 0.0, 0
+            for i, placement in enumerate(plan.placements):
+                layer_side = 1 if placement is Placement.SERVER else 0
+                if layer_side != side:
+                    cost += up[i] if layer_side else down[i]
+                    side = layer_side
+                cost += (
+                    costs.server_times[i] if layer_side else costs.client_times[i]
+                )
+            if side == 1:
+                cost += down[n]
+            assert cost == pytest.approx(plan.latency)
+
+
+class TestPlanShapes:
+    def test_all_local_when_server_banned(self, tiny_partitioner):
+        costs = tiny_partitioner.partition(1.0).costs
+        latency = constrained_latency(costs, frozenset())
+        assert latency == pytest.approx(costs.local_latency())
+
+    def test_offload_helps_on_real_model(self, tiny_partitioner):
+        costs = tiny_partitioner.partition(1.0).costs
+        plan = optimal_plan(costs)
+        assert plan.latency <= costs.local_latency() + 1e-12
+
+    def test_more_allowed_layers_never_hurt(self, tiny_partitioner, rng):
+        costs = tiny_partitioner.partition(1.0).costs
+        names = list(costs.layer_names)
+        small = frozenset(names[: len(names) // 3])
+        large = frozenset(names[: 2 * len(names) // 3])
+        assert constrained_latency(costs, large) <= constrained_latency(
+            costs, small
+        ) + 1e-12
+
+    def test_constrained_plan_respects_allowed_set(self, tiny_partitioner):
+        costs = tiny_partitioner.partition(1.0).costs
+        allowed = frozenset(list(costs.layer_names)[:5])
+        plan = constrained_plan(costs, allowed)
+        assert set(plan.server_layers) <= allowed
+
+    def test_server_weight_bytes(self, tiny_partitioner):
+        result = tiny_partitioner.partition(1.0)
+        plan, costs = result.plan, result.costs
+        expected = sum(
+            costs.weight_bytes[i] for i in plan.server_indices
+        )
+        assert plan.server_weight_bytes(costs) == pytest.approx(expected)
+
+    def test_huge_slowdown_forces_local_execution(self, tiny_profile):
+        from repro.partitioning.partitioner import DNNPartitioner
+
+        partitioner = DNNPartitioner(tiny_profile, 35e6, 50e6)
+        result = partitioner.partition(server_slowdown=10000.0)
+        assert not result.plan.offloads_anything

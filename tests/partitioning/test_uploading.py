@@ -1,0 +1,203 @@
+"""Tests for the efficiency-greedy upload schedule and fractional selection."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning.fractional import select_fraction
+from repro.partitioning.neurosurgeon import neurosurgeon_plan
+from repro.partitioning.shortest_path import optimal_plan
+from repro.partitioning.uploading import build_upload_schedule
+
+
+@pytest.fixture(scope="module")
+def planned(tiny_profile):
+    from repro.partitioning.execution_graph import ExecutionCosts
+
+    costs = ExecutionCosts.build(
+        tiny_profile.graph,
+        tiny_profile.client_times,
+        tiny_profile.server_times,
+        35e6,
+        50e6,
+    )
+    plan = optimal_plan(costs)
+    schedule = build_upload_schedule(costs, plan)
+    return costs, plan, schedule
+
+
+class TestSchedule:
+    def test_covers_exactly_the_server_layers(self, planned):
+        _, plan, schedule = planned
+        scheduled = [n for c in schedule.chunks for n in c.layer_names]
+        assert sorted(scheduled) == sorted(plan.server_layers)
+        assert len(scheduled) == len(set(scheduled))  # no duplicates
+
+    def test_total_bytes_matches_plan(self, planned):
+        costs, plan, schedule = planned
+        assert schedule.total_bytes == pytest.approx(
+            plan.server_weight_bytes(costs)
+        )
+
+    def test_latencies_monotone_nonincreasing(self, planned):
+        _, _, schedule = planned
+        latencies = schedule.latencies
+        assert all(a >= b - 1e-12 for a, b in zip(latencies, latencies[1:]))
+
+    def test_endpoints(self, planned):
+        costs, plan, schedule = planned
+        assert schedule.latencies[0] == pytest.approx(costs.local_latency())
+        assert schedule.latencies[-1] == pytest.approx(plan.latency)
+
+    def test_latency_after_bytes_steps(self, planned):
+        _, _, schedule = planned
+        # Zero-byte chunks (weightless layers) are instantly available, so
+        # at 0 received bytes the latency is the stage after the leading
+        # zero-byte chunks.
+        free = 0
+        while free < len(schedule.chunks) and schedule.chunks[free].nbytes == 0:
+            free += 1
+        assert schedule.latency_after_bytes(0.0) == schedule.latencies[free]
+        assert schedule.latency_after_bytes(schedule.total_bytes) == (
+            schedule.latencies[-1]
+        )
+        # Just before the first paying chunk completes, its stage has not
+        # been reached yet.
+        first = schedule.chunks[free].nbytes
+        assert first > 0
+        assert (
+            schedule.latency_after_bytes(first * 0.5)
+            == schedule.latencies[free]
+        )
+        assert schedule.latency_after_bytes(first) == schedule.latencies[free + 1]
+
+    def test_cumulative_bytes(self, planned):
+        _, _, schedule = planned
+        cumulative = schedule.cumulative_bytes()
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == pytest.approx(schedule.total_bytes)
+
+    def test_empty_plan_yields_empty_schedule(self, tiny_profile):
+        from repro.partitioning.execution_graph import ExecutionCosts
+        from repro.partitioning.shortest_path import constrained_plan
+
+        costs = ExecutionCosts.build(
+            tiny_profile.graph,
+            tiny_profile.client_times,
+            tiny_profile.server_times,
+            35e6,
+            50e6,
+        )
+        plan = constrained_plan(costs, frozenset())
+        schedule = build_upload_schedule(costs, plan)
+        assert schedule.chunks == ()
+        assert schedule.latencies == (pytest.approx(costs.local_latency()),)
+
+    def test_subdivision_respects_cap(self, planned):
+        costs, plan, _ = planned
+        cap = 50_000.0
+        schedule = build_upload_schedule(costs, plan, max_chunk_bytes=cap)
+        for chunk in schedule.chunks:
+            assert chunk.nbytes <= cap or len(chunk.indices) == 1
+
+    def test_subdivision_preserves_coverage_and_endpoints(self, planned):
+        costs, plan, coarse = planned
+        fine = build_upload_schedule(costs, plan, max_chunk_bytes=50_000.0)
+        assert fine.total_bytes == pytest.approx(coarse.total_bytes)
+        assert fine.latencies[-1] == pytest.approx(coarse.latencies[-1])
+        assert len(fine.chunks) >= len(coarse.chunks)
+
+    def test_invalid_cap_rejected(self, planned):
+        costs, plan, _ = planned
+        with pytest.raises(ValueError):
+            build_upload_schedule(costs, plan, max_chunk_bytes=0.0)
+
+    def test_efficiency_ordering_on_inception_like_structure(self):
+        """Compute-dense front layers must be scheduled before a huge fc."""
+        from repro.dnn.models import inception_21k
+        from repro.partitioning.execution_graph import ExecutionCosts
+        from repro.profiling.hardware import odroid_xu4, titan_xp_server
+        from repro.profiling.profiler import ExecutionProfile
+
+        profile = ExecutionProfile.build(
+            inception_21k(), odroid_xu4(), titan_xp_server()
+        )
+        costs = ExecutionCosts.build(
+            profile.graph, profile.client_times, profile.server_times,
+            35e6, 50e6,
+        )
+        plan = optimal_plan(costs)
+        schedule = build_upload_schedule(costs, plan)
+        position = {
+            name: i
+            for i, chunk in enumerate(schedule.chunks)
+            for name in chunk.layer_names
+        }
+        # The 21k-way classifier is the least efficient payload: last chunk.
+        assert position["fc1"] == len(schedule.chunks) - 1
+        assert position["conv1/7x7_s2"] == 0
+
+
+class TestFractionalSelection:
+    def test_full_budget_selects_everything(self, planned):
+        _, _, schedule = planned
+        selection = select_fraction(schedule, schedule.total_bytes)
+        assert selection.fraction_of_bytes == pytest.approx(1.0)
+        assert selection.latency == pytest.approx(schedule.latencies[-1])
+        assert selection.latency_penalty == pytest.approx(0.0)
+
+    def test_zero_budget_selects_only_free_chunks(self, planned):
+        costs, _, schedule = planned
+        selection = select_fraction(schedule, 0.0)
+        assert all(chunk.nbytes == 0 for chunk in selection.chunks)
+        assert selection.nbytes == 0.0
+
+    def test_partial_budget_prefix(self, planned):
+        _, _, schedule = planned
+        free = 0
+        while schedule.chunks[free].nbytes == 0:
+            free += 1
+        budget = schedule.chunks[free].nbytes
+        selection = select_fraction(schedule, budget)
+        assert selection.chunks == schedule.chunks[: free + 1]
+        assert selection.latency == schedule.latencies[free + 1]
+
+    def test_negative_budget_rejected(self, planned):
+        _, _, schedule = planned
+        with pytest.raises(ValueError):
+            select_fraction(schedule, -1.0)
+
+    def test_penalty_decreases_with_budget(self, planned):
+        _, _, schedule = planned
+        budgets = np.linspace(0, schedule.total_bytes, 6)
+        penalties = [select_fraction(schedule, b).latency_penalty for b in budgets]
+        assert all(a >= b - 1e-12 for a, b in zip(penalties, penalties[1:]))
+
+
+class TestNeurosurgeon:
+    def test_never_beats_optimal(self, planned):
+        costs, plan, _ = planned
+        baseline = neurosurgeon_plan(costs)
+        assert baseline.latency >= plan.latency - 1e-12
+
+    def test_single_contiguous_split(self, planned):
+        costs, _, _ = planned
+        baseline = neurosurgeon_plan(costs)
+        placements = [p.value for p in baseline.placements]
+        # Once the plan switches to the server it never switches back.
+        if "server" in placements:
+            first = placements.index("server")
+            assert all(p == "server" for p in placements[first:])
+
+    def test_prefers_local_when_network_is_terrible(self, tiny_profile):
+        from repro.partitioning.execution_graph import ExecutionCosts
+
+        costs = ExecutionCosts.build(
+            tiny_profile.graph,
+            tiny_profile.client_times,
+            tiny_profile.server_times,
+            uplink_bps=1.0,  # ~infinitely slow network
+            downlink_bps=1.0,
+        )
+        baseline = neurosurgeon_plan(costs)
+        assert not baseline.offloads_anything
+        assert baseline.latency == pytest.approx(costs.local_latency())

@@ -1,0 +1,98 @@
+"""Tests for device specs and the analytic latency model."""
+
+import pytest
+
+from repro.dnn.layer import LayerKind
+from repro.profiling.hardware import DeviceSpec, odroid_xu4, titan_xp_server
+from repro.profiling.latency import LatencyModel, layer_latency
+
+
+class TestDeviceSpec:
+    def test_presets_have_sane_ordering(self):
+        client, server = odroid_xu4(), titan_xp_server()
+        assert server.compute_flops > 10 * client.compute_flops
+        assert server.memory_bandwidth > client.memory_bandwidth
+        assert server.is_gpu and not client.is_gpu
+
+    def test_effective_flops_uses_kind_efficiency(self):
+        server = titan_xp_server()
+        assert server.effective_flops(LayerKind.FC) < server.effective_flops(
+            LayerKind.CONV
+        )
+
+    def test_grouped_conv_efficiency_penalty(self):
+        device = odroid_xu4()
+        dense = device.effective_flops(LayerKind.CONV, grouped=False)
+        grouped = device.effective_flops(LayerKind.CONV, grouped=True)
+        assert grouped < 0.5 * dense
+
+
+class TestLayerLatency:
+    def test_input_layer_is_free(self, tiny_graph, client_device):
+        info = tiny_graph.info(tiny_graph.input_name)
+        assert layer_latency(client_device, info) == 0.0
+
+    def test_latency_at_least_overhead(self, tiny_graph, client_device):
+        for info in tiny_graph.infos():
+            if info.kind is LayerKind.INPUT:
+                continue
+            assert (
+                layer_latency(client_device, info) >= client_device.layer_overhead
+            )
+
+    def test_server_faster_than_client_per_layer(
+        self, tiny_graph, client_device, server_device
+    ):
+        for info in tiny_graph.infos():
+            if info.kind is LayerKind.INPUT or info.flops == 0:
+                continue
+            assert layer_latency(server_device, info) < layer_latency(
+                client_device, info
+            )
+
+    def test_memory_bound_layer_uses_bandwidth(self):
+        # A huge zero-flop layer must be bound by memory movement.
+        from repro.dnn.graph import DNNGraph
+        from repro.dnn.layer import Layer, TensorShape
+
+        g = DNNGraph("mem")
+        g.add(Layer("in", LayerKind.INPUT, input_shape=TensorShape(64, 64, 64)))
+        g.add(Layer("cat", LayerKind.CONCAT), ["in"])
+        g.freeze()
+        device = odroid_xu4()
+        info = g.info("cat")
+        moved = info.input_bytes + info.output_bytes
+        expected = device.layer_overhead + moved / device.memory_bandwidth
+        assert layer_latency(device, info) == pytest.approx(expected)
+
+
+class TestLatencyModel:
+    def test_requires_frozen_graph(self, client_device):
+        from repro.dnn.graph import DNNGraph
+        from repro.dnn.layer import Layer, TensorShape
+
+        g = DNNGraph("g")
+        g.add(Layer("in", LayerKind.INPUT, input_shape=TensorShape(1)))
+        with pytest.raises(ValueError):
+            LatencyModel(g, client_device)
+
+    def test_total_is_sum(self, tiny_graph, client_device):
+        model = LatencyModel(tiny_graph, client_device)
+        assert model.total() == pytest.approx(sum(model.as_dict().values()))
+
+    def test_as_dict_covers_every_layer(self, tiny_graph, client_device):
+        model = LatencyModel(tiny_graph, client_device)
+        assert set(model.as_dict()) == set(tiny_graph.topo_order)
+
+    def test_model_magnitudes_match_paper(self, client_device, server_device):
+        """Whole-model client latencies must be in the Table II regime."""
+        from repro.dnn.models import build_model
+
+        local = {}
+        for name in ("mobilenet", "inception", "resnet"):
+            local[name] = LatencyModel(build_model(name), client_device).total()
+        # Orderings implied by Table II and the paper's description.
+        assert local["mobilenet"] < local["inception"] < local["resnet"]
+        assert 0.1 < local["mobilenet"] < 0.6
+        assert 0.4 < local["inception"] < 1.6
+        assert 0.9 < local["resnet"] < 2.5

@@ -1,0 +1,83 @@
+"""Tests for execution profiles and the contention-profiling campaign."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layer import LayerKind
+from repro.profiling.profiler import (
+    ExecutionProfile,
+    generate_contention_dataset,
+    profile_model,
+)
+
+
+class TestExecutionProfile:
+    def test_covers_all_layers(self, tiny_profile, tiny_graph):
+        assert set(tiny_profile.client_times) == set(tiny_graph.topo_order)
+        assert set(tiny_profile.server_times) == set(tiny_graph.topo_order)
+
+    def test_totals(self, tiny_profile):
+        assert tiny_profile.total_client_time == pytest.approx(
+            sum(tiny_profile.client_times.values())
+        )
+        assert tiny_profile.total_server_time < tiny_profile.total_client_time
+
+    def test_accessors(self, tiny_profile, tiny_graph):
+        name = tiny_graph.topo_order[1]
+        assert tiny_profile.client_time(name) == tiny_profile.client_times[name]
+        assert tiny_profile.server_time(name) == tiny_profile.server_times[name]
+
+    def test_profile_model_matches_latency_model(self, tiny_graph, client_device):
+        from repro.profiling.latency import LatencyModel
+
+        table = profile_model(tiny_graph, client_device)
+        assert table == LatencyModel(tiny_graph, client_device).as_dict()
+
+
+class TestContentionDataset:
+    def test_sample_counts(self, tiny_graph, server_device, rng):
+        samples = generate_contention_dataset(
+            tiny_graph, server_device, rng,
+            client_counts=(1, 4), rounds_per_count=3,
+        )
+        eligible = [
+            i for i in tiny_graph.infos()
+            if i.kind in (LayerKind.CONV, LayerKind.FC)
+        ]
+        assert len(samples) == 2 * 3 * len(eligible)
+
+    def test_only_requested_kinds(self, tiny_graph, server_device, rng):
+        samples = generate_contention_dataset(
+            tiny_graph, server_device, rng,
+            client_counts=(1,), rounds_per_count=1, kinds=(LayerKind.CONV,),
+        )
+        assert {s.info.kind for s in samples} == {LayerKind.CONV}
+
+    def test_measured_at_least_contended(self, tiny_graph, server_device, rng):
+        samples = generate_contention_dataset(
+            tiny_graph, server_device, rng,
+            client_counts=(8,), rounds_per_count=5,
+        )
+        ratios = [s.measured_time / s.base_time for s in samples]
+        assert np.mean(ratios) > 1.5  # 8 clients must contend visibly
+
+    def test_stats_carry_client_count(self, tiny_graph, server_device, rng):
+        samples = generate_contention_dataset(
+            tiny_graph, server_device, rng,
+            client_counts=(3,), rounds_per_count=1,
+        )
+        assert all(s.stats.num_clients == 3 for s in samples)
+
+    def test_rejects_empty_kind_selection(self, tiny_graph, server_device, rng):
+        with pytest.raises(ValueError):
+            generate_contention_dataset(
+                tiny_graph, server_device, rng, kinds=(LayerKind.ADD,),
+                client_counts=(1,), rounds_per_count=1,
+            )
+
+    def test_rejects_zero_clients(self, tiny_graph, server_device, rng):
+        with pytest.raises(ValueError):
+            generate_contention_dataset(
+                tiny_graph, server_device, rng,
+                client_counts=(0,), rounds_per_count=1,
+            )

@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) for DNN structures."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+
+
+@st.composite
+def conv_chains(draw):
+    """Random conv/relu/pool chains with consistent shapes."""
+    channels = draw(st.integers(1, 8))
+    spatial = draw(st.integers(8, 32))
+    depth = draw(st.integers(1, 6))
+    graph = DNNGraph("random-chain")
+    graph.add(
+        Layer("in", LayerKind.INPUT, input_shape=TensorShape(channels, spatial, spatial))
+    )
+    head = "in"
+    for i in range(depth):
+        kind = draw(st.sampled_from(["conv", "relu", "pool"]))
+        if kind == "conv":
+            out_channels = draw(st.integers(1, 16))
+            layer = Layer(
+                f"conv{i}", LayerKind.CONV,
+                out_channels=out_channels, kernel=3, stride=1, padding=1,
+            )
+        elif kind == "relu":
+            layer = Layer(f"relu{i}", LayerKind.RELU)
+        else:
+            layer = Layer(f"pool{i}", LayerKind.POOL_MAX, kernel=2, stride=2)
+        graph.add(layer, [head])
+        head = layer.name
+    return graph.freeze()
+
+
+class TestGraphProperties:
+    @given(conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_is_valid(self, graph):
+        order = graph.topo_order
+        position = {name: i for i, name in enumerate(order)}
+        for name in order:
+            for pred in graph.predecessors(name):
+                assert position[pred] < position[name]
+
+    @given(conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_nonnegative_accounting(self, graph):
+        for info in graph.infos():
+            assert info.weight_bytes >= 0
+            assert info.flops >= 0
+            assert info.output_shape.elements > 0
+
+    @given(conv_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_shapes_chain_consistently(self, graph):
+        for name in graph.topo_order:
+            info = graph.info(name)
+            for pred in graph.predecessors(name):
+                assert graph.info(pred).output_shape in info.input_shapes
+
+
+class TestTensorShapeProperties:
+    @given(
+        st.integers(1, 512), st.integers(1, 128), st.integers(1, 128)
+    )
+    def test_bytes_are_4x_elements(self, c, h, w):
+        shape = TensorShape(c, h, w)
+        assert shape.nbytes == 4 * shape.elements
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    def test_conv_shape_inference_matches_formula(self, channels, spatial):
+        conv = Layer("c", LayerKind.CONV, out_channels=4, kernel=3, stride=2, padding=1)
+        out = conv.output_shape([TensorShape(channels, spatial, spatial)])
+        assert out.height == (spatial + 2 - 3) // 2 + 1

@@ -1,0 +1,103 @@
+"""Property-based tests for the partitioning algorithms.
+
+The central invariants: the shortest-path plan is never worse than any
+single-split plan or local execution; enlarging the allowed server set
+never increases latency; upload schedules cover the plan exactly with
+monotone latencies.
+"""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layer import Layer, LayerKind, TensorShape
+from repro.partitioning.execution_graph import ExecutionCosts
+from repro.partitioning.neurosurgeon import neurosurgeon_plan
+from repro.partitioning.shortest_path import constrained_latency, optimal_plan
+from repro.partitioning.uploading import build_upload_schedule
+
+
+@st.composite
+def random_costs(draw):
+    n = draw(st.integers(2, 12))
+    client = draw(
+        st.lists(st.floats(0.01, 2.0), min_size=n, max_size=n)
+    )
+    server = draw(
+        st.lists(st.floats(0.001, 0.5), min_size=n, max_size=n)
+    )
+    cuts = draw(
+        st.lists(st.floats(0.0, 10.0), min_size=n + 1, max_size=n + 1)
+    )
+    weights = draw(
+        st.lists(st.floats(0.0, 100.0), min_size=n, max_size=n)
+    )
+    graph = DNNGraph("prop")
+    graph.add(Layer("L0", LayerKind.INPUT, input_shape=TensorShape(1)))
+    for i in range(1, n):
+        graph.add(Layer(f"L{i}", LayerKind.RELU), [f"L{i-1}"])
+    graph.freeze()
+    return ExecutionCosts(
+        graph=graph,
+        layer_names=tuple(graph.topo_order),
+        client_times=np.array(client),
+        server_times=np.array(server),
+        weight_bytes=np.array(weights),
+        cut_bytes=np.array(cuts),
+        uplink_bps=draw(st.floats(1.0, 100.0)),
+        downlink_bps=draw(st.floats(1.0, 100.0)),
+    )
+
+
+class TestPartitioningProperties:
+    @given(random_costs())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_never_worse_than_local(self, costs):
+        plan = optimal_plan(costs)
+        assert plan.latency <= costs.local_latency() + 1e-9
+
+    @given(random_costs())
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_never_worse_than_neurosurgeon(self, costs):
+        assert optimal_plan(costs).latency <= (
+            neurosurgeon_plan(costs).latency + 1e-9
+        )
+
+    @given(random_costs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_allowed_set(self, costs, seed):
+        rng = np.random.default_rng(seed)
+        names = list(costs.layer_names)
+        subset = frozenset(n for n in names if rng.random() < 0.5)
+        superset = subset | frozenset(
+            n for n in names if rng.random() < 0.5
+        )
+        assert constrained_latency(costs, superset) <= (
+            constrained_latency(costs, subset) + 1e-9
+        )
+
+    @given(random_costs())
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_invariants(self, costs):
+        plan = optimal_plan(costs)
+        schedule = build_upload_schedule(costs, plan)
+        names = [n for c in schedule.chunks for n in c.layer_names]
+        assert sorted(names) == sorted(plan.server_layers)
+        assert len(names) == len(set(names))
+        latencies = schedule.latencies
+        assert len(latencies) == len(schedule.chunks) + 1
+        assert all(
+            a >= b - 1e-9 for a, b in zip(latencies, latencies[1:])
+        )
+        assert latencies[-1] <= costs.local_latency() + 1e-9
+
+    @given(random_costs(), st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_after_bytes_monotone(self, costs, fraction):
+        plan = optimal_plan(costs)
+        schedule = build_upload_schedule(costs, plan)
+        total = schedule.total_bytes
+        a = schedule.latency_after_bytes(fraction * total)
+        b = schedule.latency_after_bytes(total)
+        assert b <= a + 1e-9

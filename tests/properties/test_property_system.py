@@ -1,0 +1,145 @@
+"""Property-based tests for system components: contention, caching, energy."""
+
+import numpy as np
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.edge_server import EdgeServer
+from repro.geo.hexgrid import HexCell
+from repro.network.traffic import TrafficMeter
+from repro.profiling.contention import GpuContentionModel
+from repro.profiling.energy import EnergyModel, plan_energy
+from repro.simulation.query_loop import run_query_window
+from repro.partitioning.uploading import UploadChunk, UploadSchedule
+
+
+class TestContentionProperties:
+    @given(st.integers(0, 32), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_slowdown_at_least_one(self, clients, seed):
+        model = GpuContentionModel(np.random.default_rng(seed))
+        model.step(clients)
+        assert model.slowdown() >= 1.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_always_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        model = GpuContentionModel(rng)
+        for clients in (0, 1, 5, 16, 3, 0):
+            model.step(clients)
+            stats = model.sample_stats()  # GpuStats validates its ranges
+            assert stats.num_clients == clients
+
+    @given(st.lists(st.integers(0, 16), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_expected_slowdown_monotone_in_clients(self, counts):
+        model = GpuContentionModel(np.random.default_rng(0))
+        values = [model.expected_slowdown_for_clients(c) for c in sorted(counts)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 3),  # client
+                st.floats(0.0, 1e6),  # bytes
+                st.integers(0, 30),  # interval
+                st.integers(0, 2),  # version
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cached_bytes_never_negative_and_versioned(self, operations):
+        server = EdgeServer(0, HexCell(0, 0), np.random.default_rng(0))
+        for client, nbytes, interval, version in operations:
+            server.add_bytes(client, nbytes, interval, 5, version)
+            assert server.cached_bytes(client, version) >= 0.0
+            # A different version never sees this entry's bytes.
+            assert server.cached_bytes(client, version + 7) == 0.0
+
+    @given(st.integers(1, 10), st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_expiry_exactly_at_ttl(self, ttl, start):
+        server = EdgeServer(0, HexCell(0, 0), np.random.default_rng(0))
+        server.add_bytes(1, 100.0, start, ttl)
+        assert server.expire(start + ttl - 1) == []
+        assert server.expire(start + ttl) == [1]
+
+
+class TestTrafficMeterProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 5),  # interval
+                st.integers(0, 4),  # source
+                st.integers(5, 9),  # destination (disjoint from sources)
+                st.floats(0.0, 1e9),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uplink_equals_downlink_totals(self, transfers):
+        meter = TrafficMeter(10.0)
+        for interval, source, destination, nbytes in transfers:
+            meter.record(interval, source, destination, nbytes)
+        up = meter.uplink_summary().total_bytes
+        down = meter.downlink_summary().total_bytes
+        # Equal up to float summation order.
+        assert abs(up - down) <= 1e-9 * max(1.0, up)
+
+
+class TestEnergyProperties:
+    @given(st.floats(0.0, 10.0), st.floats(0.0, 5.0), st.floats(0.0, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_nonnegative_and_additive(self, compute, tx, rx):
+        from repro.dnn.models import tiny_linear_dnn
+        from repro.partitioning.execution_graph import ExecutionCosts
+        from repro.partitioning.shortest_path import optimal_plan
+        from repro.profiling.hardware import odroid_xu4, titan_xp_server
+        from repro.profiling.profiler import ExecutionProfile
+
+        profile = ExecutionProfile.build(
+            tiny_linear_dnn(), odroid_xu4(), titan_xp_server()
+        )
+        costs = ExecutionCosts.build(
+            profile.graph, profile.client_times, profile.server_times,
+            35e6, 50e6,
+        )
+        model = EnergyModel(
+            compute_watts=compute, transmit_watts=tx, receive_watts=rx
+        )
+        energy = plan_energy(costs, optimal_plan(costs), model)
+        assert energy.total_joules >= 0.0
+        assert energy.total_joules == (
+            energy.compute_joules + energy.transmit_joules
+            + energy.receive_joules + energy.idle_joules
+        )
+
+
+class TestQueryLoopCountProperty:
+    @given(
+        st.floats(0.05, 3.0),  # latency
+        st.floats(0.0, 2.0),  # gap
+        st.floats(1.0, 120.0),  # duration
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_closed_form(self, latency, gap, duration):
+        schedule = UploadSchedule(chunks=(), latencies=(latency,))
+        outcome = run_query_window(
+            schedule, 0.0, 8.0, duration, gap, uploading=False
+        )
+        # Completions at latency, latency+(latency+gap), ...
+        import math
+
+        if latency > duration:
+            expected = 0
+        else:
+            expected = 1 + int(
+                math.floor((duration - latency) / (latency + gap))
+            )
+        assert abs(outcome.count - expected) <= 1  # float-boundary slack

@@ -1,0 +1,159 @@
+"""Failure-injection and edge-condition tests for the simulator.
+
+These push the system into unfriendly regimes — aggressive TTL eviction,
+zero migration budgets, cell-oscillating clients, degenerate traces — and
+check the invariants hold (accounting stays consistent, no crashes, the
+expected degradations appear).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.geo.geometry import BoundingBox
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.mobility.trajectory import Trajectory, TrajectoryDataset
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.trajectories.synthetic import kaist_like
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return kaist_like(np.random.default_rng(33), num_users=8, duration_steps=140)
+
+
+def run(dataset, partitioner, *, config=None, **settings_kwargs):
+    defaults = dict(
+        policy=MigrationPolicy.PERDNN, migration_radius_m=100.0,
+        max_steps=30, seed=4,
+    )
+    defaults.update(settings_kwargs)
+    settings = SimulationSettings(**defaults)
+    return run_large_scale(dataset, partitioner, settings, config=config)
+
+
+class TestAggressiveTTL:
+    def test_ttl_one_still_consistent(self, dataset, tiny_partitioner):
+        config = PerDNNConfig(ttl_intervals=1, migration_radius_m=100.0)
+        result = run(dataset, tiny_partitioner, config=config)
+        assert result.hits + result.misses == (
+            result.server_changes + result.num_clients
+        )
+        assert result.coldstart_queries <= result.total_queries
+
+    def test_short_ttl_never_beats_long_ttl(self, dataset, tiny_partitioner):
+        short = run(
+            dataset, tiny_partitioner,
+            config=PerDNNConfig(ttl_intervals=1, migration_radius_m=100.0),
+        )
+        long = run(
+            dataset, tiny_partitioner,
+            config=PerDNNConfig(ttl_intervals=10, migration_radius_m=100.0),
+        )
+        assert short.hit_ratio <= long.hit_ratio + 0.05
+
+
+class TestZeroBudget:
+    def test_zero_crowded_budget_blocks_all_migration(
+        self, dataset, tiny_partitioner
+    ):
+        full = run(dataset, tiny_partitioner)
+        blocked = run(
+            dataset, tiny_partitioner,
+            crowded_servers=frozenset(range(full.num_servers)),
+            crowded_byte_budget=0.0,
+        )
+        assert blocked.migrated_bytes == 0.0
+        assert blocked.uplink.total_bytes == 0.0
+        # Without proactive bytes, hits can only come from the client's own
+        # still-cached uploads (revisits), never exceeding the full run.
+        assert blocked.hit_ratio <= full.hit_ratio
+
+
+class TestHitThreshold:
+    def test_lower_hit_threshold_counts_more_hits(self, dataset, tiny_partitioner):
+        strict = run(
+            dataset, tiny_partitioner,
+            config=PerDNNConfig(hit_byte_fraction=1.0, migration_radius_m=100.0),
+        )
+        lenient = run(
+            dataset, tiny_partitioner,
+            config=PerDNNConfig(hit_byte_fraction=0.3, migration_radius_m=100.0),
+        )
+        assert lenient.hits >= strict.hits
+
+
+class TestOscillatingClient:
+    @pytest.fixture
+    def ping_pong_dataset(self):
+        """Clients bouncing between two adjacent cells every interval."""
+        grid = HexGrid(50.0)
+        a = grid.center(HexCell(0, 0))
+        b = grid.center(HexCell(2, 0))
+        points = np.array([a, b] * 20)
+        trajectories = tuple(
+            Trajectory(user, 30.0, points + user) for user in range(4)
+        )
+        return TrajectoryDataset(
+            name="ping-pong",
+            interval_seconds=30.0,
+            bbox=BoundingBox(-500, -500, 500, 500),
+            trajectories=trajectories,
+        )
+
+    def test_baseline_thrashes(self, ping_pong_dataset, tiny_partitioner):
+        result = run(
+            ping_pong_dataset, tiny_partitioner,
+            policy=MigrationPolicy.NONE, use_contention_estimator=False,
+        )
+        # Every interval is a server change: constant cold starts.
+        assert result.misses == result.server_changes + result.num_clients
+        assert result.hit_ratio == 0.0
+
+    def test_perdnn_caches_both_cells(self, ping_pong_dataset, tiny_partitioner):
+        result = run(
+            ping_pong_dataset, tiny_partitioner,
+            use_contention_estimator=False,
+        )
+        # After warm-up, both cells hold the layers within TTL: the client
+        # upload persists at each revisited server, so most bounces hit.
+        assert result.hit_ratio > 0.5
+
+
+class TestDegenerateTraces:
+    def test_single_point_traces_are_skipped(self, tiny_partitioner):
+        grid = HexGrid(50.0)
+        ok_points = np.tile(grid.center(HexCell(0, 0)), (10, 1))
+        trajectories = (
+            Trajectory(0, 30.0, np.array([grid.center(HexCell(1, 0))])),
+            Trajectory(1, 30.0, ok_points),
+        )
+        dataset = TrajectoryDataset(
+            name="degenerate",
+            interval_seconds=30.0,
+            bbox=BoundingBox(-500, -500, 500, 500),
+            trajectories=trajectories,
+        )
+        result = run(
+            dataset, tiny_partitioner,
+            policy=MigrationPolicy.NONE, use_contention_estimator=False,
+            replay_fraction=0.5,
+        )
+        assert result.num_clients == 1  # the single-point trace dropped
+
+    def test_stationary_client_has_one_cold_start(self, tiny_partitioner):
+        grid = HexGrid(50.0)
+        points = np.tile(grid.center(HexCell(0, 0)), (20, 1))
+        dataset = TrajectoryDataset(
+            name="stationary",
+            interval_seconds=30.0,
+            bbox=BoundingBox(-500, -500, 500, 500),
+            trajectories=(Trajectory(0, 30.0, points),),
+        )
+        result = run(
+            dataset, tiny_partitioner,
+            policy=MigrationPolicy.NONE, use_contention_estimator=False,
+        )
+        assert result.misses == 1
+        assert result.server_changes == 0

@@ -1,0 +1,104 @@
+"""Tests for heterogeneous (per-client model) simulations."""
+
+import numpy as np
+import pytest
+
+from repro.core.master import MigrationPolicy
+from repro.dnn.models import tiny_branchy_dnn, tiny_linear_dnn
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.profiling.hardware import odroid_xu4, titan_xp_server
+from repro.profiling.profiler import ExecutionProfile
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.trajectories.synthetic import kaist_like
+
+
+@pytest.fixture(scope="module")
+def mixed_partitioners():
+    client, server = odroid_xu4(), titan_xp_server()
+    out = []
+    for graph in (tiny_linear_dnn(), tiny_branchy_dnn()):
+        profile = ExecutionProfile.build(graph, client, server)
+        out.append(DNNPartitioner(profile, 35e6, 50e6))
+    return out
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return kaist_like(np.random.default_rng(12), num_users=8, duration_steps=120)
+
+
+class TestHeterogeneousSimulation:
+    def test_round_robin_model_assignment(self, dataset, mixed_partitioners):
+        settings = SimulationSettings(
+            policy=MigrationPolicy.PERDNN, max_steps=25, seed=2,
+            use_contention_estimator=False,
+        )
+        result = run_large_scale(dataset, mixed_partitioners, settings)
+        per_model = result.extras["per_model_queries"]
+        assert set(per_model) == {"tiny_linear_dnn", "tiny_branchy_dnn"}
+        assert all(count > 0 for count in per_model.values())
+        assert sum(per_model.values()) == result.total_queries
+        assert result.model == "tiny_branchy_dnn+tiny_linear_dnn"
+
+    def test_single_partitioner_still_works(self, dataset, mixed_partitioners):
+        settings = SimulationSettings(
+            policy=MigrationPolicy.NONE, max_steps=20, seed=2,
+            use_contention_estimator=False,
+        )
+        result = run_large_scale(dataset, mixed_partitioners[0], settings)
+        assert result.model == "tiny_linear_dnn"
+        assert list(result.extras["per_model_queries"]) == ["tiny_linear_dnn"]
+
+    def test_singleton_list_equivalent_to_scalar(self, dataset, mixed_partitioners):
+        settings = SimulationSettings(
+            policy=MigrationPolicy.NONE, max_steps=20, seed=2,
+            use_contention_estimator=False,
+        )
+        scalar = run_large_scale(dataset, mixed_partitioners[0], settings)
+        as_list = run_large_scale(dataset, [mixed_partitioners[0]], settings)
+        assert scalar.total_queries == as_list.total_queries
+        assert scalar.hits == as_list.hits
+
+    def test_empty_pool_rejected(self, dataset):
+        settings = SimulationSettings(
+            policy=MigrationPolicy.NONE, max_steps=5, seed=2,
+            use_contention_estimator=False,
+        )
+        with pytest.raises(ValueError):
+            run_large_scale(dataset, [], settings)
+
+    def test_migration_ships_each_clients_own_model(
+        self, dataset, mixed_partitioners
+    ):
+        settings = SimulationSettings(
+            policy=MigrationPolicy.PERDNN, max_steps=25, seed=2,
+            use_contention_estimator=False,
+        )
+        result = run_large_scale(dataset, mixed_partitioners, settings)
+        # Migrated bytes never exceed what the largest model would need
+        # per (client, target) pair; with mixed models the totals differ
+        # from an all-largest-model run.
+        homogeneous = run_large_scale(
+            dataset, mixed_partitioners[0], settings
+        )
+        assert result.migrated_bytes != homogeneous.migrated_bytes
+
+
+class TestMasterPartitionerResolution:
+    def test_mapping_requires_client_id(self, mixed_partitioners):
+        from repro.core.config import PerDNNConfig
+        from repro.core.master import MasterServer
+        from repro.geo.hexgrid import HexGrid
+        from repro.geo.wifi import EdgeServerRegistry
+
+        registry = EdgeServerRegistry(HexGrid(50.0))
+        master = MasterServer(
+            registry=registry,
+            partitioner={0: mixed_partitioners[0]},
+            config=PerDNNConfig(),
+            rng=np.random.default_rng(0),
+            policy=MigrationPolicy.NONE,
+        )
+        with pytest.raises(ValueError):
+            master.partitioner_for(None)
+        assert master.partitioner_for(0) is mixed_partitioners[0]

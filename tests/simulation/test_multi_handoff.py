@@ -1,0 +1,123 @@
+"""Tests for multi-server hand-off chains and interval selection."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.multi_handoff import simulate_handoff_chain
+
+
+class TestHandoffChain:
+    def test_structure(self, tiny_partitioner, default_config):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(10, 10, 10),
+            premigrated_fractions=(0.0, 0.0, 0.0),
+        )
+        assert result.num_visits == 3
+        assert result.total_queries == 30
+        assert result.visit_boundaries == (0, 10, 20)
+        assert len(result.peak_per_visit) == 3
+
+    def test_cold_chain_spikes_every_visit(self, tiny_partitioner, default_config):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(15, 15, 15),
+            premigrated_fractions=(0.0, 0.0, 0.0),
+        )
+        # Every visit starts at the cold (zero-bytes-received) latency —
+        # weightless layers are instantly available, so this can sit just
+        # below the fully-local time.
+        schedule = tiny_partitioner.partition(1.0).schedule
+        cold = schedule.latency_after_bytes(0.0)
+        for boundary in result.visit_boundaries:
+            assert result.latencies[boundary] == pytest.approx(cold)
+        assert cold > schedule.latencies[-1]
+
+    def test_warm_chain_never_spikes(self, tiny_partitioner, default_config):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(15, 15, 15),
+            premigrated_fractions=(0.0, 1.0, 1.0),
+        )
+        best = tiny_partitioner.partition(1.0).plan.latency
+        # Visits 2 and 3 start fully migrated: no spike at their boundaries.
+        assert result.peak_per_visit[1] == pytest.approx(best)
+        assert result.peak_per_visit[2] == pytest.approx(best)
+        assert result.peak_per_visit[0] > best
+
+    def test_mixed_fractions_order_peaks(self, tiny_partitioner, default_config):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(12, 12, 12),
+            premigrated_fractions=(0.0, 0.5, 1.0),
+        )
+        peaks = result.peak_per_visit
+        assert peaks[0] >= peaks[1] >= peaks[2]
+
+    def test_contended_visit_is_slower(self, tiny_partitioner, default_config):
+        calm = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(10,), premigrated_fractions=(1.0,),
+            server_slowdowns=(1.0,),
+        )
+        busy = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(10,), premigrated_fractions=(1.0,),
+            server_slowdowns=(8.0,),
+        )
+        assert busy.peak_per_visit[0] >= calm.peak_per_visit[0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(queries_per_visit=(5,), premigrated_fractions=(0.0, 1.0)),
+            dict(queries_per_visit=(0,), premigrated_fractions=(0.0,)),
+            dict(queries_per_visit=(5,), premigrated_fractions=(1.5,)),
+            dict(
+                queries_per_visit=(5,),
+                premigrated_fractions=(0.5,),
+                server_slowdowns=(1.0, 2.0),
+            ),
+        ],
+    )
+    def test_validation(self, tiny_partitioner, default_config, kwargs):
+        with pytest.raises(ValueError):
+            simulate_handoff_chain(tiny_partitioner, default_config, **kwargs)
+
+
+class TestIntervalSelection:
+    def test_select_prediction_interval(self):
+        from repro.geo.hexgrid import HexGrid
+        from repro.geo.wifi import EdgeServerRegistry
+        from repro.mobility.evaluation import select_prediction_interval
+        from repro.trajectories.synthetic import geolife_like
+
+        rng = np.random.default_rng(9)
+        dataset = geolife_like(rng, num_users=20, duration_steps=300)
+        registry = EdgeServerRegistry.from_visited_points(
+            HexGrid(50.0), dataset.all_points()
+        )
+        best, candidates = select_prediction_interval(
+            dataset, registry, factors=(3, 4, 6), rng=rng,
+            predictor_epochs=30,
+        )
+        assert len(candidates) == 3
+        assert best in candidates
+        assert best.ratio == max(c.ratio for c in candidates)
+        # Futility falls monotonically with the interval.
+        futiles = [c.futile_ratio for c in candidates]
+        assert futiles == sorted(futiles, reverse=True)
+
+    def test_requires_factors(self):
+        from repro.geo.hexgrid import HexGrid
+        from repro.geo.wifi import EdgeServerRegistry
+        from repro.mobility.evaluation import select_prediction_interval
+        from repro.trajectories.synthetic import kaist_like
+
+        rng = np.random.default_rng(0)
+        dataset = kaist_like(rng, num_users=3, duration_steps=50)
+        registry = EdgeServerRegistry.from_visited_points(
+            HexGrid(50.0), dataset.all_points()
+        )
+        with pytest.raises(ValueError):
+            select_prediction_interval(dataset, registry, (), rng)

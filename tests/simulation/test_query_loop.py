@@ -1,0 +1,89 @@
+"""Tests for the query/upload integration loop."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning.uploading import UploadChunk, UploadSchedule
+from repro.simulation.query_loop import run_query_window
+
+
+def make_schedule(
+    chunk_bytes: list[float], latencies: list[float]
+) -> UploadSchedule:
+    """Hand-built schedule: len(latencies) == len(chunk_bytes) + 1."""
+    chunks = tuple(
+        UploadChunk(
+            indices=(i,), layer_names=(f"L{i}",), nbytes=b,
+            efficiency=1.0, benefit=1.0,
+        )
+        for i, b in enumerate(chunk_bytes)
+    )
+    return UploadSchedule(chunks=chunks, latencies=tuple(latencies))
+
+
+class TestRunQueryWindow:
+    def test_fixed_latency_query_count(self):
+        schedule = make_schedule([], [1.0])
+        outcome = run_query_window(
+            schedule, start_bytes=0.0, uplink_bps=8.0,
+            duration=10.0, query_gap=0.5,
+        )
+        # Period 1.5 s, first completes at 1.0: completions at 1, 2.5, 4, ...
+        assert outcome.count == 7
+
+    def test_no_queries_fit(self):
+        schedule = make_schedule([], [5.0])
+        outcome = run_query_window(schedule, 0.0, 8.0, 4.0, 0.5)
+        assert outcome.count == 0
+
+    def test_upload_progress_reduces_latency(self):
+        # 80 bytes at 8 bps -> chunk completes at t = 80 s.
+        schedule = make_schedule([80.0], [10.0, 1.0])
+        fast = run_query_window(
+            schedule, start_bytes=80.0, uplink_bps=8.0,
+            duration=100.0, query_gap=0.0, uploading=False,
+        )
+        slow = run_query_window(
+            schedule, start_bytes=0.0, uplink_bps=8.0,
+            duration=100.0, query_gap=0.0, uploading=True,
+        )
+        assert fast.count > slow.count
+        # The slow run must still speed up after the upload finishes.
+        late_latencies = [q.latency for q in slow.queries if q.start_time > 80]
+        assert late_latencies and all(l == 1.0 for l in late_latencies)
+
+    def test_uploading_false_freezes_progress(self):
+        schedule = make_schedule([80.0], [10.0, 1.0])
+        outcome = run_query_window(
+            schedule, start_bytes=0.0, uplink_bps=8.0,
+            duration=50.0, query_gap=0.0, uploading=False,
+        )
+        assert outcome.end_bytes == 0.0
+        assert all(q.latency == 10.0 for q in outcome.queries)
+
+    def test_end_bytes_capped_at_total(self):
+        schedule = make_schedule([10.0], [1.0, 0.5])
+        outcome = run_query_window(schedule, 0.0, 8e6, 10.0, 0.5)
+        assert outcome.end_bytes == 10.0
+
+    def test_first_gap_delays_first_query(self):
+        schedule = make_schedule([], [1.0])
+        without = run_query_window(schedule, 0.0, 8.0, 3.0, 10.0)
+        with_gap = run_query_window(schedule, 0.0, 8.0, 3.0, 10.0, first_gap=2.5)
+        assert without.count == 1
+        assert with_gap.count == 0
+
+    def test_records_are_chronological(self):
+        schedule = make_schedule([40.0], [2.0, 1.0])
+        outcome = run_query_window(schedule, 0.0, 8.0, 30.0, 0.5)
+        starts = [q.start_time for q in outcome.queries]
+        assert starts == sorted(starts)
+        received = [q.received_bytes for q in outcome.queries]
+        assert received == sorted(received)
+
+    def test_validation(self):
+        schedule = make_schedule([], [1.0])
+        with pytest.raises(ValueError):
+            run_query_window(schedule, -1.0, 8.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            run_query_window(schedule, 0.0, 8.0, -1.0, 0.5)

@@ -1,0 +1,83 @@
+"""Tests for the single-client handoff experiments (Fig 1/7, Table II)."""
+
+import pytest
+
+from repro.simulation.single_client import (
+    simulate_handoff,
+    upload_window_throughput,
+)
+
+
+class TestSimulateHandoff:
+    def test_ionn_latency_spikes_at_switch(self, tiny_partitioner, default_config):
+        result = simulate_handoff(
+            tiny_partitioner, default_config,
+            num_queries=30, switch_after=15, premigrated_bytes=0.0,
+        )
+        assert result.num_queries == 30
+        # The first query and the first query after the switch both run at
+        # the cold (local) latency — the Fig 1 spike.
+        assert result.latencies[15] == pytest.approx(result.latencies[0])
+        # Just before the switch the client was faster than cold.
+        assert result.latencies[14] <= result.latencies[15]
+
+    def test_full_premigration_removes_spike(
+        self, tiny_partitioner, default_config
+    ):
+        total = tiny_partitioner.partition(1.0).schedule.total_bytes
+        result = simulate_handoff(
+            tiny_partitioner, default_config,
+            num_queries=30, switch_after=15, premigrated_bytes=total,
+        )
+        best = tiny_partitioner.partition(1.0).plan.latency
+        assert result.peak_latency_after_switch == pytest.approx(best)
+
+    def test_more_premigration_never_worse(self, tiny_partitioner, default_config):
+        total = tiny_partitioner.partition(1.0).schedule.total_bytes
+        peaks = [
+            simulate_handoff(
+                tiny_partitioner, default_config,
+                premigrated_bytes=fraction * total,
+            ).peak_latency_after_switch
+            for fraction in (0.0, 0.5, 1.0)
+        ]
+        assert peaks[0] >= peaks[1] >= peaks[2]
+
+    def test_latencies_recover_after_switch(self, tiny_partitioner, default_config):
+        result = simulate_handoff(
+            tiny_partitioner, default_config, num_queries=40, switch_after=10
+        )
+        # By the end of the run the upload completed: final latency is best.
+        best = tiny_partitioner.partition(1.0).plan.latency
+        assert result.latencies[-1] == pytest.approx(best)
+
+    def test_validation(self, tiny_partitioner, default_config):
+        with pytest.raises(ValueError):
+            simulate_handoff(tiny_partitioner, default_config, num_queries=0)
+        with pytest.raises(ValueError):
+            simulate_handoff(
+                tiny_partitioner, default_config,
+                num_queries=10, switch_after=10,
+            )
+
+
+class TestUploadWindowThroughput:
+    def test_hit_at_least_miss(self, tiny_partitioner, default_config):
+        result = upload_window_throughput(tiny_partitioner, default_config)
+        assert result.hit_queries >= result.miss_queries
+        assert result.upload_seconds > 0
+
+    def test_upload_time_is_bytes_over_uplink(
+        self, tiny_partitioner, default_config
+    ):
+        result = upload_window_throughput(tiny_partitioner, default_config)
+        total = tiny_partitioner.partition(1.0).schedule.total_bytes
+        expected = total * 8.0 / default_config.network.uplink_bps
+        assert result.upload_seconds == pytest.approx(expected)
+
+    def test_contention_reduces_throughput(self, tiny_partitioner, default_config):
+        idle = upload_window_throughput(tiny_partitioner, default_config, 1.0)
+        # Under heavy contention the plan offloads less and the hit case
+        # cannot beat the idle hit case.
+        busy = upload_window_throughput(tiny_partitioner, default_config, 8.0)
+        assert busy.hit_queries <= idle.hit_queries

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_models_command(self):
+        args = build_parser().parse_args(["models"])
+        assert args.command == "models"
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition"])
+        assert args.model == "inception"
+        assert args.slowdown == 1.0
+        assert not args.verbose
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["partition", "--model", "lenet-9000"])
+
+    def test_extended_zoo_models_accepted(self):
+        args = build_parser().parse_args(["partition", "--model", "alexnet"])
+        assert args.model == "alexnet"
+
+    def test_simulate_policy_choices(self):
+        args = build_parser().parse_args(
+            ["simulate", "--policy", "routing", "--dataset", "geolife"]
+        )
+        assert args.policy == "routing"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "bogus"])
+
+
+class TestCommands:
+    def test_models_runs(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mobilenet", "inception", "resnet"):
+            assert name in out
+
+    def test_partition_runs(self, capsys):
+        assert main(["partition", "--model", "mobilenet"]) == 0
+        out = capsys.readouterr().out
+        assert "plan latency" in out
+        assert "MB" in out
+
+    def test_partition_verbose_lists_chunks(self, capsys):
+        assert main(["partition", "--model", "mobilenet", "--verbose"]) == 0
+        assert "[  0]" in capsys.readouterr().out
+
+    def test_handoff_runs(self, capsys):
+        assert main(
+            [
+                "handoff", "--model", "mobilenet", "--fraction", "1.0",
+                "--queries", "10", "--switch-after", "5",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<- server change" in out
+        assert "peak after switch" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "none", "--steps", "8", "--users", "4",
+                "--dataset-steps", "60",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out
+        assert "total queries" in out
+
+    def test_simulate_routing_policy(self, capsys):
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "routing", "--steps", "8", "--users", "4",
+                "--dataset-steps", "60",
+            ]
+        ) == 0
+        assert "policy: routing" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Smoke tests: the example scripts must keep running end to end.
+
+The heavier examples (smart-city simulation, GPU-aware partitioning) are
+exercised through the same library calls by other tests and benchmarks;
+here the fast ones run verbatim so documentation and code cannot drift.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example: {path}"
+    argv = sys.argv
+    sys.argv = [str(path)]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "optimal plan" in out
+        assert "upload schedule" in out
+
+    def test_fractional_migration(self, capsys):
+        out = run_example("fractional_migration.py", capsys)
+        assert "inception" in out
+        assert "vs full migration" in out
+
+    def test_collaborative_inference(self, capsys):
+        out = run_example("collaborative_inference.py", capsys)
+        assert "identical to local: True" in out
+
+    @pytest.mark.slow
+    def test_cognitive_assistance(self, capsys):
+        out = run_example("cognitive_assistance.py", capsys)
+        assert "peak after hand-off" in out
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 6
+        for script in scripts:
+            source = script.read_text()
+            assert source.startswith("#!/usr/bin/env python3"), script.name
+            assert '"""' in source, script.name
+            assert "def main()" in source, script.name
+
+
+class TestTopLevelApi:
+    def test_headline_imports(self):
+        import repro
+
+        assert repro.__version__
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_readme_quickstart_snippet_runs(self):
+        from repro import (
+            DNNPartitioner,
+            ExecutionProfile,
+            PerDNNConfig,
+            build_model,
+            odroid_xu4,
+            titan_xp_server,
+        )
+
+        config = PerDNNConfig()
+        graph = build_model("mobilenet")
+        profile = ExecutionProfile.build(graph, odroid_xu4(), titan_xp_server())
+        partitioner = DNNPartitioner(
+            profile, config.network.uplink_bps, config.network.downlink_bps
+        )
+        result = partitioner.partition(server_slowdown=1.0)
+        assert result.plan.latency < partitioner.local_latency()

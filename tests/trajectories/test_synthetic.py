@@ -1,0 +1,101 @@
+"""Tests for the synthetic dataset generators and their statistics."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geometry import BoundingBox
+from repro.trajectories.stats import dataset_statistics
+from repro.trajectories.synthetic import (
+    SyntheticMobilityConfig,
+    generate_dataset,
+    geolife_like,
+    kaist_like,
+)
+
+
+@pytest.fixture(scope="module")
+def kaist():
+    return kaist_like(np.random.default_rng(3), num_users=10, duration_steps=200)
+
+
+@pytest.fixture(scope="module")
+def geolife():
+    return geolife_like(np.random.default_rng(3), num_users=15, duration_steps=300)
+
+
+class TestGenerators:
+    def test_kaist_shape(self, kaist):
+        assert kaist.num_users == 10
+        assert kaist.interval_seconds == 30.0
+        assert all(len(t) == 200 for t in kaist.trajectories)
+
+    def test_points_inside_region(self, kaist):
+        box = kaist.bbox
+        # GPS noise may poke slightly outside the clamped positions.
+        slack = 25.0
+        wide = BoundingBox(
+            box.min_x - slack, box.min_y - slack,
+            box.max_x + slack, box.max_y + slack,
+        )
+        for point in kaist.all_points():
+            assert wide.contains((point[0], point[1]))
+
+    def test_deterministic_under_seed(self):
+        a = kaist_like(np.random.default_rng(9), num_users=3, duration_steps=50)
+        b = kaist_like(np.random.default_rng(9), num_users=3, duration_steps=50)
+        for ta, tb in zip(a.trajectories, b.trajectories):
+            assert np.allclose(ta.points, tb.points)
+
+    def test_different_seeds_differ(self):
+        a = kaist_like(np.random.default_rng(1), num_users=3, duration_steps=50)
+        b = kaist_like(np.random.default_rng(2), num_users=3, duration_steps=50)
+        assert not np.allclose(a.trajectories[0].points, b.trajectories[0].points)
+
+    def test_speed_regimes_match_paper(self, kaist, geolife):
+        kaist_stats = dataset_statistics(kaist)
+        geolife_stats = dataset_statistics(geolife.subsample(4))
+        # KAIST walkers ~0.5 m/s, Geolife mixed modes several m/s.
+        assert 0.2 < kaist_stats.average_speed_mps < 1.2
+        assert geolife_stats.average_speed_mps > 2.0
+        assert (
+            geolife_stats.cell_changes_per_step
+            > kaist_stats.cell_changes_per_step
+        )
+
+    def test_config_validation(self):
+        box = BoundingBox(0, 0, 100, 100)
+        with pytest.raises(ValueError, match="sum to 1"):
+            SyntheticMobilityConfig(
+                name="bad", bbox=box, num_users=1, interval_seconds=10,
+                duration_steps=10, num_pois=5,
+                mode_speeds=((1.0, 0.5),), mean_dwell_seconds=10,
+                destination_scale=50,
+            )
+        with pytest.raises(ValueError, match="invalid"):
+            SyntheticMobilityConfig(
+                name="bad", bbox=box, num_users=0, interval_seconds=10,
+                duration_steps=10, num_pois=5,
+                mode_speeds=((1.0, 1.0),), mean_dwell_seconds=10,
+                destination_scale=50,
+            )
+
+    def test_generate_dataset_custom_config(self, rng):
+        config = SyntheticMobilityConfig(
+            name="custom", bbox=BoundingBox(0, 0, 500, 500),
+            num_users=2, interval_seconds=10.0, duration_steps=30,
+            num_pois=6, mode_speeds=((2.0, 1.0),),
+            mean_dwell_seconds=30.0, destination_scale=200.0,
+        )
+        dataset = generate_dataset(config, rng)
+        assert dataset.num_users == 2
+        assert dataset.name == "custom"
+
+
+class TestStatistics:
+    def test_fields_populated(self, kaist):
+        stats = dataset_statistics(kaist)
+        assert stats.num_users == 10
+        assert stats.visited_cells > 0
+        assert stats.region_km == (1.5, 2.0)
+        assert 0.0 <= stats.cell_changes_per_step <= 1.0
+        assert stats.moving_speed_mps >= stats.average_speed_mps * 0.5
