@@ -50,7 +50,9 @@ def run_traffic(datasets, partitioners):
     return results
 
 
-def test_backhaul_traffic(benchmark, partitioners, datasets, report):
+def test_backhaul_traffic(
+    benchmark, partitioners, datasets, report, telemetry_snapshot
+):
     results = benchmark.pedantic(
         run_traffic, args=(datasets, partitioners), rounds=1, iterations=1
     )
@@ -84,6 +86,9 @@ def test_backhaul_traffic(benchmark, partitioners, datasets, report):
         "667/359 Mbps (Geolife); 60-70% of servers need < 100 Mbps"
     )
     report("Sec 4.B.4: backhaul traffic of proactive migration", lines)
+
+    for name, result in results.items():
+        telemetry_snapshot(f"backhaul_{name}_inception", result)
 
     for name, result in results.items():
         # A few crowded servers need far more than wireless broadband...

@@ -60,7 +60,9 @@ def run_model(model, partitioners, dataset, max_steps):
     return full, crowded, sweep
 
 
-def test_fig10_fractional_migration(benchmark, partitioners, report):
+def test_fig10_fractional_migration(
+    benchmark, partitioners, report, telemetry_snapshot
+):
     rng = np.random.default_rng(77)
     if FULL_SCALE:
         dataset, max_steps = kaist_like(rng), None
@@ -108,6 +110,16 @@ def test_fig10_fractional_migration(benchmark, partitioners, report):
         "ResNet 43% cut at 1% loss (56 MB); top 5-7% crowded servers capped"
     )
     report("Fig 10: fractional migration on crowded servers", lines)
+
+    for model, (full, crowded, sweep) in results.items():
+        largest = max(BUDGETS_MB[model])
+        telemetry_snapshot(f"fig10_{model}_full", full)
+        telemetry_snapshot(
+            f"fig10_{model}_capped_{largest}mb",
+            sweep[largest],
+            budget_mb=largest,
+            crowded_servers=len(crowded),
+        )
 
     for model, (full, crowded, sweep) in results.items():
         largest = max(BUDGETS_MB[model])

@@ -80,7 +80,9 @@ def run_dataset(dataset, max_steps, partitioners):
     return results
 
 
-def test_fig9_large_scale(benchmark, partitioners, datasets, report):
+def test_fig9_large_scale(
+    benchmark, partitioners, datasets, report, telemetry_snapshot
+):
     def run_all():
         return {
             name: run_dataset(dataset, max_steps, partitioners)
@@ -110,6 +112,13 @@ def test_fig9_large_scale(benchmark, partitioners, datasets, report):
         "MobileNet has few optimizable queries"
     )
     report("Fig 9: executed queries and hit ratios (large-scale)", lines)
+
+    for dataset_name, results in all_results.items():
+        telemetry_snapshot(
+            f"fig9_{dataset_name}_inception_r100",
+            results[("inception", "PerDNN r=100")],
+            radius_m=100,
+        )
 
     for dataset_name, results in all_results.items():
         for model in MODELS:

@@ -25,6 +25,9 @@ _REPORTS: list[tuple[str, list[str]]] = []
 
 FULL_SCALE = os.environ.get("PERDNN_BENCH_FULL", "0") == "1"
 
+#: Where benchmarks drop machine-readable metrics snapshots.
+SNAPSHOT_DIR = os.path.join(os.path.dirname(__file__), "_telemetry")
+
 
 def format_table(rows: list[tuple]) -> list[str]:
     """Fixed-width table rendering for report blocks."""
@@ -49,6 +52,32 @@ def report():
         _REPORTS.append((title, list(lines)))
 
     return _record
+
+
+@pytest.fixture
+def telemetry_snapshot():
+    """Write one run's telemetry to ``benchmarks/_telemetry/<name>.json``.
+
+    Call ``telemetry_snapshot(name, result, **meta)`` with a
+    :class:`~repro.simulation.large_scale.LargeScaleResult`; the shared
+    exporter serializes the run's registry and event trace, replacing the
+    ad-hoc dict dumps benchmarks used to hand-roll.  Inspect snapshots
+    with ``python -m repro telemetry <path>``.
+    """
+
+    def _write(name: str, result, **meta) -> str:
+        assert result.telemetry is not None, "result carries no telemetry"
+        full_meta = {
+            "benchmark": name,
+            "dataset": result.dataset,
+            "model": result.model,
+            "policy": result.policy,
+            **{key: str(value) for key, value in meta.items()},
+        }
+        path = os.path.join(SNAPSHOT_DIR, f"{name}.telemetry.json")
+        return result.telemetry.write(path, meta=full_meta)
+
+    return _write
 
 
 def pytest_terminal_summary(terminalreporter):

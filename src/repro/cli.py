@@ -6,8 +6,10 @@ Usage (after ``pip install -e .``)::
     python -m repro partition --model inception --slowdown 2.0
     python -m repro handoff --model resnet --fraction 0.2
     python -m repro simulate --dataset kaist --model inception \
-        --policy perdnn --radius 100 --steps 60
+        --policy perdnn --radius 100 --steps 60 \
+        --telemetry run.telemetry.json
     python -m repro predictors --dataset geolife
+    python -m repro telemetry run.telemetry.json
 
 Every command is a thin wrapper over the library API used by the
 benchmarks; see benchmarks/ for the full paper-reproduction harness.
@@ -126,6 +128,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     result = run_large_scale(dataset, partitioner, settings, config=config)
+    if args.telemetry:
+        assert result.telemetry is not None
+        path = result.telemetry.write(
+            args.telemetry,
+            meta={
+                "command": "simulate",
+                "dataset": args.dataset,
+                "model": args.model,
+                "policy": args.policy,
+                "seed": args.seed,
+            },
+        )
+        print(f"telemetry snapshot: {path}")
     print(f"dataset: {result.dataset}, model: {result.model}, "
           f"policy: {result.policy}")
     print(f"servers: {result.num_servers}, clients: {result.num_clients}, "
@@ -166,6 +181,22 @@ def cmd_predictors(args: argparse.Namespace) -> int:
             f"{accuracy.predictor:<10s} {accuracy.top_k_accuracy[1]:>8.1f} "
             f"{accuracy.top_k_accuracy[2]:>8.1f} {mae}"
         )
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_snapshot, summarize_snapshot
+
+    try:
+        doc = read_snapshot(args.snapshot)
+    except FileNotFoundError:
+        print(f"error: no such snapshot: {args.snapshot}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for line in summarize_snapshot(doc, top=args.top):
+        print(line)
     return 0
 
 
@@ -211,6 +242,15 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--users", type=int, default=20)
     simulate.add_argument("--dataset-steps", type=int, default=300)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--telemetry", metavar="PATH", default=None,
+                          help="write the run's telemetry snapshot (JSON)")
+
+    telemetry = sub.add_parser(
+        "telemetry", help="summarize an exported telemetry snapshot"
+    )
+    telemetry.add_argument("snapshot", help="path to a *.telemetry.json file")
+    telemetry.add_argument("--top", type=int, default=10,
+                           help="show the N largest counters")
 
     predictors = sub.add_parser("predictors", help="compare mobility predictors")
     predictors.add_argument("--dataset", default="kaist",
@@ -227,6 +267,7 @@ _COMMANDS = {
     "partition": cmd_partition,
     "handoff": cmd_handoff,
     "simulate": cmd_simulate,
+    "telemetry": cmd_telemetry,
     "predictors": cmd_predictors,
 }
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.geo.hexgrid import HexCell
 from repro.profiling.contention import GpuContentionModel
 from repro.profiling.gpu_stats import GpuStats
+from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclass
@@ -48,10 +49,12 @@ class EdgeServer:
         server_id: int,
         cell: HexCell,
         rng: np.random.Generator,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.server_id = server_id
         self.cell = cell
         self.contention = GpuContentionModel(rng)
+        self.telemetry = telemetry
         self._cache: dict[int, CachedModel] = {}
         self._active_clients: set[int] = set()
 
@@ -86,7 +89,13 @@ class EdgeServer:
         """Cached bytes of the client's model at ``version`` (stale = 0)."""
         entry = self._cache.get(client_id)
         if entry is None or entry.version != version:
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    "cache.lookups", {"outcome": "miss"}
+                ).inc()
             return 0.0
+        if self.telemetry is not None:
+            self.telemetry.counter("cache.lookups", {"outcome": "hit"}).inc()
         return entry.received_bytes
 
     def add_bytes(
@@ -111,6 +120,8 @@ class EdgeServer:
             self._cache[client_id] = entry
         entry.received_bytes += nbytes
         entry.refresh(now_interval, ttl_intervals)
+        if self.telemetry is not None:
+            self.telemetry.counter("cache.bytes_added").inc(nbytes)
         return entry.received_bytes
 
     def refresh_ttl(
@@ -142,6 +153,8 @@ class EdgeServer:
         ]
         for client_id in evicted:
             del self._cache[client_id]
+        if evicted and self.telemetry is not None:
+            self.telemetry.counter("cache.evictions").inc(len(evicted))
         return evicted
 
     @property

@@ -30,6 +30,12 @@ from repro.geo.wifi import EdgeServerRegistry
 from repro.mobility.predictor import PointPredictor
 from repro.network.traffic import TrafficMeter
 from repro.partitioning.partitioner import DNNPartitioner, PartitionResult
+from repro.telemetry import (
+    CacheEvictionEvent,
+    FractionalTruncationEvent,
+    MigrationEvent,
+    Telemetry,
+)
 
 
 class MigrationPolicy(str, Enum):
@@ -68,6 +74,7 @@ class MasterServer:
         traffic_meter: TrafficMeter | None = None,
         crowded_servers: frozenset[int] = frozenset(),
         crowded_byte_budget: float = float("inf"),
+        telemetry: Telemetry | None = None,
     ) -> None:
         if policy is MigrationPolicy.PERDNN and predictor is None:
             raise ValueError("PERDNN policy requires a mobility predictor")
@@ -80,6 +87,7 @@ class MasterServer:
         self.traffic_meter = traffic_meter
         self.crowded_servers = crowded_servers
         self.crowded_byte_budget = crowded_byte_budget
+        self.telemetry = telemetry
         self._rng = rng
         self._servers: dict[int, EdgeServer] = {}
         self.migrations: list[MigrationRecord] = []
@@ -93,7 +101,8 @@ class MasterServer:
         if existing is not None:
             return existing
         cell = self.registry.cell_of_server(server_id)
-        server = EdgeServer(server_id, cell, self._rng)
+        metrics = self.telemetry.registry if self.telemetry else None
+        server = EdgeServer(server_id, cell, self._rng, telemetry=metrics)
         self._servers[server_id] = server
         return server
 
@@ -123,6 +132,8 @@ class MasterServer:
         cached = self._slowdown_cache.get(server.server_id)
         if cached is not None:
             return cached
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("master.gpu_pings").inc()
         if self.contention_estimator is not None:
             slowdown = self.contention_estimator.predict_slowdown(
                 server.sample_stats()
@@ -153,9 +164,14 @@ class MasterServer:
         self, server: EdgeServer, client_id: int | None = None
     ) -> PartitionResult:
         """Current partitioning plan for a client at ``server`` (§3.B.1)."""
-        return self.partitioner_for(client_id).partition(
-            self.estimate_slowdown(server)
-        )
+        if self.telemetry is None:
+            return self.partitioner_for(client_id).partition(
+                self.estimate_slowdown(server)
+            )
+        with self.telemetry.registry.timer("master.plan"):
+            return self.partitioner_for(client_id).partition(
+                self.estimate_slowdown(server)
+            )
 
     def plan_bytes(self, server: EdgeServer, client_id: int | None = None) -> float:
         return self.plan_for(server, client_id).server_bytes
@@ -199,6 +215,23 @@ class MasterServer:
             needed = self._byte_budget(
                 source.server_id, target_id, future_plan.server_bytes
             )
+            if (
+                self.telemetry is not None
+                and needed < future_plan.server_bytes
+            ):
+                self.telemetry.trace.record(
+                    FractionalTruncationEvent(
+                        interval=interval,
+                        client_id=client.client_id,
+                        source_server=source.server_id,
+                        target_server=target_id,
+                        plan_bytes=future_plan.server_bytes,
+                        budget_bytes=needed,
+                    )
+                )
+                self.telemetry.registry.counter(
+                    "migration.fractional_truncations"
+                ).inc()
             already = target.cached_bytes(client.client_id, version)
             if already >= needed - 1e-6:
                 # Duplicate send avoided; just reset the TTL (§3.B.2).
@@ -233,8 +266,29 @@ class MasterServer:
             )
             records.append(record)
             self.migrations.append(record)
+            if self.telemetry is not None:
+                self.telemetry.registry.counter("migration.count").inc()
+                self.telemetry.registry.counter("migration.bytes").inc(delta)
+                self.telemetry.trace.record(
+                    MigrationEvent(
+                        interval=interval,
+                        client_id=client.client_id,
+                        source_server=source.server_id,
+                        target_server=target_id,
+                        nbytes=delta,
+                    )
+                )
         return records
 
     def expire_caches(self, interval: int) -> None:
         for server in self._servers.values():
-            server.expire(interval)
+            evicted = server.expire(interval)
+            if self.telemetry is not None:
+                for client_id in evicted:
+                    self.telemetry.trace.record(
+                        CacheEvictionEvent(
+                            interval=interval,
+                            server_id=server.server_id,
+                            client_id=client_id,
+                        )
+                    )

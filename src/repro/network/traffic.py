@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.telemetry.registry import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class TrafficSummary:
@@ -41,10 +43,15 @@ class TrafficSummary:
 class TrafficMeter:
     """Accumulates backhaul bytes per (server, interval, direction)."""
 
-    def __init__(self, interval_seconds: float) -> None:
+    def __init__(
+        self,
+        interval_seconds: float,
+        telemetry: MetricsRegistry | None = None,
+    ) -> None:
         if interval_seconds <= 0:
             raise ValueError("interval_seconds must be positive")
         self.interval_seconds = interval_seconds
+        self.telemetry = telemetry
         self._uplink: dict[tuple[int, int], float] = defaultdict(float)
         self._downlink: dict[tuple[int, int], float] = defaultdict(float)
 
@@ -58,6 +65,9 @@ class TrafficMeter:
             raise ValueError("source and destination must differ")
         self._uplink[(source, interval)] += nbytes
         self._downlink[(destination, interval)] += nbytes
+        if self.telemetry is not None:
+            self.telemetry.counter("net.backhaul_transfers").inc()
+            self.telemetry.counter("net.backhaul_bytes").inc(nbytes)
 
     def _summarize(self, table: dict[tuple[int, int], float]) -> TrafficSummary:
         peak = 0.0

@@ -63,14 +63,19 @@ class DNNPartitioner:
     def graph(self) -> DNNGraph:
         return self.profile.graph
 
-    def _quantize(self, slowdown: float) -> float:
+    def quantize(self, slowdown: float) -> float:
+        """The cache key a slowdown maps to: ``partition(s)`` and
+        ``partition(quantize(s))`` return the same cached result."""
         if slowdown < 1.0:
             slowdown = 1.0
         return round(round(slowdown / self._quantum) * self._quantum, 6)
 
+    # Backwards-compatible alias (pre-telemetry private name).
+    _quantize = quantize
+
     def partition(self, server_slowdown: float = 1.0) -> PartitionResult:
         """Plan + upload schedule for a server at the given GPU slowdown."""
-        key = self._quantize(server_slowdown)
+        key = self.quantize(server_slowdown)
         cached = self._cache.get(key)
         if cached is not None:
             return cached

@@ -41,6 +41,12 @@ from repro.network.traffic import TrafficMeter, TrafficSummary
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.profiler import generate_contention_dataset
 from repro.simulation.query_loop import run_query_window
+from repro.telemetry import (
+    AssociationEvent,
+    ColdStartEvent,
+    QueryWindowEvent,
+    Telemetry,
+)
 
 
 @dataclass(frozen=True)
@@ -63,7 +69,14 @@ class SimulationSettings:
 
 @dataclass
 class LargeScaleResult:
-    """Everything §4.B reports about one simulation run."""
+    """Everything §4.B reports about one simulation run.
+
+    The per-run counters (hits, misses, queries, migrations, ...) are
+    *derived views* of the run's telemetry registry — ``from_telemetry``
+    reads them out once the simulation loop finishes, so the registry is
+    the single source of truth and exported snapshots always agree with
+    the reported result.
+    """
 
     policy: str
     dataset: str
@@ -81,11 +94,36 @@ class LargeScaleResult:
     downlink: TrafficSummary | None = None
     server_changes: int = 0
     extras: dict = field(default_factory=dict)
+    telemetry: Telemetry | None = None
 
     @property
     def hit_ratio(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def fill_from_telemetry(self) -> None:
+        """Read the reported counters out of the run's registry."""
+        assert self.telemetry is not None
+        registry = self.telemetry.registry
+        self.hits = int(registry.value("sim.cold_start", {"outcome": "hit"}))
+        self.misses = int(
+            registry.value("sim.cold_start", {"outcome": "miss"})
+        )
+        self.server_changes = int(registry.value("sim.server_changes"))
+        self.total_queries = int(registry.value("query.completed"))
+        self.coldstart_queries = int(registry.value("sim.coldstart_queries"))
+        self.migrations = int(registry.value("migration.count"))
+        self.migrated_bytes = registry.value("migration.bytes")
+        self.steps = int(registry.value("sim.steps"))
+        per_model = {
+            labels["model"]: int(value)
+            for labels, value in registry.series("sim.queries")
+        }
+        if per_model:
+            self.extras["per_model_queries"] = per_model
+        model_updates = int(registry.value("sim.model_updates"))
+        if model_updates:
+            self.extras["model_updates"] = model_updates
 
 
 def train_default_predictor(
@@ -118,6 +156,7 @@ def run_large_scale(
     config: PerDNNConfig | None = None,
     predictor: PointPredictor | None = None,
     contention_estimator: ContentionEstimator | None = None,
+    telemetry: Telemetry | None = None,
 ) -> LargeScaleResult:
     """Run one policy over one dataset and collect the §4.B metrics.
 
@@ -125,8 +164,16 @@ def run_large_scale(
     every client runs the same architecture, though each client's model is
     private) or a list of partitioners assigned to clients round-robin —
     the heterogeneous-workload extension the paper lists as future work.
+
+    Every run instruments itself into a :class:`~repro.telemetry.Telemetry`
+    bundle (pass one to share a registry across runs or export it; a fresh
+    one is created otherwise).  The returned result's counters are read
+    out of that registry, and the bundle itself rides along as
+    ``result.telemetry``.
     """
     config = config or PerDNNConfig(migration_radius_m=settings.migration_radius_m)
+    telemetry = telemetry or Telemetry.create()
+    metrics = telemetry.registry
     rng = np.random.default_rng(settings.seed)
     grid = HexGrid(config.cell_radius_m)
     registry = EdgeServerRegistry.from_visited_points(grid, dataset.all_points())
@@ -150,7 +197,7 @@ def run_large_scale(
             client_id: partitioner_pool[client_id % len(partitioner_pool)]
             for client_id in range(num_replay_clients)
         }
-    meter = TrafficMeter(dataset.interval_seconds)
+    meter = TrafficMeter(dataset.interval_seconds, telemetry=metrics)
     master = MasterServer(
         registry=registry,
         partitioner=master_partitioner,
@@ -162,6 +209,7 @@ def run_large_scale(
         traffic_meter=meter,
         crowded_servers=settings.crowded_servers,
         crowded_byte_budget=settings.crowded_byte_budget,
+        telemetry=telemetry,
     )
     usable = [t for t in replay.trajectories if len(t) >= 2]
     clients = [
@@ -175,7 +223,10 @@ def run_large_scale(
         model="+".join(model_names),
         num_servers=registry.num_servers,
         num_clients=len(clients),
+        telemetry=telemetry,
     )
+    metrics.gauge("sim.num_servers").set(registry.num_servers)
+    metrics.gauge("sim.num_clients").set(len(clients))
     interval = dataset.interval_seconds
     optimal = settings.policy is MigrationPolicy.OPTIMAL
     baseline = settings.policy is MigrationPolicy.NONE
@@ -196,9 +247,7 @@ def run_large_scale(
         ):
             for client in active:
                 client.update_model()
-                result.extras["model_updates"] = (
-                    result.extras.get("model_updates", 0) + 1
-                )
+                metrics.counter("sim.model_updates").inc()
         # 1. Movement and (re-)association.
         associated_this_step: set[int] = set()
         for client in active:
@@ -214,16 +263,26 @@ def run_large_scale(
             )
             assert server_id is not None, "registry covers every trace point"
             if server_id != client.current_server:
-                if client.current_server is not None:
-                    old = master.server(client.current_server)
+                previous_server = client.current_server
+                if previous_server is not None:
+                    old = master.server(previous_server)
                     old.dissociate(client.client_id)
                     if baseline:
                         # IONN re-uploads from scratch after a server change.
                         old.clear_client(client.client_id)
-                    result.server_changes += 1
+                    metrics.counter("sim.server_changes").inc()
                 master.server(server_id).associate(client.client_id)
                 client.current_server = server_id
                 associated_this_step.add(client.client_id)
+                metrics.counter("sim.associations").inc()
+                telemetry.trace.record(
+                    AssociationEvent(
+                        interval=step,
+                        client_id=client.client_id,
+                        server_id=server_id,
+                        previous_server=previous_server,
+                    )
+                )
         # 2. GPU contention advances under the new load.
         for server in master.instantiated_servers:
             server.step_gpu()
@@ -244,10 +303,19 @@ def run_large_scale(
                 )
             if client.client_id in associated_this_step:
                 threshold = config.hit_byte_fraction * total_bytes
-                if total_bytes <= 0 or cached + 1e-6 >= threshold:
-                    result.hits += 1
-                else:
-                    result.misses += 1
+                hit = total_bytes <= 0 or cached + 1e-6 >= threshold
+                outcome_label = "hit" if hit else "miss"
+                metrics.counter("sim.cold_start", {"outcome": outcome_label}).inc()
+                telemetry.trace.record(
+                    ColdStartEvent(
+                        interval=step,
+                        client_id=client.client_id,
+                        server_id=client.current_server,
+                        hit=hit,
+                        cached_bytes=cached,
+                        required_bytes=total_bytes,
+                    )
+                )
             overhead = 0.0
             hops = 0
             tensors = None
@@ -265,6 +333,7 @@ def run_large_scale(
                 query_gap=config.query_gap_seconds,
                 uploading=not optimal,
                 latency_overhead=overhead,
+                telemetry=metrics,
             )
             if routing and hops > 0 and outcome.count and tensors is not None:
                 access_server = registry.server_at(client.position)
@@ -279,12 +348,23 @@ def run_large_scale(
                             step, client.current_server, access_server,
                             outcome.count * tensors.downlink_bytes,
                         )
-            result.total_queries += outcome.count
             model_name = master.partitioner_for(client.client_id).graph.name
-            per_model = result.extras.setdefault("per_model_queries", {})
-            per_model[model_name] = per_model.get(model_name, 0) + outcome.count
-            if client.client_id in associated_this_step:
-                result.coldstart_queries += outcome.count
+            metrics.counter("sim.queries", {"model": model_name}).inc(
+                outcome.count
+            )
+            coldstart = client.client_id in associated_this_step
+            if coldstart:
+                metrics.counter("sim.coldstart_queries").inc(outcome.count)
+            telemetry.trace.record(
+                QueryWindowEvent(
+                    interval=step,
+                    client_id=client.client_id,
+                    server_id=client.current_server,
+                    queries=outcome.count,
+                    coldstart=coldstart,
+                    end_bytes=outcome.end_bytes,
+                )
+            )
             if not optimal:
                 delta = outcome.end_bytes - cached
                 if delta > 0:
@@ -297,16 +377,15 @@ def run_large_scale(
                         client.client_id, step, config.ttl_intervals,
                         client.model_version,
                     )
-        # 4. Proactive migration.
+        # 4. Proactive migration (records its own telemetry).
         if settings.policy is MigrationPolicy.PERDNN:
             for client in active:
-                records = master.proactive_migrate(client, step)
-                result.migrations += len(records)
-                result.migrated_bytes += sum(r.nbytes for r in records)
+                master.proactive_migrate(client, step)
         # 5. TTL eviction.
         master.expire_caches(step)
         step += 1
-    result.steps = step
+    metrics.gauge("sim.steps").set(step)
+    result.fill_from_telemetry()
     result.uplink = meter.uplink_summary()
     result.downlink = meter.downlink_summary()
     return result

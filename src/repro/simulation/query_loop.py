@@ -13,6 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.partitioning.uploading import UploadSchedule
+from repro.telemetry.registry import MetricsRegistry
+
+#: Fixed bucket bounds (seconds) for the query-latency histogram; spans
+#: on-device MobileNet (~tens of ms) through cold-start ResNet (~1 s+).
+QUERY_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2,
+)
 
 
 @dataclass(frozen=True)
@@ -45,6 +52,7 @@ def run_query_window(
     uploading: bool = True,
     first_gap: float = 0.0,
     latency_overhead: float = 0.0,
+    telemetry: MetricsRegistry | None = None,
 ) -> WindowOutcome:
     """Integrate the query loop over ``duration`` seconds.
 
@@ -53,7 +61,8 @@ def run_query_window(
     query counts when it *completes* inside the window.  ``first_gap``
     delays the first query (used to stitch consecutive windows);
     ``latency_overhead`` is added to every query (e.g. backhaul routing
-    cost when the serving cell is remote).
+    cost when the serving cell is remote).  With ``telemetry`` the window
+    records each completed query and its (simulated) latency.
     """
     if duration < 0:
         raise ValueError("duration must be non-negative")
@@ -76,4 +85,13 @@ def run_query_window(
         )
         t += latency + query_gap
     end_bytes = min(total, start_bytes + byte_rate * duration)
+    if telemetry is not None:
+        telemetry.counter("query.windows").inc()
+        if records:
+            telemetry.counter("query.completed").inc(len(records))
+            latencies = telemetry.histogram(
+                "query.latency_seconds", QUERY_LATENCY_BUCKETS
+            )
+            for record in records:
+                latencies.observe(record.latency)
     return WindowOutcome(queries=tuple(records), end_bytes=end_bytes)

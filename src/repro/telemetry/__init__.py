@@ -1,0 +1,92 @@
+"""Telemetry: metrics registry, event trace, deterministic exporters.
+
+One :class:`Telemetry` bundle travels through a simulation run — the
+master server, edge servers, traffic meter, and query loop all record
+into its registry and trace — and the driver derives its reported result
+from the registry instead of hand-maintained tallies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    AssociationEvent,
+    CacheEvictionEvent,
+    ColdStartEvent,
+    Event,
+    EventTrace,
+    FractionalTruncationEvent,
+    MigrationEvent,
+    QueryWindowEvent,
+    event_from_dict,
+)
+from repro.telemetry.export import (
+    SCHEMA,
+    dumps_snapshot,
+    metrics_csv,
+    read_snapshot,
+    snapshot,
+    summarize_snapshot,
+    write_metrics_csv,
+    write_snapshot,
+)
+from repro.telemetry.registry import (
+    TIMER_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    normalize_labels,
+)
+
+
+@dataclass
+class Telemetry:
+    """One run's instrumentation: a registry plus an event trace."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    trace: EventTrace = field(default_factory=EventTrace)
+
+    @classmethod
+    def create(cls, record_timings: bool = False) -> "Telemetry":
+        return cls(registry=MetricsRegistry(record_timings=record_timings))
+
+    def snapshot(self, meta: dict | None = None) -> dict:
+        return snapshot(self.registry, self.trace, meta)
+
+    def dumps(self, meta: dict | None = None) -> str:
+        return dumps_snapshot(self.registry, self.trace, meta)
+
+    def write(self, path, meta: dict | None = None) -> str:
+        return write_snapshot(path, self.registry, self.trace, meta)
+
+
+__all__ = [
+    "SCHEMA",
+    "TIMER_BUCKETS",
+    "EVENT_KINDS",
+    "AssociationEvent",
+    "CacheEvictionEvent",
+    "ColdStartEvent",
+    "Counter",
+    "Event",
+    "EventTrace",
+    "FractionalTruncationEvent",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MigrationEvent",
+    "QueryWindowEvent",
+    "Telemetry",
+    "dumps_snapshot",
+    "event_from_dict",
+    "metrics_csv",
+    "normalize_labels",
+    "read_snapshot",
+    "snapshot",
+    "summarize_snapshot",
+    "write_metrics_csv",
+    "write_snapshot",
+]

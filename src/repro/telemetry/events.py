@@ -1,0 +1,153 @@
+"""Structured per-interval event trace.
+
+Every simulation-visible state change the paper's evaluation reasons
+about gets a frozen dataclass event: (re-)association, cold-start hit or
+miss, proactive migration, fractional-migration truncation, cache
+eviction, and query-window completion.  The trace is an append-only list
+in simulation order, so under a fixed seed two runs produce identical
+traces (there are no timestamps — ``interval`` is simulation time).
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from collections.abc import Iterator
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: everything happens at one simulation interval."""
+
+    kind: ClassVar[str] = "event"
+    interval: int
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, **asdict(self)}
+
+
+@dataclass(frozen=True)
+class AssociationEvent(Event):
+    """A client (re-)associated with an edge server."""
+
+    kind: ClassVar[str] = "association"
+    client_id: int
+    server_id: int
+    previous_server: int | None
+
+
+@dataclass(frozen=True)
+class ColdStartEvent(Event):
+    """Hit/miss outcome of one new association (§4.B metric)."""
+
+    kind: ClassVar[str] = "cold_start"
+    client_id: int
+    server_id: int
+    hit: bool
+    cached_bytes: float
+    required_bytes: float
+
+
+@dataclass(frozen=True)
+class MigrationEvent(Event):
+    """One proactive backhaul transfer of cached layer bytes."""
+
+    kind: ClassVar[str] = "migration"
+    client_id: int
+    source_server: int
+    target_server: int
+    nbytes: float
+
+
+@dataclass(frozen=True)
+class FractionalTruncationEvent(Event):
+    """A crowded-server byte budget capped a migration below plan size."""
+
+    kind: ClassVar[str] = "fractional_truncation"
+    client_id: int
+    source_server: int
+    target_server: int
+    plan_bytes: float
+    budget_bytes: float
+
+
+@dataclass(frozen=True)
+class CacheEvictionEvent(Event):
+    """A TTL-expired cached model was dropped from a server."""
+
+    kind: ClassVar[str] = "cache_eviction"
+    server_id: int
+    client_id: int
+
+
+@dataclass(frozen=True)
+class QueryWindowEvent(Event):
+    """One client's query loop over one interval completed."""
+
+    kind: ClassVar[str] = "query_window"
+    client_id: int
+    server_id: int
+    queries: int
+    coldstart: bool
+    end_bytes: float
+
+
+#: kind -> event class, for deserializing exported traces.
+EVENT_KINDS: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        AssociationEvent,
+        ColdStartEvent,
+        MigrationEvent,
+        FractionalTruncationEvent,
+        CacheEvictionEvent,
+        QueryWindowEvent,
+    )
+}
+
+
+def event_from_dict(payload: dict) -> Event:
+    """Rebuild an event from one ``as_dict`` payload."""
+    data = dict(payload)
+    kind = data.pop("kind")
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    names = {f.name for f in fields(cls)}
+    unknown = set(data) - names
+    if unknown:
+        raise ValueError(f"unknown fields for {kind!r}: {sorted(unknown)}")
+    return cls(**data)
+
+
+class EventTrace:
+    """Append-only, iteration-ordered event log."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def record(self, event: Event) -> None:
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        return tuple(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        return dict(sorted(TallyCounter(e.kind for e in self._events).items()))
+
+    def as_dicts(self) -> list[dict]:
+        return [event.as_dict() for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,332 @@
+"""Process-local metrics registry: counters, gauges, histograms, timers.
+
+The registry is the single instrumentation surface of the reproduction.
+Hot paths (the master's planning loop, edge-server caches, the backhaul
+meter, the query-window integrator) record into it; simulation drivers
+derive their reported results from it; exporters serialize it.
+
+Design constraints (see ISSUE 1):
+
+* zero dependencies — stdlib + nothing else;
+* deterministic — metric identity is ``(name, sorted labels)``, exported
+  views are sorted, and no wall-clock value enters the registry unless
+  timing capture is explicitly enabled (``record_timings=True``);
+* cheap — recording is a dict lookup plus a float add, so instrumenting
+  the simulator's inner loops does not noticeably change tier-1 runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Mapping
+from contextlib import contextmanager
+from typing import Callable
+
+Labels = tuple[tuple[str, str], ...]
+
+#: Default bucket upper bounds for scoped timers (seconds).
+TIMER_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+
+def normalize_labels(labels: Mapping[str, str] | None) -> Labels:
+    """Canonical label identity: sorted ``(key, value)`` string pairs."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically non-decreasing accumulator."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward (amount >= 0)")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """Last-written value (set/add; not monotonic)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        # Last write wins; in a merge the other registry is "newer".
+        self.value = other.value
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count.
+
+    ``buckets`` are strictly increasing upper bounds; an observation lands
+    in the first bucket whose bound is >= the value, or in the implicit
+    overflow bucket past the last bound (``counts`` has ``len(buckets)+1``
+    slots).
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...], labels: Labels = ()
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: bucket bounds differ"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+        self.count += other.count
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by ``(name, labels)``.
+
+    A ``(name, labels)`` pair is bound to one metric kind for the life of
+    the registry; asking for the same pair as a different kind (or a
+    histogram with different buckets) raises.
+
+    ``record_timings`` gates the wall-clock side of :meth:`timer`: off by
+    default so exported snapshots are bit-reproducible under a fixed seed.
+    """
+
+    def __init__(
+        self,
+        record_timings: bool = False,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.record_timings = record_timings
+        self._clock = clock or time.perf_counter
+        self._metrics: dict[tuple[str, Labels], Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self, cls, name: str, labels: Mapping[str, str] | None, **kwargs
+    ):
+        key = (name, normalize_labels(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r}{dict(key[1])!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            if (
+                isinstance(existing, Histogram)
+                and "buckets" in kwargs
+                and existing.buckets != tuple(float(b) for b in kwargs["buckets"])
+            ):
+                raise ValueError(
+                    f"histogram {name!r} already registered with different "
+                    "bucket bounds"
+                )
+            return existing
+        metric = cls(name, labels=key[1], **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...],
+        labels: Mapping[str, str] | None = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str, labels: Mapping[str, str] | None = None):
+        """Scoped timer: always counts calls; records seconds into
+        ``<name>.seconds`` only when ``record_timings`` is enabled, so the
+        default export stays deterministic."""
+        self.counter(f"{name}.calls", labels).inc()
+        if not self.record_timings:
+            yield
+            return
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.histogram(f"{name}.seconds", TIMER_BUCKETS, labels).observe(
+                self._clock() - start
+            )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def value(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> float:
+        """Current value of a counter/gauge; 0.0 if never recorded."""
+        metric = self._metrics.get((name, normalize_labels(labels)))
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is a histogram; read .sum/.count")
+        return metric.value
+
+    def series(self, name: str) -> list[tuple[dict[str, str], float]]:
+        """All labelled values of one counter/gauge name, sorted by labels."""
+        out = []
+        for (metric_name, labels), metric in sorted(self._metrics.items()):
+            if metric_name == name and not isinstance(metric, Histogram):
+                out.append((dict(labels), metric.value))
+        return out
+
+    def metrics(self) -> Iterator[Metric]:
+        """All metrics in deterministic (name, labels) order."""
+        for _, metric in sorted(self._metrics.items()):
+            yield metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every metric in place (registrations and buckets stay)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registration."""
+        self._metrics.clear()
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other`` into this registry in place and return self.
+
+        Counters and histograms accumulate, gauges take the other's value.
+        Merging two registries that recorded disjoint halves of a workload
+        equals one registry that recorded the interleaved whole (for
+        counters and histograms; gauges are last-write).
+        """
+        for key, theirs in sorted(other._metrics.items()):
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(theirs, Histogram):
+                    mine = self.histogram(key[0], theirs.buckets, dict(key[1]))
+                elif isinstance(theirs, Gauge):
+                    mine = self.gauge(key[0], dict(key[1]))
+                else:
+                    mine = self.counter(key[0], dict(key[1]))
+            elif type(mine) is not type(theirs):
+                raise TypeError(
+                    f"cannot merge {key[0]!r}: kind mismatch "
+                    f"({type(mine).__name__} vs {type(theirs).__name__})"
+                )
+            mine.merge(theirs)
+        return self
+
+    def as_dict(self) -> dict:
+        """Deterministic nested view: kind -> sorted list of metric dicts."""
+        counters, gauges, histograms = [], [], []
+        for metric in self.metrics():
+            if isinstance(metric, Counter):
+                counters.append(metric.as_dict())
+            elif isinstance(metric, Gauge):
+                gauges.append(metric.as_dict())
+            else:
+                histograms.append(metric.as_dict())
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

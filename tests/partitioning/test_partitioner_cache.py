@@ -1,0 +1,95 @@
+"""Cache-equivalence of the partitioner's quantized-slowdown memoization.
+
+The large-scale simulator calls ``partition`` for every client every
+interval; correctness of the memoization means (a) a slowdown and its
+quantized key are indistinguishable (same cached object), and (b) results
+on opposite sides of a quantum boundary differ only when the optimal plan
+actually changes — never because of stale cache contents.
+"""
+
+import numpy as np
+import pytest
+
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.partitioning.shortest_path import optimal_plan
+
+
+@pytest.fixture
+def partitioner(tiny_profile):
+    return DNNPartitioner(tiny_profile, 35e6, 50e6)
+
+
+class TestQuantize:
+    def test_quantize_is_idempotent(self, partitioner):
+        rng = np.random.default_rng(17)
+        for slowdown in rng.uniform(0.5, 8.0, size=100):
+            key = partitioner.quantize(slowdown)
+            assert partitioner.quantize(key) == key
+
+    def test_quantize_clamps_below_one(self, partitioner):
+        assert partitioner.quantize(0.1) == 1.0
+        assert partitioner.quantize(-3.0) == 1.0
+
+    def test_private_alias_still_works(self, partitioner):
+        assert partitioner._quantize(1.7) == partitioner.quantize(1.7)
+
+
+class TestCacheEquivalence:
+    def test_partition_of_quantized_is_same_object(self, partitioner):
+        """For random slowdowns, partition(s) is partition(quantize(s))."""
+        rng = np.random.default_rng(23)
+        for slowdown in rng.uniform(0.5, 8.0, size=200):
+            direct = partitioner.partition(slowdown)
+            via_key = partitioner.partition(partitioner.quantize(slowdown))
+            assert direct is via_key
+            assert direct.slowdown == partitioner.quantize(slowdown)
+
+    def test_same_bucket_same_object(self, partitioner):
+        quantum = partitioner._quantum
+        base = 2.0  # a bucket centre
+        for offset in (-0.49, -0.25, 0.0, 0.25, 0.49):
+            result = partitioner.partition(base + offset * quantum)
+            assert result is partitioner.partition(base)
+
+    def test_cached_results_are_never_stale(self, partitioner):
+        """Each cached result equals a fresh computation at its key: the
+        plan is the true optimum for that bucket's scaled costs."""
+        keys = [1.0 + 0.25 * i for i in range(16)]
+        for key in keys:
+            cached = partitioner.partition(key)
+            fresh_costs = partitioner._base_costs.scaled_server(key)
+            fresh_plan = optimal_plan(fresh_costs)
+            assert cached.plan.server_indices == fresh_plan.server_indices
+            assert cached.plan.latency == pytest.approx(fresh_plan.latency)
+
+    def test_across_boundary_differs_only_when_plan_changes(self, partitioner):
+        """Walk adjacent quantum buckets: either the optimal plan changed
+        (different server layer set) or the cached artefacts are
+        structurally identical apart from the slowdown key."""
+        keys = [1.0 + 0.25 * i for i in range(20)]
+        results = [partitioner.partition(k) for k in keys]
+        changes = 0
+        for before, after in zip(results, results[1:]):
+            assert before is not after  # distinct buckets, distinct entries
+            if before.plan.server_indices == after.plan.server_indices:
+                # Plan unchanged => same uploaded content (the greedy chunk
+                # *order* may shift, as efficiency depends on server speed).
+                assert (
+                    before.schedule.total_bytes == after.schedule.total_bytes
+                )
+                uploaded_before = {
+                    name
+                    for chunk in before.schedule.chunks
+                    for name in chunk.layer_names
+                }
+                uploaded_after = {
+                    name
+                    for chunk in after.schedule.chunks
+                    for name in chunk.layer_names
+                }
+                assert uploaded_before == uploaded_after
+            else:
+                changes += 1
+        # Over a 1x..5.75x sweep the tiny model's plan must actually move
+        # at least once (otherwise this test exercises nothing).
+        assert changes >= 1

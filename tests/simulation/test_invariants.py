@@ -1,0 +1,101 @@
+"""Invariant tests for the simulation core (ISSUE 1 satellite).
+
+Accounting identities the §4.B metrics rest on:
+
+* ``hit_ratio`` is well-defined (0.0) when nothing ever associated;
+* cold hits + cold misses == total new associations;
+* the PerDNN policy never does worse on hit ratio than no migration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.master import MigrationPolicy
+from repro.simulation.large_scale import (
+    LargeScaleResult,
+    SimulationSettings,
+    run_large_scale,
+)
+from repro.trajectories.synthetic import kaist_like
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return kaist_like(np.random.default_rng(44), num_users=7, duration_steps=100)
+
+
+def run(dataset, partitioner, policy, **kwargs):
+    settings = SimulationSettings(
+        policy=policy, migration_radius_m=100.0, max_steps=25, seed=9, **kwargs
+    )
+    return run_large_scale(dataset, partitioner, settings)
+
+
+class TestHitRatioGuards:
+    def test_zero_associations_is_zero_not_nan(self):
+        result = LargeScaleResult(policy="none", dataset="d", model="m")
+        assert result.hits == result.misses == 0
+        assert result.hit_ratio == 0.0  # no ZeroDivisionError
+
+    def test_hit_ratio_bounded(self, dataset, tiny_partitioner):
+        for policy in (
+            MigrationPolicy.NONE,
+            MigrationPolicy.PERDNN,
+            MigrationPolicy.OPTIMAL,
+        ):
+            result = run(dataset, tiny_partitioner, policy)
+            assert 0.0 <= result.hit_ratio <= 1.0
+
+
+class TestAssociationAccounting:
+    @pytest.mark.parametrize(
+        "policy",
+        [MigrationPolicy.NONE, MigrationPolicy.PERDNN, MigrationPolicy.OPTIMAL],
+    )
+    def test_cold_outcomes_equal_new_associations(
+        self, dataset, tiny_partitioner, policy
+    ):
+        result = run(dataset, tiny_partitioner, policy)
+        registry = result.telemetry.registry
+        associations = int(registry.value("sim.associations"))
+        assert associations > 0
+        assert result.hits + result.misses == associations
+        # New associations are each client's first plus every server change.
+        assert associations == result.server_changes + result.num_clients
+        # The event trace tells the same story as the counters.
+        assert len(result.telemetry.trace.of_kind("association")) == associations
+        assert len(result.telemetry.trace.of_kind("cold_start")) == associations
+
+    def test_coldstart_queries_subset_of_total(self, dataset, tiny_partitioner):
+        result = run(dataset, tiny_partitioner, MigrationPolicy.PERDNN)
+        assert 0 <= result.coldstart_queries <= result.total_queries
+
+
+class TestPolicyOrdering:
+    def test_perdnn_hit_ratio_at_least_no_migration(
+        self, dataset, tiny_partitioner
+    ):
+        baseline = run(dataset, tiny_partitioner, MigrationPolicy.NONE)
+        perdnn = run(dataset, tiny_partitioner, MigrationPolicy.PERDNN)
+        assert perdnn.hit_ratio >= baseline.hit_ratio
+        # On this trace proactive migration genuinely helps.
+        assert perdnn.hit_ratio > 0.0
+        assert baseline.hit_ratio == 0.0  # IONN keeps nothing ahead of moves
+
+    def test_optimal_dominates_perdnn(self, dataset, tiny_partitioner):
+        perdnn = run(dataset, tiny_partitioner, MigrationPolicy.PERDNN)
+        optimal = run(dataset, tiny_partitioner, MigrationPolicy.OPTIMAL)
+        assert optimal.hit_ratio == 1.0
+        assert optimal.hit_ratio >= perdnn.hit_ratio
+
+
+class TestTrafficConservation:
+    def test_every_byte_sent_is_received(self, dataset, tiny_partitioner):
+        result = run(dataset, tiny_partitioner, MigrationPolicy.PERDNN)
+        assert result.uplink is not None and result.downlink is not None
+        assert result.uplink.total_bytes == pytest.approx(
+            result.downlink.total_bytes
+        )
+        # The shared registry's backhaul counter agrees with the meter.
+        backhaul = result.telemetry.registry.value("net.backhaul_bytes")
+        assert backhaul == pytest.approx(result.uplink.total_bytes)

@@ -1,0 +1,222 @@
+"""Unit tests for counters, gauges, histograms, timers, and the registry."""
+
+import pytest
+
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    normalize_labels,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("hits")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_reset_zeroes_value(self):
+        c = Counter("hits")
+        c.inc(7)
+        c.reset()
+        assert c.value == 0.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("load")
+        g.set(4.0)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+    def test_reset(self):
+        g = Gauge("load")
+        g.set(9.0)
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0):
+            h.observe(value)
+        # <=1: {0.5, 1.0}; <=2: {1.5, 2.0}; <=4: {3.0, 4.0}; overflow: {5.0}
+        assert h.counts == [2, 2, 2, 1]
+        assert h.count == 7
+        assert h.sum == pytest.approx(17.0)
+
+    def test_rejects_non_increasing_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_empty_bounds_allowed(self):
+        h = Histogram("lat", buckets=())
+        h.observe(3.0)
+        assert h.counts == [1]
+        assert h.mean == 3.0
+
+    def test_reset_keeps_buckets(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.counts == [0, 0]
+        assert h.count == 0 and h.sum == 0.0
+        assert h.buckets == (1.0,)
+
+    def test_merge_requires_matching_buckets(self):
+        a = Histogram("lat", buckets=(1.0,))
+        b = Histogram("lat", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestLabels:
+    def test_normalization_is_order_insensitive(self):
+        assert normalize_labels({"b": "2", "a": "1"}) == normalize_labels(
+            {"a": "1", "b": "2"}
+        )
+        assert normalize_labels(None) == ()
+        assert normalize_labels({}) == ()
+
+    def test_values_coerced_to_str(self):
+        assert normalize_labels({"n": 3}) == (("n", "3"),)
+
+    def test_distinct_labels_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", {"model": "a"}).inc()
+        reg.counter("hits", {"model": "b"}).inc(2)
+        assert reg.value("hits", {"model": "a"}) == 1.0
+        assert reg.value("hits", {"model": "b"}) == 2.0
+        assert reg.value("hits") == 0.0  # unlabelled series never touched
+        assert reg.series("hits") == [
+            ({"model": "a"}, 1.0),
+            ({"model": "b"}, 2.0),
+        ]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h", (1.0,)) is reg.histogram("h", (1.0,))
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x", (1.0,))
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError):
+            reg.histogram("h", (1.0, 3.0))
+
+    def test_value_of_missing_metric_is_zero(self):
+        assert MetricsRegistry().value("nope") == 0.0
+
+    def test_value_of_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0,))
+        with pytest.raises(TypeError):
+            reg.value("h")
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(2)
+        reg.histogram("h", (1.0,)).observe(0.5)
+        reg.reset()
+        assert len(reg) == 3
+        assert reg.value("c") == 0.0
+        assert reg.value("g") == 0.0
+        assert reg.histogram("h", (1.0,)).count == 0
+
+    def test_clear_drops_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.clear()
+        assert len(reg) == 0
+
+    def test_as_dict_is_sorted_and_grouped(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        reg.gauge("g").set(1)
+        reg.histogram("h", (1.0,)).observe(2.0)
+        doc = reg.as_dict()
+        assert [c["name"] for c in doc["counters"]] == ["a", "b"]
+        assert [g["name"] for g in doc["gauges"]] == ["g"]
+        assert doc["histograms"][0]["counts"] == [0, 1]
+
+
+class TestTimer:
+    def test_timer_counts_calls_without_wall_clock_by_default(self):
+        reg = MetricsRegistry()  # record_timings=False
+        with reg.timer("plan"):
+            pass
+        assert reg.value("plan.calls") == 1.0
+        # No histogram was created: the export carries no wall-clock data.
+        assert all(m.name != "plan.seconds" for m in reg.metrics())
+
+    def test_timer_records_seconds_when_enabled(self):
+        ticks = iter([1.0, 3.5])
+        reg = MetricsRegistry(record_timings=True, clock=lambda: next(ticks))
+        with reg.timer("plan"):
+            pass
+        hist = next(m for m in reg.metrics() if m.name == "plan.seconds")
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(2.5)
+
+    def test_timer_records_even_when_body_raises(self):
+        ticks = iter([0.0, 1.0])
+        reg = MetricsRegistry(record_timings=True, clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with reg.timer("plan"):
+                raise RuntimeError("boom")
+        hist = next(m for m in reg.metrics() if m.name == "plan.seconds")
+        assert hist.count == 1
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b").inc()
+        a.histogram("h", (1.0,)).observe(0.5)
+        b.histogram("h", (1.0,)).observe(2.0)
+        a.merge(b)
+        assert a.value("c") == 5.0
+        assert a.value("only_b") == 1.0
+        h = a.histogram("h", (1.0,))
+        assert h.counts == [1, 1] and h.count == 2
+
+    def test_merge_gauge_is_last_write(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1)
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.value("g") == 9.0
+
+    def test_merge_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TypeError):
+            a.merge(b)

@@ -36,6 +36,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--policy", "bogus"])
 
+    def test_telemetry_command_parses(self):
+        args = build_parser().parse_args(["telemetry", "run.json"])
+        assert args.command == "telemetry"
+        assert args.snapshot == "run.json"
+        assert args.top == 10
+
 
 class TestCommands:
     def test_models_runs(self, capsys):
@@ -86,3 +92,25 @@ class TestCommands:
             ]
         ) == 0
         assert "policy: routing" in capsys.readouterr().out
+
+    def test_simulate_writes_and_telemetry_summarizes(self, capsys, tmp_path):
+        snapshot = tmp_path / "run.telemetry.json"
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "none", "--steps", "5", "--users", "3",
+                "--dataset-steps", "50", "--telemetry", str(snapshot),
+            ]
+        ) == 0
+        assert "telemetry snapshot" in capsys.readouterr().out
+        assert snapshot.exists()
+        assert main(["telemetry", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert "events" in out
+        assert "cold_start: " in out  # event tally by kind
+        assert "query.completed" in out
+
+    def test_telemetry_missing_file_errors(self, capsys, tmp_path):
+        assert main(["telemetry", str(tmp_path / "nope.json")]) == 1
+        assert "no such snapshot" in capsys.readouterr().err
