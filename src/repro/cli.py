@@ -7,7 +7,8 @@ Usage (after ``pip install -e .``)::
     python -m repro handoff --model resnet --fraction 0.2
     python -m repro simulate --dataset kaist --model inception \
         --policy perdnn --radius 100 --steps 60 \
-        --telemetry run.telemetry.json
+        --faults churn --telemetry run.telemetry.json
+    python -m repro faults
     python -m repro predictors --dataset geolife
     python -m repro telemetry run.telemetry.json
 
@@ -26,11 +27,26 @@ from repro.core.config import PerDNNConfig
 from repro.core.master import MigrationPolicy
 from repro.dnn.models import MODEL_BUILDERS, build_model
 from repro.dnn.zoo_extra import EXTRA_MODEL_BUILDERS
+from repro.faults import BUILTIN_PROFILES, get_profile
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.hardware import odroid_xu4, titan_xp_server
 from repro.profiling.profiler import ExecutionProfile
 
 ALL_MODELS = {**MODEL_BUILDERS, **EXTRA_MODEL_BUILDERS}
+
+
+def positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, rejected with a clear
+    one-line error instead of a deep simulation traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
 
 
 def _make_partitioner(model: str, config: PerDNNConfig) -> DNNPartitioner:
@@ -121,25 +137,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     partitioner = _make_partitioner(args.model, config)
     dataset = _make_dataset(args.dataset, args.users, args.dataset_steps, args.seed)
+    profile = get_profile(args.faults)
     settings = SimulationSettings(
         policy=MigrationPolicy(args.policy),
         migration_radius_m=args.radius,
         max_steps=args.steps,
         seed=args.seed,
+        faults=profile,
     )
     result = run_large_scale(dataset, partitioner, settings, config=config)
     if args.telemetry:
         assert result.telemetry is not None
-        path = result.telemetry.write(
-            args.telemetry,
-            meta={
-                "command": "simulate",
-                "dataset": args.dataset,
-                "model": args.model,
-                "policy": args.policy,
-                "seed": args.seed,
-            },
-        )
+        meta = {
+            "command": "simulate",
+            "dataset": args.dataset,
+            "model": args.model,
+            "policy": args.policy,
+            "seed": args.seed,
+        }
+        if args.faults != "none":
+            meta["faults"] = args.faults
+        try:
+            path = result.telemetry.write(args.telemetry, meta=meta)
+        except OSError as exc:
+            print(
+                f"error: cannot write telemetry snapshot: {exc}",
+                file=sys.stderr,
+            )
+            return 1
         print(f"telemetry snapshot: {path}")
     print(f"dataset: {result.dataset}, model: {result.model}, "
           f"policy: {result.policy}")
@@ -152,6 +177,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     assert result.uplink is not None
     print(f"backhaul peak:      {result.uplink.peak_mbps:.0f} Mbps uplink, "
           f"{result.uplink.total_bytes / 1e9:.2f} GB total")
+    if args.faults != "none":
+        print(f"faults profile:     {args.faults}")
+        print(f"availability:       {result.availability:6.2%}")
+        print(f"local fallback:     {result.local_fallback_queries} queries")
+        print(f"upload retries:     {result.upload_retries}")
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    width = max(len(name) for name in BUILTIN_PROFILES) + 2
+    print(f"{'profile':<{width}s} description")
+    for name in sorted(BUILTIN_PROFILES):
+        print(f"{name:<{width}s} {BUILTIN_PROFILES[name].description}")
     return 0
 
 
@@ -237,13 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--radius", type=float, default=100.0)
     simulate.add_argument("--hysteresis", type=float, default=0.0,
                           help="handover hysteresis margin in metres")
-    simulate.add_argument("--steps", type=int, default=60,
+    simulate.add_argument("--steps", type=positive_int, default=60,
                           help="simulated intervals (cap)")
-    simulate.add_argument("--users", type=int, default=20)
-    simulate.add_argument("--dataset-steps", type=int, default=300)
+    simulate.add_argument("--users", type=positive_int, default=20)
+    simulate.add_argument("--dataset-steps", type=positive_int, default=300)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--faults", default="none",
+                          choices=sorted(BUILTIN_PROFILES),
+                          help="fault-injection profile (default: none)")
     simulate.add_argument("--telemetry", metavar="PATH", default=None,
                           help="write the run's telemetry snapshot (JSON)")
+
+    sub.add_parser("faults", help="list built-in fault-injection profiles")
 
     telemetry = sub.add_parser(
         "telemetry", help="summarize an exported telemetry snapshot"
@@ -255,8 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
     predictors = sub.add_parser("predictors", help="compare mobility predictors")
     predictors.add_argument("--dataset", default="kaist",
                             choices=("kaist", "geolife"))
-    predictors.add_argument("--users", type=int, default=20)
-    predictors.add_argument("--dataset-steps", type=int, default=300)
+    predictors.add_argument("--users", type=positive_int, default=20)
+    predictors.add_argument("--dataset-steps", type=positive_int, default=300)
     predictors.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -267,6 +310,7 @@ _COMMANDS = {
     "partition": cmd_partition,
     "handoff": cmd_handoff,
     "simulate": cmd_simulate,
+    "faults": cmd_faults,
     "telemetry": cmd_telemetry,
     "predictors": cmd_predictors,
 }

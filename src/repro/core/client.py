@@ -11,6 +11,7 @@ from collections import deque
 
 import numpy as np
 
+from repro.faults.schedule import DEFAULT_BACKOFF_CAP, backoff_intervals
 from repro.mobility.trajectory import Trajectory
 
 
@@ -29,11 +30,41 @@ class MobileClient:
         # Model generation: bumped when the client retrains/replaces its
         # personal DNN (paper §I), invalidating all cached copies.
         self.model_version = 0
+        # Upload retry state: consecutive failed upload windows and the
+        # interval at which the next (backed-off) attempt is allowed.
+        self.upload_failures = 0
+        self.upload_resume_at = 0
 
     def update_model(self) -> int:
         """Deploy a new model generation; returns the new version."""
         self.model_version += 1
         return self.model_version
+
+    # ------------------------------------------------------------------
+    # Upload retry/backoff (fault resilience)
+    # ------------------------------------------------------------------
+    def upload_allowed(self, interval: int) -> bool:
+        """May the client attempt an upload this interval (not backing off)?"""
+        return interval >= self.upload_resume_at
+
+    def record_upload_drop(
+        self, interval: int, cap: int = DEFAULT_BACKOFF_CAP
+    ) -> int:
+        """Register a failed upload window; returns the backoff delay.
+
+        Consecutive failures back off exponentially (1, 2, 4, ...
+        intervals), capped at ``cap``, so a flaky link never locks a
+        client out of uploading for unbounded time.
+        """
+        self.upload_failures += 1
+        delay = backoff_intervals(self.upload_failures, cap)
+        self.upload_resume_at = interval + delay
+        return delay
+
+    def record_upload_success(self) -> None:
+        """An upload window went through: reset the backoff."""
+        self.upload_failures = 0
+        self.upload_resume_at = 0
 
     @property
     def finished(self) -> bool:

@@ -135,6 +135,21 @@ class EdgeServer:
         if entry is not None and entry.version == version:
             entry.refresh(now_interval, ttl_intervals)
 
+    def crash(self) -> int:
+        """Power loss: every cached model and association is gone.
+
+        Returns the number of cached models lost.  The server object
+        itself survives (it is the cell's slot); a later restart simply
+        finds it with a cold cache — the paper's cold-start cost paid
+        again, which is exactly what the resilience layer measures.
+        """
+        lost = len(self._cache)
+        self._cache.clear()
+        self._active_clients.clear()
+        if lost and self.telemetry is not None:
+            self.telemetry.counter("cache.crash_losses").inc(lost)
+        return lost
+
     def clear_client(self, client_id: int) -> None:
         """Drop a client's cached layers (the IONN baseline keeps nothing
         across server changes — clients re-upload from scratch)."""

@@ -26,6 +26,7 @@ from repro.core.client import MobileClient
 from repro.core.config import PerDNNConfig
 from repro.core.edge_server import EdgeServer
 from repro.estimation.estimator import ContentionEstimator
+from repro.faults import FaultSchedule, record_fault
 from repro.geo.wifi import EdgeServerRegistry
 from repro.mobility.predictor import PointPredictor
 from repro.network.traffic import TrafficMeter
@@ -75,6 +76,7 @@ class MasterServer:
         crowded_servers: frozenset[int] = frozenset(),
         crowded_byte_budget: float = float("inf"),
         telemetry: Telemetry | None = None,
+        fault_schedule: FaultSchedule | None = None,
     ) -> None:
         if policy is MigrationPolicy.PERDNN and predictor is None:
             raise ValueError("PERDNN policy requires a mobility predictor")
@@ -88,6 +90,7 @@ class MasterServer:
         self.crowded_servers = crowded_servers
         self.crowded_byte_budget = crowded_byte_budget
         self.telemetry = telemetry
+        self.fault_schedule = fault_schedule
         self._rng = rng
         self._servers: dict[int, EdgeServer] = {}
         self.migrations: list[MigrationRecord] = []
@@ -112,6 +115,20 @@ class MasterServer:
 
     def server_at(self, point: tuple[float, float]) -> int | None:
         return self.registry.server_at(point)
+
+    def server_available(self, server_id: int, interval: int) -> bool:
+        """Is the server up at ``interval`` under the run's fault schedule?"""
+        if self.fault_schedule is None:
+            return True
+        return not self.fault_schedule.server_down(server_id, interval)
+
+    def crash_server(self, server_id: int) -> int:
+        """Wipe a crashed server's state; returns the cached models lost.
+
+        Servers never instantiated (no clients, no cache) lose nothing.
+        """
+        server = self._servers.get(server_id)
+        return server.crash() if server is not None else 0
 
     # ------------------------------------------------------------------
     # Planning
@@ -193,6 +210,22 @@ class MasterServer:
         window = client.recent_window()
         if window is None or client.current_server is None:
             return []
+        if not self.server_available(client.current_server, interval):
+            return []  # the source is dark; nothing can be pushed from it
+        if (
+            self.fault_schedule is not None
+            and not self.fault_schedule.backhaul_available(interval)
+        ):
+            # Backhaul outage: every proactive transfer is blocked this
+            # interval.  Record it once per client — the master retries
+            # naturally at the next interval.
+            if self.telemetry is not None:
+                record_fault(
+                    self.telemetry, interval, "backhaul_blocked",
+                    server_id=client.current_server,
+                    client_id=client.client_id,
+                )
+            return []
         predicted = self.predictor.predict_point(window)
         targets = self.registry.servers_within(
             predicted, self.config.migration_radius_m
@@ -202,9 +235,21 @@ class MasterServer:
         source_bytes = source.cached_bytes(client.client_id, version)
         if source_bytes <= 0:
             return []  # nothing to send yet (client still uploading)
+        backhaul_factor = (
+            self.fault_schedule.backhaul_factor(interval)
+            if self.fault_schedule is not None else 1.0
+        )
         records: list[MigrationRecord] = []
         for target_id in targets:
             if target_id == source.server_id:
+                continue
+            if not self.server_available(target_id, interval):
+                # Dead servers get no future plans — migrating to them
+                # would burn backhaul bytes into the void.
+                if self.telemetry is not None:
+                    self.telemetry.registry.counter(
+                        "resilience.dead_target_skips"
+                    ).inc()
                 continue
             target = self.server(target_id)
             # Future partitioning plan, with the *current* GPU workload of
@@ -215,6 +260,11 @@ class MasterServer:
             needed = self._byte_budget(
                 source.server_id, target_id, future_plan.server_bytes
             )
+            if backhaul_factor < 1.0:
+                # Degraded backhaul: only a fraction of the plan fits in
+                # this interval's transfer budget (fractional migration
+                # under duress, same mechanism as crowded servers).
+                needed = min(needed, backhaul_factor * future_plan.server_bytes)
             if (
                 self.telemetry is not None
                 and needed < future_plan.server_bytes
@@ -248,6 +298,21 @@ class MasterServer:
                     client.client_id, interval, self.config.ttl_intervals,
                     version,
                 )
+                continue
+            if (
+                self.fault_schedule is not None
+                and self.fault_schedule.migration_dropped(
+                    client.client_id, source.server_id, target_id, interval
+                )
+            ):
+                # The transfer fails in flight: no bytes land, no traffic
+                # is billed.  The master retries at the next interval's
+                # proactive pass (the target still lacks the bytes).
+                if self.telemetry is not None:
+                    record_fault(
+                        self.telemetry, interval, "migration_drop",
+                        server_id=target_id, client_id=client.client_id,
+                    )
                 continue
             target.add_bytes(
                 client.client_id, delta, interval, self.config.ttl_intervals,

@@ -1,0 +1,67 @@
+"""Fault injection + resilience: deterministic infrastructure misbehaviour.
+
+``repro.faults`` makes failure a first-class simulation scenario: a
+:class:`FaultSchedule` decides — purely from the run seed — when edge
+servers crash and restart, when the backhaul degrades or goes dark, and
+which uploads/migrations drop in flight.  The simulator threads the
+schedule through the master, edge servers, and client query loops so the
+system *degrades* (local execution, capped-backoff retries, skipped dead
+servers) instead of silently assuming success.
+
+The layer is a strict no-op when disabled: a run without a schedule (or
+with the ``none`` profile) is byte-identical to a run of a build without
+this package.
+"""
+
+from __future__ import annotations
+
+from repro.faults.profiles import (
+    BUILTIN_PROFILES,
+    FaultProfile,
+    get_profile,
+)
+from repro.faults.schedule import (
+    DEFAULT_BACKOFF_CAP,
+    Degradation,
+    FaultSchedule,
+    ServerCrash,
+    Window,
+    backoff_intervals,
+)
+from repro.telemetry import FaultEvent, Telemetry
+
+
+def record_fault(
+    telemetry: Telemetry,
+    interval: int,
+    fault: str,
+    server_id: int | None = None,
+    client_id: int | None = None,
+) -> None:
+    """Record one injected fault into a run's registry and trace.
+
+    Every injection site uses this helper, so the labelled
+    ``fault.injected`` counter always tallies exactly the ``fault``
+    events in the trace (a property the fault test suite checks).
+    """
+    telemetry.registry.counter("fault.injected", {"kind": fault}).inc()
+    telemetry.trace.record(
+        FaultEvent(
+            interval=interval, fault=fault,
+            server_id=server_id, client_id=client_id,
+        )
+    )
+
+
+__all__ = [
+    "BUILTIN_PROFILES",
+    "DEFAULT_BACKOFF_CAP",
+    "Degradation",
+    "FaultProfile",
+    "FaultSchedule",
+    "ServerCrash",
+    "Window",
+    "backoff_intervals",
+    "get_profile",
+    "record_fault",
+]

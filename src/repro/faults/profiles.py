@@ -1,0 +1,151 @@
+"""Built-in fault profiles: named recipes for a run's failure regime.
+
+A :class:`FaultProfile` turns the run parameters (allocated server ids,
+run seed, replay horizon) into a concrete :class:`FaultSchedule`.  The
+same profile + seed + topology always builds the same schedule, so
+same-seed runs under a profile stay byte-identical.
+
+Profiles (``repro faults`` lists them):
+
+* ``none`` — the perfect world; the fault layer is a strict no-op.
+* ``churn`` — edge servers crash and restart independently (≈10 % crash
+  chance per interval, 2–4 intervals of downtime); cached models are lost
+  on every crash.
+* ``flaky-backhaul`` — infrastructure stays up, but the backhaul runs at
+  half capacity and individual migrations/uploads fail probabilistically.
+* ``blackout`` — every server and the backhaul go dark for the middle
+  third of the run, forcing clients into local execution, then everything
+  restarts with cold caches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.schedule import (
+    _SEED_MASK,
+    Degradation,
+    FaultSchedule,
+    ServerCrash,
+    Window,
+)
+
+#: Builder signature: (sorted server ids, seed, horizon) -> schedule.
+Builder = Callable[[tuple[int, ...], int, int], FaultSchedule]
+
+#: Stream salt for profile-generated crash patterns.
+_CHURN_SALT = 0xC0
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named, parameter-free recipe for building fault schedules."""
+
+    name: str
+    description: str
+    builder: Builder
+
+    def build(
+        self, server_ids: Sequence[int], seed: int, horizon: int
+    ) -> FaultSchedule:
+        """Instantiate the profile for one run.
+
+        ``server_ids`` are the run's allocated edge servers, ``seed`` is
+        the run seed, and ``horizon`` bounds the generated windows (the
+        number of replayed intervals).
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        ids = tuple(sorted({int(s) for s in server_ids}))
+        return self.builder(ids, int(seed), int(horizon))
+
+
+def _build_none(
+    server_ids: tuple[int, ...], seed: int, horizon: int
+) -> FaultSchedule:
+    return FaultSchedule(seed=seed)
+
+
+def _build_churn(
+    server_ids: tuple[int, ...], seed: int, horizon: int
+) -> FaultSchedule:
+    crashes: list[ServerCrash] = []
+    for server_id in server_ids:
+        rng = np.random.default_rng((seed & _SEED_MASK, _CHURN_SALT, server_id))
+        interval = 0
+        while interval < horizon:
+            if rng.random() < 0.10:
+                downtime = int(rng.integers(2, 5))
+                crashes.append(
+                    ServerCrash(server_id, Window(interval, interval + downtime))
+                )
+                interval += downtime
+            else:
+                interval += 1
+    return FaultSchedule(seed=seed, server_crashes=crashes)
+
+
+def _build_flaky_backhaul(
+    server_ids: tuple[int, ...], seed: int, horizon: int
+) -> FaultSchedule:
+    return FaultSchedule(
+        seed=seed,
+        backhaul_degradations=(Degradation(Window(0, horizon), 0.5),),
+        upload_drop_rate=0.15,
+        migration_drop_rate=0.25,
+    )
+
+
+def _build_blackout(
+    server_ids: tuple[int, ...], seed: int, horizon: int
+) -> FaultSchedule:
+    start = max(1, horizon // 3)
+    end = max(start + 1, (2 * horizon) // 3)
+    window = Window(start, end)
+    return FaultSchedule(
+        seed=seed,
+        server_crashes=tuple(ServerCrash(s, window) for s in server_ids),
+        backhaul_outages=(window,),
+    )
+
+
+BUILTIN_PROFILES: dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (
+        FaultProfile(
+            "none",
+            "perfect infrastructure; the fault layer is a strict no-op",
+            _build_none,
+        ),
+        FaultProfile(
+            "churn",
+            "servers crash (~10%/interval) and restart after 2-4 intervals, "
+            "losing their caches",
+            _build_churn,
+        ),
+        FaultProfile(
+            "flaky-backhaul",
+            "backhaul at half capacity; 25% of migrations and 15% of upload "
+            "windows drop",
+            _build_flaky_backhaul,
+        ),
+        FaultProfile(
+            "blackout",
+            "all servers and the backhaul dark for the middle third of the "
+            "run; clients degrade to local execution",
+            _build_blackout,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a built-in profile; raises with the known names otherwise."""
+    profile = BUILTIN_PROFILES.get(name)
+    if profile is None:
+        known = ", ".join(sorted(BUILTIN_PROFILES))
+        raise ValueError(f"unknown fault profile {name!r} (known: {known})")
+    return profile

@@ -24,6 +24,21 @@ class NetworkSpeed:
     def from_mbps(cls, downlink: float, uplink: float) -> "NetworkSpeed":
         return cls(downlink_bps=downlink * 1e6, uplink_bps=uplink * 1e6)
 
+    def degraded(self, factor: float) -> "NetworkSpeed":
+        """The same link at ``factor`` of its nominal capacity.
+
+        Used by the fault layer's wireless-degradation windows; ``factor``
+        must be in (0, 1] so the result stays a valid link.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("degradation factor must be in (0, 1]")
+        if factor == 1.0:
+            return self
+        return NetworkSpeed(
+            downlink_bps=self.downlink_bps * factor,
+            uplink_bps=self.uplink_bps * factor,
+        )
+
 
 # The paper's lab Wi-Fi: 50 Mbps download, 35 Mbps upload (§4, §4.B.1).
 LAB_WIFI = NetworkSpeed.from_mbps(downlink=50.0, uplink=35.0)

@@ -8,7 +8,11 @@
   region of mobile users, proactive migration, backhaul traffic.
 """
 
-from repro.simulation.query_loop import QueryRecord, run_query_window
+from repro.simulation.query_loop import (
+    QueryRecord,
+    run_local_window,
+    run_query_window,
+)
 from repro.simulation.single_client import (
     HandoffResult,
     UploadThroughput,
@@ -27,6 +31,7 @@ from repro.simulation.multi_handoff import (
 
 __all__ = [
     "QueryRecord",
+    "run_local_window",
     "run_query_window",
     "HandoffResult",
     "UploadThroughput",

@@ -32,6 +32,7 @@ from repro.core.config import PerDNNConfig
 from repro.core.master import MasterServer, MigrationPolicy
 from repro.core.routing import routed_tensors, routing_overhead_seconds
 from repro.estimation.estimator import ContentionEstimator
+from repro.faults import FaultProfile, FaultSchedule, record_fault
 from repro.geo.hexgrid import HexGrid
 from repro.geo.wifi import EdgeServerRegistry
 from repro.mobility.predictor import PointPredictor
@@ -40,7 +41,7 @@ from repro.mobility.trajectory import TrajectoryDataset
 from repro.network.traffic import TrafficMeter, TrafficSummary
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.profiler import generate_contention_dataset
-from repro.simulation.query_loop import run_query_window
+from repro.simulation.query_loop import run_local_window, run_query_window
 from repro.telemetry import (
     AssociationEvent,
     ColdStartEvent,
@@ -65,6 +66,23 @@ class SimulationSettings:
     # intervals (paper §I: models change after deployment), invalidating
     # every cached copy.  None = models never change (the paper's setup).
     model_update_every: int | None = None
+    # Fault injection: a built-in profile (instantiated with this run's
+    # servers/seed/horizon), a pre-built schedule, or None for the
+    # paper's perfect world.  A noop schedule is equivalent to None —
+    # the fault layer leaves a disabled run byte-identical.
+    faults: FaultProfile | FaultSchedule | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.replay_fraction <= 1.0:
+            raise ValueError("replay_fraction must be in (0, 1]")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1 (or None for all)")
+        if self.migration_radius_m < 0:
+            raise ValueError("migration_radius_m must be non-negative")
+        if self.crowded_byte_budget < 0:
+            raise ValueError("crowded_byte_budget must be non-negative")
+        if self.model_update_every is not None and self.model_update_every < 1:
+            raise ValueError("model_update_every must be >= 1 (or None)")
 
 
 @dataclass
@@ -93,6 +111,12 @@ class LargeScaleResult:
     uplink: TrafficSummary | None = None
     downlink: TrafficSummary | None = None
     server_changes: int = 0
+    # Resilience view (all trivial when no faults were injected): queries
+    # answered on-device because no live server was reachable, the share
+    # of client-intervals served remotely, and upload retry attempts.
+    local_fallback_queries: int = 0
+    availability: float = 1.0
+    upload_retries: int = 0
     extras: dict = field(default_factory=dict)
     telemetry: Telemetry | None = None
 
@@ -124,6 +148,49 @@ class LargeScaleResult:
         model_updates = int(registry.value("sim.model_updates"))
         if model_updates:
             self.extras["model_updates"] = model_updates
+        self.local_fallback_queries = int(
+            registry.value("query.local_fallback")
+        )
+        self.upload_retries = int(registry.value("resilience.retries"))
+        client_intervals = registry.value("resilience.client_intervals")
+        local_intervals = registry.value("resilience.local_intervals")
+        self.availability = (
+            1.0 - local_intervals / client_intervals
+            if client_intervals else 1.0
+        )
+        fault_counts = {
+            labels["kind"]: int(value)
+            for labels, value in registry.series("fault.injected")
+        }
+        if fault_counts:
+            self.extras["faults"] = fault_counts
+
+
+def _resolve_fault_schedule(
+    settings: SimulationSettings,
+    registry: EdgeServerRegistry,
+    replay: TrajectoryDataset,
+) -> FaultSchedule | None:
+    """Instantiate the run's fault schedule (None = fault layer off).
+
+    Profiles are built from the run's allocated servers, seed, and replay
+    horizon; a schedule that can never inject anything collapses to None
+    so a disabled fault layer is a strict no-op.
+    """
+    faults = settings.faults
+    if faults is None:
+        return None
+    if isinstance(faults, FaultProfile):
+        horizon = settings.max_steps
+        if horizon is None:
+            horizon = max(
+                (len(t) for t in replay.trajectories if len(t) >= 2),
+                default=1,
+            )
+        faults = faults.build(
+            registry.server_ids, settings.seed, max(1, horizon)
+        )
+    return None if faults.is_noop else faults
 
 
 def train_default_predictor(
@@ -197,6 +264,8 @@ def run_large_scale(
             client_id: partitioner_pool[client_id % len(partitioner_pool)]
             for client_id in range(num_replay_clients)
         }
+    fault_schedule = _resolve_fault_schedule(settings, registry, replay)
+    faults_on = fault_schedule is not None
     meter = TrafficMeter(dataset.interval_seconds, telemetry=metrics)
     master = MasterServer(
         registry=registry,
@@ -210,6 +279,7 @@ def run_large_scale(
         crowded_servers=settings.crowded_servers,
         crowded_byte_budget=settings.crowded_byte_budget,
         telemetry=telemetry,
+        fault_schedule=fault_schedule,
     )
     usable = [t for t in replay.trajectories if len(t) >= 2]
     clients = [
@@ -239,7 +309,26 @@ def run_large_scale(
         if not active:
             break
         master.begin_interval()
-        # 0. Periodic model retraining: new weights, stale caches.
+        # 0a. Fault transitions: restarts come back cold; crashes lose
+        # their caches and orphan their clients (re-associated below).
+        local_this_step: set[int] = set()
+        if faults_on:
+            for server_id in fault_schedule.restarts(step):
+                record_fault(
+                    telemetry, step, "server_restart", server_id=server_id
+                )
+            crashed_now = fault_schedule.crash_starts(step)
+            for server_id in crashed_now:
+                record_fault(
+                    telemetry, step, "server_crash", server_id=server_id
+                )
+                master.crash_server(server_id)
+            if crashed_now:
+                crashed_set = set(crashed_now)
+                for client in active:
+                    if client.current_server in crashed_set:
+                        client.current_server = None
+        # 0b. Periodic model retraining: new weights, stale caches.
         if (
             settings.model_update_every is not None
             and step > 0
@@ -262,6 +351,23 @@ def run_large_scale(
                 config.handover_hysteresis_m,
             )
             assert server_id is not None, "registry covers every trace point"
+            if faults_on and fault_schedule.server_down(server_id, step):
+                current = client.current_server
+                if current is not None and not fault_schedule.server_down(
+                    current, step
+                ):
+                    # The covering cell's server is dark but the old one
+                    # still lives: hold it (out-of-coverage stickiness)
+                    # rather than degrading to local execution.
+                    server_id = current
+                else:
+                    # No live server reachable: this interval runs fully
+                    # on-device (graceful degradation, never an error).
+                    if current is not None:
+                        master.server(current).dissociate(client.client_id)
+                        client.current_server = None
+                    local_this_step.add(client.client_id)
+                    continue
             if server_id != client.current_server:
                 previous_server = client.current_server
                 if previous_server is not None:
@@ -283,11 +389,46 @@ def run_large_scale(
                         previous_server=previous_server,
                     )
                 )
-        # 2. GPU contention advances under the new load.
+        # 2. GPU contention advances under the new load (down servers
+        # are powered off; their GPUs do not run).
         for server in master.instantiated_servers:
+            if faults_on and fault_schedule.server_down(
+                server.server_id, step
+            ):
+                continue
             server.step_gpu()
         # 3. Query loops.
         for client in active:
+            if faults_on:
+                metrics.counter("resilience.client_intervals").inc()
+                if client.client_id in local_this_step:
+                    # Graceful degradation: every query still completes,
+                    # on-device at the partitioner's all-local latency.
+                    client_partitioner = master.partitioner_for(
+                        client.client_id
+                    )
+                    outcome = run_local_window(
+                        client_partitioner.local_latency(),
+                        interval,
+                        config.query_gap_seconds,
+                        telemetry=metrics,
+                    )
+                    metrics.counter("resilience.local_intervals").inc()
+                    metrics.counter(
+                        "sim.queries",
+                        {"model": client_partitioner.graph.name},
+                    ).inc(outcome.count)
+                    telemetry.trace.record(
+                        QueryWindowEvent(
+                            interval=step,
+                            client_id=client.client_id,
+                            server_id=None,
+                            queries=outcome.count,
+                            coldstart=False,
+                            end_bytes=0.0,
+                        )
+                    )
+                    continue
             assert client.current_server is not None
             server = master.server(client.current_server)
             plan = master.plan_for(server, client.client_id)
@@ -325,13 +466,36 @@ def run_large_scale(
                 hops = grid.hop_distance(access_cell, home_cell)
                 tensors = routed_tensors(plan.costs, plan.plan)
                 overhead = routing_overhead_seconds(config, hops, tensors)
+            uploading = not optimal
+            uplink_bps = config.network.uplink_bps
+            if faults_on and uploading:
+                if not client.upload_allowed(step):
+                    uploading = False  # backing off after dropped uploads
+                else:
+                    if client.upload_failures > 0:
+                        metrics.counter("resilience.retries").inc()
+                    if fault_schedule.upload_dropped(client.client_id, step):
+                        client.record_upload_drop(step)
+                        record_fault(
+                            telemetry, step, "upload_drop",
+                            server_id=client.current_server,
+                            client_id=client.client_id,
+                        )
+                        uploading = False
+                    else:
+                        client.record_upload_success()
+                        factor = fault_schedule.uplink_factor(step)
+                        if factor < 1.0:
+                            uplink_bps = config.network.degraded(
+                                factor
+                            ).uplink_bps
             outcome = run_query_window(
                 plan.schedule,
                 start_bytes=cached,
-                uplink_bps=config.network.uplink_bps,
+                uplink_bps=uplink_bps,
                 duration=interval,
                 query_gap=config.query_gap_seconds,
-                uploading=not optimal,
+                uploading=uploading,
                 latency_overhead=overhead,
                 telemetry=metrics,
             )
@@ -385,6 +549,13 @@ def run_large_scale(
         master.expire_caches(step)
         step += 1
     metrics.gauge("sim.steps").set(step)
+    if faults_on:
+        client_intervals = metrics.value("resilience.client_intervals")
+        local_intervals = metrics.value("resilience.local_intervals")
+        metrics.gauge("resilience.availability").set(
+            1.0 - local_intervals / client_intervals
+            if client_intervals else 1.0
+        )
     result.fill_from_telemetry()
     result.uplink = meter.uplink_summary()
     result.downlink = meter.downlink_summary()

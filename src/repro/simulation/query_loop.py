@@ -95,3 +95,42 @@ def run_query_window(
             for record in records:
                 latencies.observe(record.latency)
     return WindowOutcome(queries=tuple(records), end_bytes=end_bytes)
+
+
+def run_local_window(
+    local_latency: float,
+    duration: float,
+    query_gap: float,
+    telemetry: MetricsRegistry | None = None,
+) -> WindowOutcome:
+    """Integrate one interval of queries executed fully on the client.
+
+    The graceful-degradation path: when no live edge server is reachable
+    (crash, blackout), the client answers every query with the
+    partitioner's all-local plan at ``local_latency`` per query — slower,
+    but no query is ever dropped.  Counting rules match
+    :func:`run_query_window`; locally-served queries additionally bump the
+    ``query.local_fallback`` counter.
+    """
+    if local_latency <= 0:
+        raise ValueError("local_latency must be positive")
+    if duration < 0:
+        raise ValueError("duration must be non-negative")
+    records: list[QueryRecord] = []
+    t = 0.0
+    while t + local_latency <= duration:
+        records.append(
+            QueryRecord(start_time=t, latency=local_latency, received_bytes=0.0)
+        )
+        t += local_latency + query_gap
+    if telemetry is not None:
+        telemetry.counter("query.windows").inc()
+        if records:
+            telemetry.counter("query.completed").inc(len(records))
+            telemetry.counter("query.local_fallback").inc(len(records))
+            latencies = telemetry.histogram(
+                "query.latency_seconds", QUERY_LATENCY_BUCKETS
+            )
+            for record in records:
+                latencies.observe(record.latency)
+    return WindowOutcome(queries=tuple(records), end_bytes=0.0)

@@ -17,6 +17,7 @@ from repro.telemetry.events import (
     ColdStartEvent,
     Event,
     EventTrace,
+    FaultEvent,
     FractionalTruncationEvent,
     MigrationEvent,
     QueryWindowEvent,
@@ -73,6 +74,7 @@ __all__ = [
     "Counter",
     "Event",
     "EventTrace",
+    "FaultEvent",
     "FractionalTruncationEvent",
     "Gauge",
     "Histogram",

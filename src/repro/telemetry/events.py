@@ -83,14 +83,34 @@ class CacheEvictionEvent(Event):
 
 @dataclass(frozen=True)
 class QueryWindowEvent(Event):
-    """One client's query loop over one interval completed."""
+    """One client's query loop over one interval completed.
+
+    ``server_id`` is ``None`` when the window ran fully on-device (the
+    client degraded to local execution because no live server was
+    reachable).
+    """
 
     kind: ClassVar[str] = "query_window"
     client_id: int
-    server_id: int
+    server_id: int | None
     queries: int
     coldstart: bool
     end_bytes: float
+
+
+@dataclass(frozen=True)
+class FaultEvent(Event):
+    """One injected infrastructure fault fired.
+
+    ``fault`` names the injection (``server_crash``, ``server_restart``,
+    ``backhaul_blocked``, ``migration_drop``, ``upload_drop``);
+    ``server_id``/``client_id`` identify the victims where applicable.
+    """
+
+    kind: ClassVar[str] = "fault"
+    fault: str
+    server_id: int | None = None
+    client_id: int | None = None
 
 
 #: kind -> event class, for deserializing exported traces.
@@ -103,6 +123,7 @@ EVENT_KINDS: dict[str, type[Event]] = {
         FractionalTruncationEvent,
         CacheEvictionEvent,
         QueryWindowEvent,
+        FaultEvent,
     )
 }
 

@@ -59,6 +59,49 @@ class TestDecideAssociation:
             decide_association(registry, (0.0, 0.0), None, -1.0)
 
 
+class TestBoundaryEdgeCases:
+    def test_exact_boundary_holds_current_for_any_hysteresis(self, registry):
+        """A client exactly on the cell boundary is a distance tie: any
+        positive hysteresis keeps it on whichever server it already holds."""
+        a = np.array(center(registry, 0))
+        b = np.array(center(registry, 1))
+        midpoint = tuple(0.5 * (a + b))
+        for hysteresis in (0.1, 20.0, 1000.0):
+            assert decide_association(registry, midpoint, 0, hysteresis) == 0
+            assert decide_association(registry, midpoint, 1, hysteresis) == 1
+
+    def test_exact_boundary_zero_hysteresis_is_cell_deterministic(
+        self, registry
+    ):
+        """With no hysteresis the tie is broken by cell ownership alone, so
+        the decision is a pure function of position — not of the current
+        server."""
+        a = np.array(center(registry, 0))
+        b = np.array(center(registry, 1))
+        midpoint = tuple(0.5 * (a + b))
+        owner = registry.server_at(midpoint)
+        assert owner in (0, 1)
+        assert decide_association(registry, midpoint, 0, 0.0) == owner
+        assert decide_association(registry, midpoint, 1, 0.0) == owner
+
+    def test_hysteresis_larger_than_cell_radius_pins_client(self, registry):
+        """Hysteresis exceeding the inter-cell distance means no candidate
+        can ever be 'clearly better': the client stays put even standing on
+        the neighbouring server's centre."""
+        a = np.array(center(registry, 0))
+        b = np.array(center(registry, 1))
+        spacing = float(np.hypot(*(b - a)))
+        pin = spacing + 1.0  # strictly more than any possible improvement
+        assert decide_association(registry, tuple(b), 0, pin) == 0
+        # A far-better candidate (two cells over) still loses once the
+        # margin outgrows its advantage.
+        c = np.array(center(registry, 2))
+        far = float(np.hypot(*(c - a)))
+        assert decide_association(registry, tuple(c), 0, far + 1.0) == 0
+        # But drops the pin and it switches immediately.
+        assert decide_association(registry, tuple(c), 0, 0.0) == 2
+
+
 class TestHysteresisInSimulation:
     def test_hysteresis_reduces_server_changes(self, tiny_partitioner):
         from repro.core.config import PerDNNConfig
@@ -86,3 +129,30 @@ class TestHysteresisInSimulation:
         )
         assert sticky.server_changes <= sharp.server_changes
         assert sticky.total_queries > 0
+
+    def test_extreme_hysteresis_freezes_associations(self, tiny_partitioner):
+        from repro.core.config import PerDNNConfig
+        from repro.core.master import MigrationPolicy
+        from repro.simulation.large_scale import (
+            SimulationSettings,
+            run_large_scale,
+        )
+        from repro.trajectories.synthetic import kaist_like
+
+        dataset = kaist_like(
+            np.random.default_rng(44), num_users=10, duration_steps=160
+        )
+        settings = SimulationSettings(
+            policy=MigrationPolicy.NONE, max_steps=40, seed=3,
+            use_contention_estimator=False,
+        )
+        frozen = run_large_scale(
+            dataset, tiny_partitioner, settings,
+            config=PerDNNConfig(handover_hysteresis_m=1e7),
+        )
+        # Hysteresis far beyond any displacement in the region: nobody ever
+        # switches, so each client keeps its first server and cold-starts
+        # exactly once.
+        assert frozen.server_changes == 0
+        assert frozen.misses == frozen.num_clients
+        assert frozen.total_queries > 0

@@ -1,0 +1,72 @@
+"""Same-seed fault runs must be byte-identical, profile by profile."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.master import MigrationPolicy
+from repro.faults import BUILTIN_PROFILES, get_profile
+from repro.simulation.large_scale import (
+    LargeScaleResult,
+    SimulationSettings,
+    run_large_scale,
+)
+from repro.trajectories.synthetic import kaist_like
+
+COMPARED_FIELDS = [
+    field.name
+    for field in dataclasses.fields(LargeScaleResult)
+    if field.name != "telemetry"
+]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return kaist_like(np.random.default_rng(33), num_users=6, duration_steps=90)
+
+
+def one_run(dataset, partitioner, faults, seed=5):
+    settings = SimulationSettings(
+        policy=MigrationPolicy.PERDNN,
+        migration_radius_m=100.0,
+        max_steps=20,
+        seed=seed,
+        faults=faults,
+    )
+    return run_large_scale(dataset, partitioner, settings)
+
+
+@pytest.mark.parametrize("profile_name", sorted(BUILTIN_PROFILES))
+def test_same_seed_profile_runs_are_identical(
+    dataset, tiny_partitioner, profile_name
+):
+    profile = get_profile(profile_name)
+    first = one_run(dataset, tiny_partitioner, profile)
+    second = one_run(dataset, tiny_partitioner, profile)
+    assert first.telemetry.dumps() == second.telemetry.dumps()
+    for name in COMPARED_FIELDS:
+        assert getattr(first, name) == getattr(second, name), name
+
+
+def test_none_profile_matches_disabled_faults(dataset, tiny_partitioner):
+    """``--faults none`` is a strict no-op: identical bytes to no faults."""
+    disabled = one_run(dataset, tiny_partitioner, None)
+    none_profile = one_run(dataset, tiny_partitioner, get_profile("none"))
+    assert disabled.telemetry.dumps() == none_profile.telemetry.dumps()
+    for name in COMPARED_FIELDS:
+        assert getattr(disabled, name) == getattr(none_profile, name), name
+
+
+def test_seed_changes_fault_outcome(dataset, tiny_partitioner):
+    a = one_run(dataset, tiny_partitioner, get_profile("churn"), seed=5)
+    b = one_run(dataset, tiny_partitioner, get_profile("churn"), seed=6)
+    assert a.telemetry.dumps() != b.telemetry.dumps()
+
+
+def test_churn_degrades_availability(dataset, tiny_partitioner):
+    result = one_run(dataset, tiny_partitioner, get_profile("churn"))
+    assert 0.0 < result.availability < 1.0
+    assert result.local_fallback_queries > 0
+    registry = result.telemetry.registry
+    assert registry.value("fault.injected", {"kind": "server_crash"}) > 0

@@ -1,0 +1,87 @@
+"""Property-based invariants: fault counters always match the event trace.
+
+Every injected fault goes through :func:`repro.faults.record_fault`,
+which increments the ``fault.injected{kind=...}`` counter and appends a
+``FaultEvent`` atomically.  Under any randomly drawn fault profile and
+seed, the per-kind counter totals must therefore equal the per-kind
+tallies of the event trace — and the no-drop invariant must hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.master import MigrationPolicy
+from repro.faults import BUILTIN_PROFILES, FaultSchedule, ServerCrash, Window, get_profile
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.trajectories.synthetic import kaist_like
+
+_DATASET = kaist_like(np.random.default_rng(33), num_users=4, duration_steps=60)
+
+
+def _fault_tallies(trace):
+    tallies = {}
+    for event in trace.of_kind("fault"):
+        tallies[event.fault] = tallies.get(event.fault, 0) + 1
+    return tallies
+
+
+def _run(tiny_partitioner, faults, seed):
+    settings_ = SimulationSettings(
+        policy=MigrationPolicy.PERDNN,
+        migration_radius_m=100.0,
+        max_steps=12,
+        seed=seed,
+        faults=faults,
+    )
+    return run_large_scale(_DATASET, tiny_partitioner, settings_)
+
+
+@st.composite
+def fault_schedules(draw):
+    crashes = []
+    for server_id in draw(
+        st.lists(st.integers(0, 5), unique=True, max_size=3)
+    ):
+        start = draw(st.integers(0, 8))
+        end = draw(st.integers(start + 1, 12))
+        crashes.append(ServerCrash(server_id, Window(start, end)))
+    return FaultSchedule(
+        seed=draw(st.integers(0, 2**16)),
+        server_crashes=tuple(crashes),
+        upload_drop_rate=draw(st.sampled_from([0.0, 0.3, 1.0])),
+        migration_drop_rate=draw(st.sampled_from([0.0, 0.5])),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(schedule=fault_schedules(), seed=st.integers(0, 100))
+def test_counters_match_trace_tallies(tiny_partitioner, schedule, seed):
+    result = _run(tiny_partitioner, schedule, seed)
+    registry = result.telemetry.registry
+    tallies = _fault_tallies(result.telemetry.trace)
+    counter_kinds = {
+        labels.get("kind"): value
+        for labels, value in registry.series("fault.injected")
+    }
+    assert counter_kinds == {k: float(v) for k, v in tallies.items()}
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    profile_name=st.sampled_from(sorted(BUILTIN_PROFILES)),
+    seed=st.integers(0, 100),
+)
+def test_no_query_dropped_under_any_profile(
+    tiny_partitioner, profile_name, seed
+):
+    result = _run(tiny_partitioner, get_profile(profile_name), seed)
+    trace = result.telemetry.trace
+    window_queries = sum(e.queries for e in trace.of_kind("query_window"))
+    assert window_queries == result.total_queries
+    assert result.total_queries > 0
+    assert 0.0 <= result.availability <= 1.0
+    registry = result.telemetry.registry
+    client_intervals = registry.value("resilience.client_intervals")
+    if client_intervals:
+        # Every client interval produced exactly one window, local or remote.
+        assert len(list(trace.of_kind("query_window"))) == int(client_intervals)

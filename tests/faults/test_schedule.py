@@ -1,0 +1,196 @@
+"""Unit tests for fault schedules, windows, backoff, and profiles."""
+
+import pytest
+
+from repro.faults import (
+    BUILTIN_PROFILES,
+    Degradation,
+    FaultSchedule,
+    ServerCrash,
+    Window,
+    backoff_intervals,
+    get_profile,
+)
+
+
+class TestWindow:
+    def test_contains_half_open(self):
+        window = Window(2, 5)
+        assert not window.contains(1)
+        assert window.contains(2)
+        assert window.contains(4)
+        assert not window.contains(5)
+
+    @pytest.mark.parametrize("start,end", [(-1, 2), (3, 3), (5, 2)])
+    def test_invalid_windows_rejected(self, start, end):
+        with pytest.raises(ValueError):
+            Window(start, end)
+
+
+class TestBackoff:
+    def test_exponential_then_capped(self):
+        assert [backoff_intervals(n) for n in range(1, 7)] == [1, 2, 4, 8, 8, 8]
+
+    def test_custom_cap(self):
+        assert backoff_intervals(3, cap=3) == 3
+        assert backoff_intervals(50, cap=3) == 3
+
+    def test_huge_failure_count_does_not_overflow(self):
+        assert backoff_intervals(10_000) == 8
+
+    @pytest.mark.parametrize("failures,cap", [(0, 8), (-1, 8), (1, 0)])
+    def test_invalid_arguments(self, failures, cap):
+        with pytest.raises(ValueError):
+            backoff_intervals(failures, cap)
+
+
+class TestFaultSchedule:
+    def test_server_down_tracks_windows(self):
+        schedule = FaultSchedule(
+            server_crashes=(
+                ServerCrash(0, Window(2, 4)),
+                ServerCrash(0, Window(7, 9)),
+                ServerCrash(3, Window(0, 1)),
+            )
+        )
+        assert schedule.server_down(0, 2)
+        assert schedule.server_down(0, 3)
+        assert not schedule.server_down(0, 4)
+        assert schedule.server_down(0, 8)
+        assert schedule.server_down(3, 0)
+        assert not schedule.server_down(1, 2)
+
+    def test_crash_starts_and_restarts(self):
+        schedule = FaultSchedule(
+            server_crashes=(
+                ServerCrash(2, Window(3, 6)),
+                ServerCrash(0, Window(3, 5)),
+            )
+        )
+        assert schedule.crash_starts(3) == (0, 2)
+        assert schedule.crash_starts(4) == ()
+        assert schedule.restarts(5) == (0,)
+        assert schedule.restarts(6) == (2,)
+
+    def test_overlapping_crash_windows_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule(
+                server_crashes=(
+                    ServerCrash(1, Window(0, 5)),
+                    ServerCrash(1, Window(4, 8)),
+                )
+            )
+
+    def test_backhaul_outage_and_degradation(self):
+        schedule = FaultSchedule(
+            backhaul_outages=(Window(5, 7),),
+            backhaul_degradations=(
+                Degradation(Window(0, 10), 0.8),
+                Degradation(Window(2, 4), 0.25),
+            ),
+        )
+        assert schedule.backhaul_available(4)
+        assert not schedule.backhaul_available(5)
+        assert schedule.backhaul_available(7)
+        assert schedule.backhaul_factor(1) == 0.8
+        assert schedule.backhaul_factor(3) == 0.25  # min of overlapping
+        assert schedule.backhaul_factor(11) == 1.0
+
+    def test_uplink_factor(self):
+        schedule = FaultSchedule(
+            uplink_degradations=(Degradation(Window(1, 3), 0.5),)
+        )
+        assert schedule.uplink_factor(0) == 1.0
+        assert schedule.uplink_factor(2) == 0.5
+
+    def test_drops_are_deterministic_and_order_independent(self):
+        a = FaultSchedule(seed=7, upload_drop_rate=0.5, migration_drop_rate=0.5)
+        b = FaultSchedule(seed=7, upload_drop_rate=0.5, migration_drop_rate=0.5)
+        queries = [(c, t) for c in range(6) for t in range(10)]
+        forward = [a.upload_dropped(c, t) for c, t in queries]
+        backward = [b.upload_dropped(c, t) for c, t in reversed(queries)]
+        assert forward == list(reversed(backward))
+        assert any(forward) and not all(forward)
+        assert a.migration_dropped(0, 1, 2, 3) == b.migration_dropped(0, 1, 2, 3)
+
+    def test_different_seed_changes_drop_pattern(self):
+        a = FaultSchedule(seed=1, upload_drop_rate=0.5)
+        b = FaultSchedule(seed=2, upload_drop_rate=0.5)
+        pattern_a = [a.upload_dropped(0, t) for t in range(64)]
+        pattern_b = [b.upload_dropped(0, t) for t in range(64)]
+        assert pattern_a != pattern_b
+
+    def test_zero_rate_never_drops(self):
+        schedule = FaultSchedule(seed=3)
+        assert not any(schedule.upload_dropped(0, t) for t in range(50))
+        assert not schedule.migration_dropped(0, 1, 2, 3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(upload_drop_rate=-0.1),
+            dict(upload_drop_rate=1.5),
+            dict(migration_drop_rate=2.0),
+        ],
+    )
+    def test_invalid_rates_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSchedule(**kwargs)
+
+    def test_degradation_factor_bounds(self):
+        with pytest.raises(ValueError):
+            Degradation(Window(0, 1), 0.0)
+        with pytest.raises(ValueError):
+            Degradation(Window(0, 1), 1.5)
+
+    def test_is_noop(self):
+        assert FaultSchedule(seed=9).is_noop
+        assert not FaultSchedule(
+            server_crashes=(ServerCrash(0, Window(0, 1)),)
+        ).is_noop
+        assert not FaultSchedule(upload_drop_rate=0.1).is_noop
+
+
+class TestProfiles:
+    def test_builtin_registry(self):
+        assert {"none", "churn", "flaky-backhaul", "blackout"} <= set(
+            BUILTIN_PROFILES
+        )
+        for name, profile in BUILTIN_PROFILES.items():
+            assert profile.name == name
+            assert profile.description
+
+    def test_get_profile_unknown_lists_names(self):
+        with pytest.raises(ValueError, match="churn"):
+            get_profile("meteor-strike")
+
+    def test_none_profile_builds_noop(self):
+        schedule = get_profile("none").build(range(10), seed=4, horizon=50)
+        assert schedule.is_noop
+
+    def test_churn_builds_deterministically(self):
+        first = get_profile("churn").build(range(8), seed=11, horizon=40)
+        second = get_profile("churn").build(range(8), seed=11, horizon=40)
+        assert first.server_crashes == second.server_crashes
+        assert first.server_crashes  # 8 servers x 40 intervals at 10%/step
+
+    def test_churn_seed_changes_schedule(self):
+        a = get_profile("churn").build(range(8), seed=1, horizon=40)
+        b = get_profile("churn").build(range(8), seed=2, horizon=40)
+        assert a.server_crashes != b.server_crashes
+
+    def test_blackout_covers_every_server(self):
+        schedule = get_profile("blackout").build(range(5), seed=0, horizon=30)
+        window = schedule.server_crashes[0].window
+        assert {c.server_id for c in schedule.server_crashes} == set(range(5))
+        assert all(c.window == window for c in schedule.server_crashes)
+        assert not schedule.backhaul_available(window.start)
+        assert 0 < window.start < window.end <= 30
+
+    def test_blackout_tiny_horizon(self):
+        schedule = get_profile("blackout").build(range(2), seed=0, horizon=2)
+        assert schedule.server_crashes  # still a valid (clamped) window
+
+    def test_horizon_must_be_positive(self):
+        with pytest.raises(ValueError):
+            get_profile("churn").build(range(3), seed=0, horizon=0)

@@ -67,6 +67,43 @@ class TestHandoffChain:
         )
         assert busy.peak_per_visit[0] >= calm.peak_per_visit[0]
 
+    def test_fully_warm_chain_is_flat(self, tiny_partitioner, default_config):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(8, 8, 8),
+            premigrated_fractions=(1.0, 1.0, 1.0),
+        )
+        best = tiny_partitioner.partition(1.0).plan.latency
+        # Every server already holds the full prefix: the whole chain runs
+        # at the steady-state plan latency with no spikes anywhere.
+        assert all(lat == pytest.approx(best) for lat in result.latencies)
+        assert result.peak_per_visit == pytest.approx((best,) * 3)
+
+    def test_latencies_non_increasing_within_each_visit(
+        self, tiny_partitioner, default_config
+    ):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(20, 20),
+            premigrated_fractions=(0.0, 0.3),
+        )
+        boundaries = list(result.visit_boundaries) + [result.total_queries]
+        for start, end in zip(boundaries, boundaries[1:]):
+            visit = result.latencies[start:end]
+            # Bytes only accumulate while the client sits on one server, so
+            # per-query latency can only fall (or plateau) within a visit.
+            assert all(a >= b - 1e-9 for a, b in zip(visit, visit[1:]))
+
+    def test_single_visit_chain(self, tiny_partitioner, default_config):
+        result = simulate_handoff_chain(
+            tiny_partitioner, default_config,
+            queries_per_visit=(6,), premigrated_fractions=(0.5,),
+        )
+        assert result.num_visits == 1
+        assert result.visit_boundaries == (0,)
+        assert len(result.latencies) == 6
+        assert result.peak_per_visit[0] == result.latencies[0]
+
     @pytest.mark.parametrize(
         "kwargs",
         [

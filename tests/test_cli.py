@@ -42,6 +42,35 @@ class TestParser:
         assert args.snapshot == "run.json"
         assert args.top == 10
 
+    @pytest.mark.parametrize("flag", ["--users", "--steps", "--dataset-steps"])
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_simulate_rejects_non_positive_counts(self, capsys, flag, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", flag, value])
+        assert "positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--users", "--steps", "--dataset-steps"])
+    @pytest.mark.parametrize("value", ["2.5", "many"])
+    def test_simulate_rejects_non_integer_counts(self, capsys, flag, value):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", flag, value])
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_predictors_rejects_non_positive_counts(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predictors", "--users", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_simulate_faults_choices(self):
+        args = build_parser().parse_args(["simulate", "--faults", "churn"])
+        assert args.faults == "churn"
+        assert build_parser().parse_args(["simulate"]).faults == "none"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--faults", "meteor"])
+
+    def test_faults_command_parses(self):
+        assert build_parser().parse_args(["faults"]).command == "faults"
+
 
 class TestCommands:
     def test_models_runs(self, capsys):
@@ -114,3 +143,48 @@ class TestCommands:
     def test_telemetry_missing_file_errors(self, capsys, tmp_path):
         assert main(["telemetry", str(tmp_path / "nope.json")]) == 1
         assert "no such snapshot" in capsys.readouterr().err
+
+    def test_faults_lists_profiles(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        for name in ("none", "churn", "flaky-backhaul", "blackout"):
+            assert name in out
+
+    def test_simulate_with_faults_reports_availability(self, capsys):
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "none", "--steps", "8", "--users", "4",
+                "--dataset-steps", "60", "--faults", "churn",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults profile" in out and "churn" in out
+        assert "availability" in out
+        assert "local fallback" in out
+
+    def test_simulate_creates_nested_telemetry_dirs(self, capsys, tmp_path):
+        snapshot = tmp_path / "deeply" / "nested" / "run.telemetry.json"
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "none", "--steps", "5", "--users", "3",
+                "--dataset-steps", "50", "--telemetry", str(snapshot),
+            ]
+        ) == 0
+        assert snapshot.exists()
+
+    def test_simulate_unwritable_telemetry_path_errors(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        target = blocker / "run.telemetry.json"  # parent is a regular file
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "none", "--steps", "5", "--users", "3",
+                "--dataset-steps", "50", "--telemetry", str(target),
+            ]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "cannot write telemetry snapshot" in err
+        assert len(err.strip().splitlines()) == 1
