@@ -7,8 +7,9 @@ Usage (after ``pip install -e .``)::
     python -m repro handoff --model resnet --fraction 0.2
     python -m repro simulate --dataset kaist --model inception \
         --policy perdnn --radius 100 --steps 60 \
-        --faults churn --telemetry run.telemetry.json
-    python -m repro faults
+        --faults flash-crowd --overload redirect \
+        --telemetry run.telemetry.json
+    python -m repro faults --list
     python -m repro predictors --dataset geolife
     python -m repro telemetry run.telemetry.json
 
@@ -28,6 +29,7 @@ from repro.core.master import MigrationPolicy
 from repro.dnn.models import MODEL_BUILDERS, build_model
 from repro.dnn.zoo_extra import EXTRA_MODEL_BUILDERS
 from repro.faults import BUILTIN_PROFILES, get_profile
+from repro.overload import OverloadConfig, SheddingPolicy
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.hardware import odroid_xu4, titan_xp_server
 from repro.profiling.profiler import ExecutionProfile
@@ -128,6 +130,16 @@ def cmd_handoff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profiles(stream) -> None:
+    width = max(len(name) for name in BUILTIN_PROFILES) + 2
+    print(f"{'profile':<{width}s} description", file=stream)
+    for name in sorted(BUILTIN_PROFILES):
+        print(
+            f"{name:<{width}s} {BUILTIN_PROFILES[name].description}",
+            file=stream,
+        )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.large_scale import SimulationSettings, run_large_scale
 
@@ -135,15 +147,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         migration_radius_m=args.radius,
         handover_hysteresis_m=args.hysteresis,
     )
+    try:
+        profile = get_profile(args.faults)
+    except ValueError:
+        print(
+            f"error: unknown fault profile {args.faults!r}; built-in "
+            "profiles are:", file=sys.stderr,
+        )
+        _print_profiles(sys.stderr)
+        return 2
+    overload = None
+    if args.overload != "off":
+        overload = OverloadConfig(
+            policy=SheddingPolicy(args.overload),
+            queue_capacity=args.queue_capacity,
+        )
     partitioner = _make_partitioner(args.model, config)
     dataset = _make_dataset(args.dataset, args.users, args.dataset_steps, args.seed)
-    profile = get_profile(args.faults)
     settings = SimulationSettings(
         policy=MigrationPolicy(args.policy),
         migration_radius_m=args.radius,
         max_steps=args.steps,
         seed=args.seed,
         faults=profile,
+        overload=overload,
     )
     result = run_large_scale(dataset, partitioner, settings, config=config)
     if args.telemetry:
@@ -157,6 +184,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         }
         if args.faults != "none":
             meta["faults"] = args.faults
+        if overload is not None:
+            meta["overload"] = args.overload
         try:
             path = result.telemetry.write(args.telemetry, meta=meta)
         except OSError as exc:
@@ -182,14 +211,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"availability:       {result.availability:6.2%}")
         print(f"local fallback:     {result.local_fallback_queries} queries")
         print(f"upload retries:     {result.upload_retries}")
+    if overload is not None:
+        stats = result.extras.get("overload", {})
+        print(f"overload policy:    {args.overload} "
+              f"(queue capacity {args.queue_capacity})")
+        print(f"offered windows:    {stats.get('offered', 0)} "
+              f"({stats.get('admitted', 0)} admitted, "
+              f"{stats.get('shed', 0)} shed, "
+              f"{stats.get('redirected', 0)} redirected, "
+              f"{stats.get('degraded', 0)} degraded)")
+        print(f"shed queries:       {result.shed_queries}")
+        print(f"redirected queries: {result.redirected_queries}")
+        print(f"degraded queries:   {result.degraded_queries}")
+        print(f"queue wait p99:     {result.queue_wait_p99 * 1e3:.0f} ms")
     return 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
-    width = max(len(name) for name in BUILTIN_PROFILES) + 2
-    print(f"{'profile':<{width}s} description")
-    for name in sorted(BUILTIN_PROFILES):
-        print(f"{name:<{width}s} {BUILTIN_PROFILES[name].description}")
+    _print_profiles(sys.stdout)
     return 0
 
 
@@ -280,13 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--users", type=positive_int, default=20)
     simulate.add_argument("--dataset-steps", type=positive_int, default=300)
     simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument("--faults", default="none",
-                          choices=sorted(BUILTIN_PROFILES),
-                          help="fault-injection profile (default: none)")
+    simulate.add_argument("--faults", default="none", metavar="PROFILE",
+                          help="fault-injection profile (default: none; "
+                               "see `repro faults --list`)")
+    simulate.add_argument("--overload", default="off",
+                          choices=("off", *sorted(p.value for p in SheddingPolicy)),
+                          help="overload protection: shedding policy to run "
+                               "admission control with (default: off)")
+    simulate.add_argument("--queue-capacity", type=positive_int, default=8,
+                          help="per-server admission queue capacity "
+                               "(with --overload; default: 8)")
     simulate.add_argument("--telemetry", metavar="PATH", default=None,
                           help="write the run's telemetry snapshot (JSON)")
 
-    sub.add_parser("faults", help="list built-in fault-injection profiles")
+    faults = sub.add_parser(
+        "faults", help="list built-in fault-injection profiles"
+    )
+    faults.add_argument("--list", action="store_true",
+                        help="list the profiles (the default action)")
 
     telemetry = sub.add_parser(
         "telemetry", help="summarize an exported telemetry snapshot"

@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.faults.schedule import DEFAULT_BACKOFF_CAP, backoff_intervals
 from repro.mobility.trajectory import Trajectory
+from repro.overload.breaker import CircuitBreaker
 
 
 class MobileClient:
@@ -34,6 +35,8 @@ class MobileClient:
         # interval at which the next (backed-off) attempt is allowed.
         self.upload_failures = 0
         self.upload_resume_at = 0
+        # Per-server circuit breakers (created lazily, overload layer).
+        self._breakers: dict[int, CircuitBreaker] = {}
 
     def update_model(self) -> int:
         """Deploy a new model generation; returns the new version."""
@@ -65,6 +68,26 @@ class MobileClient:
         """An upload window went through: reset the backoff."""
         self.upload_failures = 0
         self.upload_resume_at = 0
+
+    # ------------------------------------------------------------------
+    # Circuit breakers (overload protection)
+    # ------------------------------------------------------------------
+    def breaker_for(
+        self,
+        server_id: int,
+        failure_threshold: int,
+        open_intervals: int,
+    ) -> CircuitBreaker:
+        """This client's breaker for one server (created closed).
+
+        Breaker state outlives associations: a client that bounced off a
+        saturated server remembers it even after roaming away and back.
+        """
+        breaker = self._breakers.get(server_id)
+        if breaker is None:
+            breaker = CircuitBreaker(failure_threshold, open_intervals)
+            self._breakers[server_id] = breaker
+        return breaker
 
     @property
     def finished(self) -> bool:

@@ -82,6 +82,16 @@ class EdgeServer:
     def slowdown(self) -> float:
         return self.contention.slowdown()
 
+    def saturation(self) -> float:
+        """Deterministic GPU saturation in [0, 1].
+
+        The contention model's noise-free busy fraction — the signal the
+        admission controller derives its per-interval queue capacity
+        from (a noisy nvml view of the same quantity is available via
+        ``sample_stats().saturation``).
+        """
+        return self.contention.utilization_fraction()
+
     # ------------------------------------------------------------------
     # Layer cache
     # ------------------------------------------------------------------

@@ -16,17 +16,19 @@ and the mobility predictor.  Every simulation interval it:
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
 from enum import Enum
 
 import numpy as np
 
+from repro.core.association import least_loaded_server
 from repro.core.client import MobileClient
 from repro.core.config import PerDNNConfig
 from repro.core.edge_server import EdgeServer
 from repro.estimation.estimator import ContentionEstimator
 from repro.faults import FaultSchedule, record_fault
+from repro.geo.geometry import euclidean
 from repro.geo.wifi import EdgeServerRegistry
 from repro.mobility.predictor import PointPredictor
 from repro.network.traffic import TrafficMeter
@@ -129,6 +131,52 @@ class MasterServer:
         """
         server = self._servers.get(server_id)
         return server.crash() if server is not None else 0
+
+    # ------------------------------------------------------------------
+    # Load-aware redirection (overload protection)
+    # ------------------------------------------------------------------
+    def association_load(self, server_id: int) -> int:
+        """Instantaneous client load on a server (0 if never instantiated).
+
+        Reading the load must not instantiate the server — redirection
+        scans many candidates and only the chosen one should be woken.
+        """
+        server = self._servers.get(server_id)
+        return len(server.active_clients) if server is not None else 0
+
+    def redirect_target(
+        self,
+        position: tuple[float, float],
+        interval: int,
+        radius_m: float,
+        load_of: Callable[[int], float] | None = None,
+        exclude: Iterable[int] = (),
+        require: Callable[[int], bool] | None = None,
+    ) -> int | None:
+        """Least-loaded reachable live server for a redirected client.
+
+        Candidates are the servers within ``radius_m`` of ``position``
+        that are up at ``interval``, minus ``exclude`` (typically the
+        saturated home server) and anything failing ``require`` (e.g. an
+        admission-capacity check).  ``load_of`` defaults to the client
+        count; the simulator passes the admission controller's queue
+        depth so selection folds in this interval's actual backlog.
+        """
+        excluded = set(exclude)
+        candidates = [
+            server_id
+            for server_id in self.registry.servers_within(position, radius_m)
+            if server_id not in excluded
+            and self.server_available(server_id, interval)
+            and (require is None or require(server_id))
+        ]
+        return least_loaded_server(
+            candidates,
+            load_of or self.association_load,
+            lambda server_id: euclidean(
+                position, self.registry.server_location(server_id)
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Planning

@@ -13,6 +13,9 @@ Profiles (``repro faults`` lists them):
   on every crash.
 * ``flaky-backhaul`` — infrastructure stays up, but the backhaul runs at
   half capacity and individual migrations/uploads fail probabilistically.
+* ``flash-crowd`` — all but a seed-deterministic ~1/8 of the servers go
+  dark for the middle half of the run, concentrating every steerable
+  client onto the survivors (the overload-protection stress test).
 * ``blackout`` — every server and the backhaul go dark for the middle
   third of the run, forcing clients into local execution, then everything
   restarts with cold caches.
@@ -36,8 +39,9 @@ from repro.faults.schedule import (
 #: Builder signature: (sorted server ids, seed, horizon) -> schedule.
 Builder = Callable[[tuple[int, ...], int, int], FaultSchedule]
 
-#: Stream salt for profile-generated crash patterns.
+#: Stream salts for profile-generated crash patterns.
 _CHURN_SALT = 0xC0
+_FLASH_CROWD_SALT = 0xFC
 
 
 @dataclass(frozen=True)
@@ -99,6 +103,36 @@ def _build_flaky_backhaul(
     )
 
 
+def _build_flash_crowd(
+    server_ids: tuple[int, ...], seed: int, horizon: int
+) -> FaultSchedule:
+    """All but ~1/8 of the servers go dark for the middle half of the run.
+
+    The survivors (a seed-deterministic sample) absorb every client the
+    overload layer can steer to them — the admission-control stress test.
+    Without overload protection enabled, orphaned clients simply degrade
+    to local execution as under ``blackout``.
+    """
+    if len(server_ids) <= 1:
+        return FaultSchedule(seed=seed)
+    rng = np.random.default_rng(
+        (seed & _SEED_MASK, _FLASH_CROWD_SALT, len(server_ids))
+    )
+    keep = max(1, len(server_ids) // 8)
+    survivors = set(
+        int(s) for s in rng.choice(np.array(server_ids), size=keep, replace=False)
+    )
+    start = max(1, horizon // 4)
+    end = max(start + 1, (3 * horizon) // 4)
+    window = Window(start, end)
+    return FaultSchedule(
+        seed=seed,
+        server_crashes=tuple(
+            ServerCrash(s, window) for s in server_ids if s not in survivors
+        ),
+    )
+
+
 def _build_blackout(
     server_ids: tuple[int, ...], seed: int, horizon: int
 ) -> FaultSchedule:
@@ -131,6 +165,12 @@ BUILTIN_PROFILES: dict[str, FaultProfile] = {
             "backhaul at half capacity; 25% of migrations and 15% of upload "
             "windows drop",
             _build_flaky_backhaul,
+        ),
+        FaultProfile(
+            "flash-crowd",
+            "all but ~1/8 of servers dark for the middle half of the run; "
+            "survivors absorb the crowd (pair with overload protection)",
+            _build_flash_crowd,
         ),
         FaultProfile(
             "blackout",

@@ -1,0 +1,73 @@
+"""Overload protection: admission control, circuit breakers, degradation.
+
+PerDNN's edge GPUs are shared and crowded; this package keeps a crowd
+from turning into an outage.  Three cooperating mechanisms:
+
+* **admission control** — each server grants a bounded number of offload
+  slots per interval (fewer when its GPU saturation signal crosses a
+  threshold); excess requests are shed under a deterministic
+  :class:`SheddingPolicy` (``reject`` → local execution, ``redirect`` →
+  least-loaded reachable server, ``degrade`` → contention-adaptive
+  re-partitioning that shifts layers client-ward);
+* **circuit breakers** — clients track consecutive rejections per server
+  and stop hammering saturated ones (closed → open → half-open probes);
+* **load-aware redirection** — the master folds queue depth into server
+  selection when steering shed or orphaned clients.
+
+Like the fault layer, the subsystem is a strict no-op when disabled:
+``SimulationSettings.overload=None`` leaves same-seed telemetry
+snapshots byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.overload.admission import (
+    QUEUE_WAIT_BUCKETS,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.overload.breaker import BreakerState, CircuitBreaker
+from repro.overload.config import OverloadConfig, SheddingPolicy
+from repro.telemetry import BreakerEvent, Telemetry
+
+
+def record_breaker_transition(
+    telemetry: Telemetry,
+    interval: int,
+    client_id: int,
+    server_id: int,
+    before: BreakerState,
+    after: BreakerState,
+) -> None:
+    """Record one breaker state change (no-op when the state held).
+
+    Every transition site uses this helper, so the labelled
+    ``overload.breaker_transitions`` counter always tallies exactly the
+    ``breaker`` events in the trace.
+    """
+    if before is after:
+        return
+    telemetry.registry.counter(
+        "overload.breaker_transitions", {"to": after.value}
+    ).inc()
+    telemetry.trace.record(
+        BreakerEvent(
+            interval=interval,
+            client_id=client_id,
+            server_id=server_id,
+            from_state=before.value,
+            to_state=after.value,
+        )
+    )
+
+
+__all__ = [
+    "QUEUE_WAIT_BUCKETS",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BreakerState",
+    "CircuitBreaker",
+    "OverloadConfig",
+    "SheddingPolicy",
+    "record_breaker_transition",
+]

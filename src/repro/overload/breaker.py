@@ -1,0 +1,81 @@
+"""Client-side circuit breaker: closed → open → half-open.
+
+Each mobile client keeps one breaker per edge server.  Consecutive
+rejections (or timeouts, in a real deployment) trip the breaker open, at
+which point the client stops asking that server for admission and falls
+back to local or neighbour execution.  After a cooldown the breaker lets
+exactly one *probe* request through (half-open); a successful admission
+closes it, another rejection re-opens it with a fresh cooldown.
+
+The machine is purely interval-driven — no wall clock — so breaker
+behaviour is deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class BreakerState(str, Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One client's admission gate for one server."""
+
+    def __init__(
+        self, failure_threshold: int = 3, open_intervals: int = 4
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if open_intervals < 1:
+            raise ValueError("open_intervals must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.open_intervals = open_intervals
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._opened_at: int | None = None
+
+    @property
+    def state(self) -> BreakerState:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    def allows(self, interval: int) -> bool:
+        """May the client request admission at ``interval``?
+
+        While open, returns False until the cooldown elapses; the call
+        that finds the cooldown over moves the breaker to half-open and
+        grants the probe.
+        """
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            assert self._opened_at is not None
+            if interval >= self._opened_at + self.open_intervals:
+                self._state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: the probe is in flight
+
+    def record_success(self, interval: int) -> None:
+        """An admission went through: reset and close."""
+        self._failures = 0
+        self._opened_at = None
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self, interval: int) -> None:
+        """A rejection: count it; trip open past the threshold, and
+        re-open immediately from a failed half-open probe."""
+        self._failures += 1
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._failures >= self.failure_threshold
+        ):
+            self._state = BreakerState.OPEN
+            self._opened_at = interval

@@ -1,0 +1,69 @@
+"""Overload-protection knobs.
+
+One frozen config object describes everything the admission controller,
+the client-side circuit breakers, and the degradation path need.  The
+subsystem is enabled by *presence*: ``SimulationSettings.overload=None``
+keeps every serving path byte-identical to a build without this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class SheddingPolicy(str, Enum):
+    """What a server does with work it cannot admit.
+
+    * ``reject`` — the query window runs on the client (load shedding);
+    * ``redirect`` — the master steers the window to the least-loaded
+      reachable live server with spare capacity (local when none exists);
+    * ``degrade`` — the window still runs on the home server, but under a
+      plan re-partitioned at an inflated contention estimate, shifting
+      layers client-ward instead of queueing.
+    """
+
+    REJECT = "reject"
+    REDIRECT = "redirect"
+    DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Admission control, circuit breaking, and degradation parameters."""
+
+    policy: SheddingPolicy = SheddingPolicy.REDIRECT
+    #: Offload slots one server grants per simulation interval (the bound
+    #: of its GPU work queue).
+    queue_capacity: int = 8
+    #: GPU saturation (busy fraction, [0, 1]) above which the effective
+    #: capacity halves — the contention model's signal feeding admission.
+    saturation_threshold: float = 0.85
+    #: Seconds an admitted window waits per request already queued ahead
+    #: of it (the modelled GPU service quantum).
+    service_quantum_seconds: float = 0.05
+    #: Slowdown multiplier for contention-adaptive degraded plans.
+    degrade_inflation: float = 2.0
+    #: How far (metres) a redirected client may reach for another server.
+    redirect_radius_m: float = 500.0
+    #: Consecutive rejections before a client's breaker opens.
+    breaker_failure_threshold: int = 3
+    #: Intervals an open breaker waits before a half-open probe.
+    breaker_open_intervals: int = 4
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policy", SheddingPolicy(self.policy))
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if not 0.0 < self.saturation_threshold <= 1.0:
+            raise ValueError("saturation_threshold must be in (0, 1]")
+        if self.service_quantum_seconds < 0:
+            raise ValueError("service_quantum_seconds must be non-negative")
+        if self.degrade_inflation < 1.0:
+            raise ValueError("degrade_inflation must be >= 1")
+        if self.redirect_radius_m < 0:
+            raise ValueError("redirect_radius_m must be non-negative")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be >= 1")
+        if self.breaker_open_intervals < 1:
+            raise ValueError("breaker_open_intervals must be >= 1")

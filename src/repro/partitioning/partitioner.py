@@ -88,6 +88,20 @@ class DNNPartitioner:
         self._cache[key] = result
         return result
 
+    def degraded(
+        self, server_slowdown: float, inflation: float
+    ) -> PartitionResult:
+        """Contention-adaptive degraded plan (overload protection).
+
+        Re-partitions as if the server were ``inflation``× more contended
+        than observed, which shifts layers client-ward — the graceful
+        midpoint between the full offload plan and all-local execution.
+        Shares the quantized plan cache with :meth:`partition`.
+        """
+        if inflation < 1.0:
+            raise ValueError("inflation must be >= 1")
+        return self.partition(max(1.0, server_slowdown) * inflation)
+
     def local_latency(self) -> float:
         """Latency of running the whole model on the client."""
         return self._base_costs.local_latency()

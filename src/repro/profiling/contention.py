@@ -104,14 +104,19 @@ class GpuContentionModel:
         lag = self._temperature_lag
         self._temperature += lag * (target - self._temperature)
 
-    def _utilization_fraction(self) -> float:
+    def utilization_fraction(self) -> float:
         """Fraction of time the GPU is busy, saturating slowly with load.
 
         The slow saturation keeps utilization informative about the latent
         load even at 16 concurrent clients — the regime where the paper's
-        estimator benefits most from GPU statistics (Fig 4).
+        estimator benefits most from GPU statistics (Fig 4).  Noise-free:
+        this is the latent truth the nvml samples scatter around, and the
+        saturation signal admission control keys on.
         """
         return 1.0 - float(np.exp(-0.18 * self._latent_load))
+
+    # Backwards-compatible alias (pre-overload private name).
+    _utilization_fraction = utilization_fraction
 
     # ------------------------------------------------------------------
     # Observables and effects

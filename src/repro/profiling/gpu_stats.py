@@ -33,6 +33,13 @@ class GpuStats:
     def idle(cls) -> GpuStats:
         return cls(0.0, 0.0, 35.0, 0)
 
+    @property
+    def saturation(self) -> float:
+        """Observable saturation signal in [0, 1]: the busier of kernel
+        and memory utilization — what admission control reads off an nvml
+        sample when it only has the pinged statistics."""
+        return max(self.kernel_utilization, self.memory_utilization) / 100.0
+
     def as_features(self) -> tuple[float, float, float, float]:
         """Feature vector used by the GPU-aware execution-time estimator."""
         return (

@@ -39,12 +39,19 @@ from repro.mobility.predictor import PointPredictor
 from repro.mobility.svr import SVRPredictor
 from repro.mobility.trajectory import TrajectoryDataset
 from repro.network.traffic import TrafficMeter, TrafficSummary
+from repro.overload import (
+    AdmissionController,
+    OverloadConfig,
+    SheddingPolicy,
+    record_breaker_transition,
+)
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.profiler import generate_contention_dataset
 from repro.simulation.query_loop import run_local_window, run_query_window
 from repro.telemetry import (
     AssociationEvent,
     ColdStartEvent,
+    Histogram,
     QueryWindowEvent,
     Telemetry,
 )
@@ -71,6 +78,10 @@ class SimulationSettings:
     # paper's perfect world.  A noop schedule is equivalent to None —
     # the fault layer leaves a disabled run byte-identical.
     faults: FaultProfile | FaultSchedule | None = None
+    # Overload protection: admission control + circuit breakers +
+    # load-shedding policy.  None disables the subsystem entirely (a
+    # strict no-op, like a disabled fault layer).
+    overload: OverloadConfig | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.replay_fraction <= 1.0:
@@ -117,6 +128,14 @@ class LargeScaleResult:
     local_fallback_queries: int = 0
     availability: float = 1.0
     upload_retries: int = 0
+    # Overload-protection view (all zero when admission control is off):
+    # queries completed in windows that were shed to local execution,
+    # served by a redirect target, or served under a degraded plan, plus
+    # the p99 of the modelled admission-queue wait.
+    shed_queries: int = 0
+    redirected_queries: int = 0
+    degraded_queries: int = 0
+    queue_wait_p99: float = 0.0
     extras: dict = field(default_factory=dict)
     telemetry: Telemetry | None = None
 
@@ -164,6 +183,28 @@ class LargeScaleResult:
         }
         if fault_counts:
             self.extras["faults"] = fault_counts
+        per_outcome = {
+            labels["outcome"]: int(value)
+            for labels, value in registry.series("overload.queries")
+        }
+        self.shed_queries = per_outcome.get("shed", 0)
+        self.redirected_queries = per_outcome.get("redirected", 0)
+        self.degraded_queries = per_outcome.get("degraded", 0)
+        wait = registry.get("overload.queue_wait_seconds")
+        if isinstance(wait, Histogram) and wait.count:
+            self.queue_wait_p99 = wait.quantile(0.99)
+        offered = int(registry.value("overload.offered"))
+        if offered:
+            self.extras["overload"] = {
+                "offered": offered,
+                "admitted": int(registry.value("overload.admitted")),
+                "shed": int(registry.value("overload.shed")),
+                "redirected": int(registry.value("overload.redirected")),
+                "degraded": int(registry.value("overload.degraded")),
+                "steered_associations": int(
+                    registry.value("overload.steered")
+                ),
+            }
 
 
 def _resolve_fault_schedule(
@@ -266,6 +307,11 @@ def run_large_scale(
         }
     fault_schedule = _resolve_fault_schedule(settings, registry, replay)
     faults_on = fault_schedule is not None
+    overload_cfg = settings.overload
+    overload_on = overload_cfg is not None
+    admission = (
+        AdmissionController(overload_cfg, metrics) if overload_on else None
+    )
     meter = TrafficMeter(dataset.interval_seconds, telemetry=metrics)
     master = MasterServer(
         registry=registry,
@@ -309,6 +355,8 @@ def run_large_scale(
         if not active:
             break
         master.begin_interval()
+        if overload_on:
+            admission.begin_interval(step)
         # 0a. Fault transitions: restarts come back cold; crashes lose
         # their caches and orphan their clients (re-associated below).
         local_this_step: set[int] = set()
@@ -361,13 +409,26 @@ def run_large_scale(
                     # rather than degrading to local execution.
                     server_id = current
                 else:
-                    # No live server reachable: this interval runs fully
-                    # on-device (graceful degradation, never an error).
-                    if current is not None:
-                        master.server(current).dissociate(client.client_id)
-                        client.current_server = None
-                    local_this_step.add(client.client_id)
-                    continue
+                    # With overload protection the master steers orphaned
+                    # clients to the least-loaded reachable live server
+                    # (the flash-crowd path); otherwise — or when nothing
+                    # is in reach — this interval runs fully on-device
+                    # (graceful degradation, never an error).
+                    steered = (
+                        master.redirect_target(
+                            position, step, overload_cfg.redirect_radius_m,
+                            exclude=(server_id,),
+                        )
+                        if overload_on else None
+                    )
+                    if steered is None:
+                        if current is not None:
+                            master.server(current).dissociate(client.client_id)
+                            client.current_server = None
+                        local_this_step.add(client.client_id)
+                        continue
+                    metrics.counter("overload.steered").inc()
+                    server_id = steered
             if server_id != client.current_server:
                 previous_server = client.current_server
                 if previous_server is not None:
@@ -431,7 +492,106 @@ def run_large_scale(
                     continue
             assert client.current_server is not None
             server = master.server(client.current_server)
-            plan = master.plan_for(server, client.client_id)
+            # Overload protection: breaker gate, then admission control,
+            # then the shedding policy.  ``overload_label`` partitions every
+            # offered window into admitted/shed/redirected/degraded.
+            overload_label: str | None = None
+            queue_wait: float | None = None
+            if overload_on:
+                metrics.counter("overload.offered").inc()
+                breaker = client.breaker_for(
+                    server.server_id,
+                    overload_cfg.breaker_failure_threshold,
+                    overload_cfg.breaker_open_intervals,
+                )
+                before = breaker.state
+                allowed = breaker.allows(step)
+                record_breaker_transition(
+                    telemetry, step, client.client_id, server.server_id,
+                    before, breaker.state,
+                )
+                decision = admission.try_admit(server) if allowed else None
+                if decision is not None and decision.admitted:
+                    before = breaker.state
+                    breaker.record_success(step)
+                    record_breaker_transition(
+                        telemetry, step, client.client_id, server.server_id,
+                        before, breaker.state,
+                    )
+                    overload_label = "admitted"
+                    queue_wait = decision.queue_wait
+                elif (
+                    decision is not None
+                    and overload_cfg.policy is SheddingPolicy.DEGRADE
+                ):
+                    # Still served here, under a client-heavier plan; the
+                    # breaker stays untouched — the query was not refused.
+                    overload_label = "degraded"
+                else:
+                    # Rejected (queue full) or skipped (breaker open).
+                    if decision is not None:
+                        before = breaker.state
+                        breaker.record_failure(step)
+                        record_breaker_transition(
+                            telemetry, step, client.client_id,
+                            server.server_id, before, breaker.state,
+                        )
+                    target_id = None
+                    if overload_cfg.policy is SheddingPolicy.REDIRECT:
+                        target_id = master.redirect_target(
+                            client.position, step,
+                            overload_cfg.redirect_radius_m,
+                            load_of=admission.depth_of,
+                            exclude=(server.server_id,),
+                            require=lambda s: admission.has_capacity(
+                                master.server(s)
+                            ),
+                        )
+                    if target_id is not None:
+                        target = master.server(target_id)
+                        target_decision = admission.try_admit(target)
+                        assert target_decision.admitted
+                        server = target  # served by the neighbour
+                        overload_label = "redirected"
+                        queue_wait = target_decision.queue_wait
+                    else:
+                        overload_label = "shed"
+                metrics.counter(f"overload.{overload_label}").inc()
+            if overload_label == "shed":
+                # Load shedding: the window completes on the client, at
+                # the all-local latency — no query is ever dropped.
+                client_partitioner = master.partitioner_for(client.client_id)
+                outcome = run_local_window(
+                    client_partitioner.local_latency(),
+                    interval,
+                    config.query_gap_seconds,
+                    telemetry=metrics,
+                    record_fallback=False,
+                )
+                metrics.counter(
+                    "overload.queries", {"outcome": "shed"}
+                ).inc(outcome.count)
+                metrics.counter(
+                    "sim.queries", {"model": client_partitioner.graph.name}
+                ).inc(outcome.count)
+                telemetry.trace.record(
+                    QueryWindowEvent(
+                        interval=step,
+                        client_id=client.client_id,
+                        server_id=None,
+                        queries=outcome.count,
+                        coldstart=False,
+                        end_bytes=0.0,
+                    )
+                )
+                continue
+            if overload_label == "degraded":
+                plan = master.partitioner_for(client.client_id).degraded(
+                    master.estimate_slowdown(server),
+                    overload_cfg.degrade_inflation,
+                )
+            else:
+                plan = master.plan_for(server, client.client_id)
             total_bytes = plan.server_bytes
             if optimal:
                 cached = total_bytes
@@ -442,16 +602,21 @@ def run_large_scale(
                     ),
                     total_bytes,
                 )
-            if client.client_id in associated_this_step:
+            # Redirected windows are served away from the association, so
+            # they carry no cold-start verdict for the associated server.
+            if (
+                client.client_id in associated_this_step
+                and overload_label != "redirected"
+            ):
                 threshold = config.hit_byte_fraction * total_bytes
                 hit = total_bytes <= 0 or cached + 1e-6 >= threshold
-                outcome_label = "hit" if hit else "miss"
-                metrics.counter("sim.cold_start", {"outcome": outcome_label}).inc()
+                coldstart_label = "hit" if hit else "miss"
+                metrics.counter("sim.cold_start", {"outcome": coldstart_label}).inc()
                 telemetry.trace.record(
                     ColdStartEvent(
                         interval=step,
                         client_id=client.client_id,
-                        server_id=client.current_server,
+                        server_id=server.server_id,
                         hit=hit,
                         cached_bytes=cached,
                         required_bytes=total_bytes,
@@ -462,7 +627,7 @@ def run_large_scale(
             tensors = None
             if routing:
                 access_cell = grid.cell_of(client.position)
-                home_cell = registry.cell_of_server(client.current_server)
+                home_cell = registry.cell_of_server(server.server_id)
                 hops = grid.hop_distance(access_cell, home_cell)
                 tensors = routed_tensors(plan.costs, plan.plan)
                 overhead = routing_overhead_seconds(config, hops, tensors)
@@ -497,25 +662,30 @@ def run_large_scale(
                 query_gap=config.query_gap_seconds,
                 uploading=uploading,
                 latency_overhead=overhead,
+                queue_wait=queue_wait,
                 telemetry=metrics,
             )
             if routing and hops > 0 and outcome.count and tensors is not None:
                 access_server = registry.server_at(client.position)
-                if access_server is not None and access_server != client.current_server:
+                if access_server is not None and access_server != server.server_id:
                     if tensors.uplink_bytes > 0:
                         meter.record(
-                            step, access_server, client.current_server,
+                            step, access_server, server.server_id,
                             outcome.count * tensors.uplink_bytes,
                         )
                     if tensors.downlink_bytes > 0:
                         meter.record(
-                            step, client.current_server, access_server,
+                            step, server.server_id, access_server,
                             outcome.count * tensors.downlink_bytes,
                         )
             model_name = master.partitioner_for(client.client_id).graph.name
             metrics.counter("sim.queries", {"model": model_name}).inc(
                 outcome.count
             )
+            if overload_label is not None:
+                metrics.counter(
+                    "overload.queries", {"outcome": overload_label}
+                ).inc(outcome.count)
             coldstart = client.client_id in associated_this_step
             if coldstart:
                 metrics.counter("sim.coldstart_queries").inc(outcome.count)
@@ -523,7 +693,7 @@ def run_large_scale(
                 QueryWindowEvent(
                     interval=step,
                     client_id=client.client_id,
-                    server_id=client.current_server,
+                    server_id=server.server_id,
                     queries=outcome.count,
                     coldstart=coldstart,
                     end_bytes=outcome.end_bytes,
@@ -541,6 +711,8 @@ def run_large_scale(
                         client.client_id, step, config.ttl_intervals,
                         client.model_version,
                     )
+        if overload_on:
+            admission.export_gauges()
         # 4. Proactive migration (records its own telemetry).
         if settings.policy is MigrationPolicy.PERDNN:
             for client in active:
@@ -549,13 +721,14 @@ def run_large_scale(
         master.expire_caches(step)
         step += 1
     metrics.gauge("sim.steps").set(step)
-    if faults_on:
-        client_intervals = metrics.value("resilience.client_intervals")
-        local_intervals = metrics.value("resilience.local_intervals")
-        metrics.gauge("resilience.availability").set(
-            1.0 - local_intervals / client_intervals
-            if client_intervals else 1.0
-        )
+    # Emitted even without fault injection (reporting 1.0) so snapshot
+    # schemas match across fault and no-fault runs.
+    client_intervals = metrics.value("resilience.client_intervals")
+    local_intervals = metrics.value("resilience.local_intervals")
+    metrics.gauge("resilience.availability").set(
+        1.0 - local_intervals / client_intervals
+        if client_intervals else 1.0
+    )
     result.fill_from_telemetry()
     result.uplink = meter.uplink_summary()
     result.downlink = meter.downlink_summary()

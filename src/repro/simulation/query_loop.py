@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.overload.admission import QUEUE_WAIT_BUCKETS
 from repro.partitioning.uploading import UploadSchedule
 from repro.telemetry.registry import MetricsRegistry
 
@@ -52,6 +53,7 @@ def run_query_window(
     uploading: bool = True,
     first_gap: float = 0.0,
     latency_overhead: float = 0.0,
+    queue_wait: float | None = None,
     telemetry: MetricsRegistry | None = None,
 ) -> WindowOutcome:
     """Integrate the query loop over ``duration`` seconds.
@@ -61,8 +63,11 @@ def run_query_window(
     query counts when it *completes* inside the window.  ``first_gap``
     delays the first query (used to stitch consecutive windows);
     ``latency_overhead`` is added to every query (e.g. backhaul routing
-    cost when the serving cell is remote).  With ``telemetry`` the window
-    records each completed query and its (simulated) latency.
+    cost when the serving cell is remote).  ``queue_wait`` — only passed
+    by the overload layer — delays the window's first query behind the
+    server's admission queue and is observed into the
+    ``overload.queue_wait_seconds`` histogram.  With ``telemetry`` the
+    window records each completed query and its (simulated) latency.
     """
     if duration < 0:
         raise ValueError("duration must be non-negative")
@@ -70,11 +75,13 @@ def run_query_window(
         raise ValueError("start_bytes must be non-negative")
     if latency_overhead < 0:
         raise ValueError("latency_overhead must be non-negative")
+    if queue_wait is not None and queue_wait < 0:
+        raise ValueError("queue_wait must be non-negative")
     total = schedule.total_bytes
     start_bytes = min(start_bytes, total)
     byte_rate = uplink_bps / 8.0 if uploading else 0.0
     records: list[QueryRecord] = []
-    t = first_gap
+    t = first_gap + (queue_wait or 0.0)
     while True:
         received = min(total, start_bytes + byte_rate * t)
         latency = schedule.latency_after_bytes(received) + latency_overhead
@@ -87,6 +94,10 @@ def run_query_window(
     end_bytes = min(total, start_bytes + byte_rate * duration)
     if telemetry is not None:
         telemetry.counter("query.windows").inc()
+        if queue_wait is not None:
+            telemetry.histogram(
+                "overload.queue_wait_seconds", QUEUE_WAIT_BUCKETS
+            ).observe(queue_wait)
         if records:
             telemetry.counter("query.completed").inc(len(records))
             latencies = telemetry.histogram(
@@ -102,6 +113,7 @@ def run_local_window(
     duration: float,
     query_gap: float,
     telemetry: MetricsRegistry | None = None,
+    record_fallback: bool = True,
 ) -> WindowOutcome:
     """Integrate one interval of queries executed fully on the client.
 
@@ -110,7 +122,9 @@ def run_local_window(
     partitioner's all-local plan at ``local_latency`` per query — slower,
     but no query is ever dropped.  Counting rules match
     :func:`run_query_window`; locally-served queries additionally bump the
-    ``query.local_fallback`` counter.
+    ``query.local_fallback`` counter unless ``record_fallback`` is off
+    (overload shedding counts its windows separately — shedding is a
+    capacity decision, not lost availability).
     """
     if local_latency <= 0:
         raise ValueError("local_latency must be positive")
@@ -127,7 +141,8 @@ def run_local_window(
         telemetry.counter("query.windows").inc()
         if records:
             telemetry.counter("query.completed").inc(len(records))
-            telemetry.counter("query.local_fallback").inc(len(records))
+            if record_fallback:
+                telemetry.counter("query.local_fallback").inc(len(records))
             latencies = telemetry.histogram(
                 "query.latency_seconds", QUERY_LATENCY_BUCKETS
             )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from repro.telemetry.events import (
     EVENT_KINDS,
     AssociationEvent,
+    BreakerEvent,
     CacheEvictionEvent,
     ColdStartEvent,
     Event,
@@ -69,6 +70,7 @@ __all__ = [
     "TIMER_BUCKETS",
     "EVENT_KINDS",
     "AssociationEvent",
+    "BreakerEvent",
     "CacheEvictionEvent",
     "ColdStartEvent",
     "Counter",

@@ -113,6 +113,21 @@ class FaultEvent(Event):
     client_id: int | None = None
 
 
+@dataclass(frozen=True)
+class BreakerEvent(Event):
+    """A client's circuit breaker changed state for one server.
+
+    States are the :class:`~repro.overload.breaker.BreakerState` values
+    (``closed``, ``open``, ``half_open``).
+    """
+
+    kind: ClassVar[str] = "breaker"
+    client_id: int
+    server_id: int
+    from_state: str
+    to_state: str
+
+
 #: kind -> event class, for deserializing exported traces.
 EVENT_KINDS: dict[str, type[Event]] = {
     cls.kind: cls
@@ -124,6 +139,7 @@ EVENT_KINDS: dict[str, type[Event]] = {
         CacheEvictionEvent,
         QueryWindowEvent,
         FaultEvent,
+        BreakerEvent,
     )
 }
 

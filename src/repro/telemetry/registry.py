@@ -17,6 +17,7 @@ Design constraints (see ISSUE 1):
 
 from __future__ import annotations
 
+import math
 import time
 from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
@@ -136,6 +137,22 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Conservative q-quantile: the smallest bucket upper bound whose
+        cumulative count covers the q-fraction of observations, clamped to
+        the last bound for the overflow bucket.  0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0 or not self.buckets:
+            return 0.0
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return self.buckets[min(i, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
     def reset(self) -> None:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
@@ -251,6 +268,12 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
+    def get(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Metric | None:
+        """The registered metric for ``(name, labels)``, or None."""
+        return self._metrics.get((name, normalize_labels(labels)))
+
     def value(
         self, name: str, labels: Mapping[str, str] | None = None
     ) -> float:

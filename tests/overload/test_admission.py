@@ -1,0 +1,113 @@
+"""Admission controller: bounded queues, saturation backpressure, config."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.overload import AdmissionController, OverloadConfig, SheddingPolicy
+from repro.telemetry import MetricsRegistry
+
+
+@dataclass
+class StubServer:
+    """The two attributes the controller reads off an edge server."""
+
+    server_id: int
+    busy: float = 0.0
+
+    def saturation(self) -> float:
+        return self.busy
+
+
+class TestQueueBound:
+    def test_admits_up_to_capacity_then_sheds(self):
+        controller = AdmissionController(OverloadConfig(queue_capacity=3))
+        server = StubServer(0)
+        decisions = [controller.try_admit(server) for _ in range(5)]
+        assert [d.admitted for d in decisions] == [True, True, True, False, False]
+        assert controller.depth_of(0) == 3
+        assert not controller.has_capacity(server)
+
+    def test_queue_wait_grows_with_depth(self):
+        config = OverloadConfig(queue_capacity=4, service_quantum_seconds=0.05)
+        controller = AdmissionController(config)
+        server = StubServer(0)
+        waits = [controller.try_admit(server).queue_wait for _ in range(4)]
+        assert waits == [0.0, 0.05, 0.1, pytest.approx(0.15)]
+        # A shed request waits nowhere.
+        assert controller.try_admit(server).queue_wait == 0.0
+
+    def test_queues_are_per_server(self):
+        controller = AdmissionController(OverloadConfig(queue_capacity=1))
+        assert controller.try_admit(StubServer(0)).admitted
+        assert controller.try_admit(StubServer(1)).admitted
+        assert not controller.try_admit(StubServer(0)).admitted
+
+    def test_begin_interval_resets_queues(self):
+        controller = AdmissionController(OverloadConfig(queue_capacity=1))
+        server = StubServer(0)
+        assert controller.try_admit(server).admitted
+        assert not controller.try_admit(server).admitted
+        controller.begin_interval(1)
+        assert controller.depth_of(0) == 0
+        assert controller.try_admit(server).admitted
+
+
+class TestSaturationBackpressure:
+    def test_saturated_server_has_half_capacity(self):
+        config = OverloadConfig(queue_capacity=8, saturation_threshold=0.85)
+        controller = AdmissionController(config)
+        assert controller.effective_capacity(0.0) == 8
+        assert controller.effective_capacity(0.84) == 8
+        assert controller.effective_capacity(0.85) == 4
+        assert controller.effective_capacity(1.0) == 4
+
+    def test_halved_capacity_never_reaches_zero(self):
+        controller = AdmissionController(OverloadConfig(queue_capacity=1))
+        assert controller.effective_capacity(1.0) == 1
+
+    def test_capacity_sampled_on_first_touch(self):
+        config = OverloadConfig(queue_capacity=4, saturation_threshold=0.5)
+        controller = AdmissionController(config)
+        server = StubServer(0, busy=0.9)
+        assert controller.capacity_of(server) == 2
+        admitted = sum(controller.try_admit(server).admitted for _ in range(4))
+        assert admitted == 2
+
+
+class TestGauges:
+    def test_exports_per_server_queue_depth(self):
+        registry = MetricsRegistry()
+        controller = AdmissionController(
+            OverloadConfig(queue_capacity=2), telemetry=registry
+        )
+        controller.try_admit(StubServer(0))
+        controller.try_admit(StubServer(0))
+        controller.try_admit(StubServer(3))
+        controller.export_gauges()
+        assert registry.value("overload.queue_depth", {"server": "0"}) == 2
+        assert registry.value("overload.queue_depth", {"server": "3"}) == 1
+
+
+class TestConfig:
+    def test_policy_coerced_from_string(self):
+        config = OverloadConfig(policy="degrade")
+        assert config.policy is SheddingPolicy.DEGRADE
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(policy="panic")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"queue_capacity": 0},
+        {"saturation_threshold": 0.0},
+        {"saturation_threshold": 1.5},
+        {"service_quantum_seconds": -0.1},
+        {"degrade_inflation": 0.5},
+        {"redirect_radius_m": -1.0},
+        {"breaker_failure_threshold": 0},
+        {"breaker_open_intervals": 0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            OverloadConfig(**kwargs)

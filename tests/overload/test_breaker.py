@@ -1,0 +1,93 @@
+"""Circuit-breaker state machine: closed → open → half-open → ..."""
+
+import pytest
+
+from repro.overload import BreakerState, CircuitBreaker
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows(0)
+        assert breaker.consecutive_failures == 0
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows(2)
+        assert breaker.consecutive_failures == 2
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        breaker.record_success(2)
+        assert breaker.consecutive_failures == 0
+        # The streak starts over: two more failures still don't trip it.
+        breaker.record_failure(3)
+        breaker.record_failure(4)
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestOpen:
+    def trip(self, breaker, interval=0):
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure(interval)
+        assert breaker.state is BreakerState.OPEN
+        return breaker
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = self.trip(CircuitBreaker(failure_threshold=3))
+        assert breaker.consecutive_failures == 3
+
+    def test_rejects_while_cooldown_runs(self):
+        breaker = self.trip(CircuitBreaker(open_intervals=4), interval=10)
+        for interval in range(10, 14):
+            assert not breaker.allows(interval)
+            assert breaker.state is BreakerState.OPEN
+
+    def test_cooldown_expiry_grants_half_open_probe(self):
+        breaker = self.trip(CircuitBreaker(open_intervals=4), interval=10)
+        assert breaker.allows(14)
+        assert breaker.state is BreakerState.HALF_OPEN
+        # The probe stays granted until its outcome is recorded.
+        assert breaker.allows(14)
+
+
+class TestHalfOpen:
+    def half_open(self, interval=10):
+        breaker = CircuitBreaker(failure_threshold=1, open_intervals=2)
+        breaker.record_failure(interval)
+        assert breaker.allows(interval + 2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        return breaker
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = self.half_open()
+        breaker.record_success(12)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+        assert breaker.allows(13)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = self.half_open(interval=10)
+        breaker.record_failure(12)
+        assert breaker.state is BreakerState.OPEN
+        # The cooldown restarts at the failed probe, not the first trip.
+        assert not breaker.allows(13)
+        assert breaker.allows(14)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"failure_threshold": 0},
+        {"failure_threshold": -1},
+        {"open_intervals": 0},
+    ])
+    def test_rejects_non_positive_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kwargs)

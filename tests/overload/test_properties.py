@@ -1,0 +1,86 @@
+"""Property-based overload invariants.
+
+Two layers: at the simulation level every offered window is accounted for
+by exactly one outcome (admitted + shed + redirected + degraded ==
+offered) and no query is ever dropped; at the unit level the admission
+queue depth can never exceed the interval's effective capacity, whatever
+the request sequence.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.master import MigrationPolicy
+from repro.faults import get_profile
+from repro.overload import AdmissionController, OverloadConfig
+from repro.simulation.large_scale import SimulationSettings, run_large_scale
+from repro.trajectories.synthetic import kaist_like
+
+from tests.overload.test_admission import StubServer
+
+_DATASET = kaist_like(np.random.default_rng(33), num_users=4, duration_steps=60)
+
+
+def _run(tiny_partitioner, overload, seed, faults=None):
+    settings_ = SimulationSettings(
+        policy=MigrationPolicy.PERDNN,
+        migration_radius_m=100.0,
+        max_steps=12,
+        seed=seed,
+        faults=faults,
+        overload=overload,
+    )
+    return run_large_scale(_DATASET, tiny_partitioner, settings_)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    policy=st.sampled_from(["reject", "redirect", "degrade"]),
+    seed=st.integers(0, 100),
+    flash_crowd=st.booleans(),
+)
+def test_every_offered_window_has_exactly_one_outcome(
+    tiny_partitioner, policy, seed, flash_crowd
+):
+    overload = OverloadConfig(policy=policy, queue_capacity=1)
+    faults = get_profile("flash-crowd") if flash_crowd else None
+    result = _run(tiny_partitioner, overload, seed, faults=faults)
+    stats = result.extras["overload"]
+    assert stats["offered"] > 0
+    assert stats["offered"] == (
+        stats["admitted"] + stats["shed"]
+        + stats["redirected"] + stats["degraded"]
+    )
+    # Policies other than their own never produce the other outcomes.
+    if policy == "reject":
+        assert stats["redirected"] == 0 and stats["degraded"] == 0
+    elif policy == "redirect":
+        assert stats["degraded"] == 0
+    else:
+        assert stats["redirected"] == 0 and stats["shed"] == 0
+    # No query dropped: every window's queries land in total_queries.
+    trace = result.telemetry.trace
+    window_queries = sum(e.queries for e in trace.of_kind("query_window"))
+    assert window_queries == result.total_queries
+    assert result.total_queries > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 6),
+    requests=st.lists(
+        st.tuples(st.integers(0, 3), st.floats(0.0, 1.0)),
+        min_size=1, max_size=40,
+    ),
+)
+def test_queue_depth_never_exceeds_capacity(capacity, requests):
+    controller = AdmissionController(OverloadConfig(queue_capacity=capacity))
+    servers = {}
+    for server_id, busy in requests:
+        server = servers.setdefault(server_id, StubServer(server_id, busy))
+        decision = controller.try_admit(server)
+        bound = controller.capacity_of(server)
+        assert bound <= capacity
+        assert controller.depth_of(server_id) <= bound
+        assert decision.queue_depth <= bound
+        assert decision.admitted == (decision.queue_depth < bound)

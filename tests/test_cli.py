@@ -65,11 +65,27 @@ class TestParser:
         args = build_parser().parse_args(["simulate", "--faults", "churn"])
         assert args.faults == "churn"
         assert build_parser().parse_args(["simulate"]).faults == "none"
+        # Unknown names parse fine; main() rejects them with a listing.
+        args = build_parser().parse_args(["simulate", "--faults", "meteor"])
+        assert args.faults == "meteor"
+
+    def test_simulate_overload_choices(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.overload == "off"
+        assert args.queue_capacity == 8
+        args = build_parser().parse_args(
+            ["simulate", "--overload", "redirect", "--queue-capacity", "2"]
+        )
+        assert args.overload == "redirect"
+        assert args.queue_capacity == 2
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["simulate", "--faults", "meteor"])
+            build_parser().parse_args(["simulate", "--overload", "panic"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--queue-capacity", "0"])
 
     def test_faults_command_parses(self):
         assert build_parser().parse_args(["faults"]).command == "faults"
+        assert build_parser().parse_args(["faults", "--list"]).list
 
 
 class TestCommands:
@@ -147,8 +163,36 @@ class TestCommands:
     def test_faults_lists_profiles(self, capsys):
         assert main(["faults"]) == 0
         out = capsys.readouterr().out
-        for name in ("none", "churn", "flaky-backhaul", "blackout"):
+        for name in ("none", "churn", "flaky-backhaul", "flash-crowd",
+                     "blackout"):
             assert name in out
+
+    def test_faults_list_flag(self, capsys):
+        assert main(["faults", "--list"]) == 0
+        assert "flash-crowd" in capsys.readouterr().out
+
+    def test_simulate_unknown_faults_profile_lists_known(self, capsys):
+        assert main(["simulate", "--faults", "meteor"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fault profile 'meteor'" in err
+        for name in ("churn", "flash-crowd", "blackout"):
+            assert name in err
+
+    def test_simulate_with_overload_reports_outcomes(self, capsys):
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "none", "--steps", "8", "--users", "4",
+                "--dataset-steps", "60", "--faults", "flash-crowd",
+                "--overload", "redirect", "--queue-capacity", "1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "overload policy:    redirect" in out
+        assert "offered windows" in out
+        assert "shed queries" in out
+        assert "redirected queries" in out
+        assert "queue wait p99" in out
 
     def test_simulate_with_faults_reports_availability(self, capsys):
         assert main(
