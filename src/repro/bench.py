@@ -1,0 +1,312 @@
+"""Performance benchmark harness for the planner hot paths (BENCH trajectory).
+
+Times the code the large-scale simulator leans on hardest — random-forest
+fit/predict (single-row and batched), partition planning, and a small
+end-to-end :func:`~repro.simulation.large_scale.run_large_scale` run — on
+deterministic seeded inputs, reporting wall-clock medians over repeats.
+The vectorized paths are timed against the pre-vectorization node-walk
+reference (:func:`repro.ml.tree.reference_predict`) on identical inputs,
+so every BENCH_perf.json documents the speedup it ships with.
+
+``repro bench [--quick] [--out BENCH_perf.json]`` is the CLI entry point;
+``benchmarks/bench_perf_hotpaths.py`` wraps the same functions as pytest
+benchmarks.  Each PR's committed ``BENCH_perf.json`` is the perf
+trajectory: regenerate it (full mode) when a PR claims a perf win.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from typing import Callable
+
+import numpy as np
+
+SCHEMA = "perdnn-bench/1"
+
+#: benchmark name -> metric keys that must exist and be positive.
+REQUIRED_RESULTS: dict[str, tuple[str, ...]] = {
+    "forest_fit": ("seconds_median",),
+    "forest_predict_single": ("seconds_median",),
+    "forest_predict_batch": ("seconds_median", "speedup_vs_reference"),
+    "forest_predict_reference": ("seconds_median",),
+    "partition_planning": ("seconds_median", "cached_seconds_median"),
+    "large_scale": (
+        "seconds_median",
+        "reference_seconds_median",
+        "speedup_vs_reference",
+    ),
+}
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``repeats`` calls (after one warmup)."""
+    fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(statistics.median(times))
+
+
+def bench_forest(quick: bool, seed: int, repeats: int) -> dict:
+    """Forest fit + single/batch/reference predict timings.
+
+    The batch workload is the acceptance workload: a 1000x8 query matrix
+    against a 40-tree forest (the planner's per-interval shape at scale).
+    """
+    from repro.ml.forest import RandomForestRegressor
+    from repro.ml.tree import reference_predict
+
+    n_train = 200 if quick else 400
+    n_trees = 10 if quick else 40
+    n_rows, n_features = 1000, 8
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n_train, n_features))
+    y = (
+        np.sin(3.0 * X[:, 0])
+        + X[:, 1] * X[:, 2]
+        + 0.1 * rng.normal(size=n_train)
+    )
+    X_query = rng.uniform(size=(n_rows, n_features))
+
+    def fit() -> RandomForestRegressor:
+        return RandomForestRegressor(
+            n_estimators=n_trees,
+            max_depth=16,
+            max_features=None,
+            rng=np.random.default_rng(seed + 1),
+        ).fit(X, y)
+
+    fit_seconds = _median_seconds(fit, max(1, repeats // 2))
+    forest = fit()
+    single_calls = 20 if quick else 100
+
+    def predict_single() -> None:
+        for i in range(single_calls):
+            forest.predict(X_query[i : i + 1])
+
+    batch_seconds = _median_seconds(lambda: forest.predict(X_query), repeats)
+    with reference_predict():
+        reference_seconds = _median_seconds(
+            lambda: forest.predict(X_query), repeats
+        )
+    return {
+        "forest_fit": {
+            "seconds_median": fit_seconds,
+            "n_train": n_train,
+            "trees": n_trees,
+        },
+        "forest_predict_single": {
+            "seconds_median": _median_seconds(predict_single, repeats),
+            "calls": single_calls,
+        },
+        "forest_predict_batch": {
+            "seconds_median": batch_seconds,
+            "rows": n_rows,
+            "features": n_features,
+            "trees": n_trees,
+            "speedup_vs_reference": reference_seconds / batch_seconds,
+        },
+        "forest_predict_reference": {
+            "seconds_median": reference_seconds,
+            "rows": n_rows,
+        },
+    }
+
+
+def _build_partitioner(model: str):
+    from repro.core.config import PerDNNConfig
+    from repro.dnn.models import build_model
+    from repro.partitioning.partitioner import DNNPartitioner
+    from repro.profiling.hardware import odroid_xu4, titan_xp_server
+    from repro.profiling.profiler import ExecutionProfile
+
+    config = PerDNNConfig()
+    profile = ExecutionProfile.build(
+        build_model(model), odroid_xu4(), titan_xp_server()
+    )
+    return DNNPartitioner(
+        profile, config.network.uplink_bps, config.network.downlink_bps
+    )
+
+
+def bench_partition(quick: bool, seed: int, repeats: int) -> dict:
+    """Partition planning: a cold sweep of slowdown levels, then the same
+    sweep answered from the quantized plan cache."""
+    from repro.partitioning.partitioner import DNNPartitioner
+
+    template = _build_partitioner("mobilenet" if quick else "inception")
+    slowdowns = [1.0 + 0.25 * i for i in range(13)]  # 1.0 .. 4.0
+
+    def cold_sweep() -> None:
+        fresh = DNNPartitioner(
+            template.profile,
+            template.uplink_bps,
+            template.downlink_bps,
+            max_chunk_bytes=template.max_chunk_bytes,
+        )
+        for slowdown in slowdowns:
+            fresh.partition(slowdown)
+
+    def cached_sweep() -> None:
+        for slowdown in slowdowns:
+            template.partition(slowdown)
+
+    cached_sweep()  # populate the template's cache before timing hits
+    return {
+        "partition_planning": {
+            "seconds_median": _median_seconds(cold_sweep, repeats),
+            "cached_seconds_median": _median_seconds(cached_sweep, repeats),
+            "plans": len(slowdowns),
+        }
+    }
+
+
+def bench_large_scale(quick: bool, seed: int, repeats: int) -> dict:
+    """Small end-to-end run, vectorized vs. node-walk reference.
+
+    The predictor and contention estimator are trained once and shared, so
+    the timed region is the simulation loop itself — association, batched
+    interval planning, query windows, proactive migration.  Both paths see
+    identical inputs and produce byte-identical telemetry (the equivalence
+    tests pin this); only the wall clock differs.
+    """
+    from repro.core.config import PerDNNConfig
+    from repro.core.master import MigrationPolicy
+    from repro.ml.tree import reference_predict
+    from repro.simulation.large_scale import (
+        SimulationSettings,
+        run_large_scale,
+        train_default_estimator,
+        train_default_predictor,
+    )
+    from repro.trajectories.synthetic import kaist_like
+
+    # Full mode uses the paper's KAIST user count so each interval plans
+    # across enough servers for the batched path to matter end to end.
+    users, dataset_steps, max_steps = (
+        (4, 40, 4) if quick else (31, 120, 20)
+    )
+    rng = np.random.default_rng(seed)
+    dataset = kaist_like(rng, num_users=users, duration_steps=dataset_steps)
+    config = PerDNNConfig(migration_radius_m=100.0)
+    settings = SimulationSettings(
+        policy=MigrationPolicy.PERDNN, max_steps=max_steps, seed=seed
+    )
+    partitioner = _build_partitioner("mobilenet")
+    train, _ = dataset.split_time(settings.replay_fraction)
+    aux_rng = np.random.default_rng(seed)
+    predictor = train_default_predictor(
+        train, config.prediction_history, aux_rng
+    )
+    estimator = train_default_estimator(partitioner, aux_rng)
+
+    def run() -> None:
+        run_large_scale(
+            dataset,
+            _build_partitioner("mobilenet"),
+            settings,
+            config=config,
+            predictor=predictor,
+            contention_estimator=estimator,
+        )
+
+    seconds = _median_seconds(run, repeats)
+    with reference_predict():
+        reference_seconds = _median_seconds(run, repeats)
+    return {
+        "large_scale": {
+            "seconds_median": seconds,
+            "reference_seconds_median": reference_seconds,
+            "speedup_vs_reference": reference_seconds / seconds,
+            "clients": users,
+            "steps": max_steps,
+        }
+    }
+
+
+def run_benchmarks(
+    quick: bool = False, seed: int = 0, repeats: int | None = None
+) -> dict:
+    """Run every hot-path benchmark; returns the BENCH_perf document."""
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    results: dict[str, dict] = {}
+    results.update(bench_forest(quick, seed, repeats))
+    results.update(bench_partition(quick, seed, repeats))
+    results.update(bench_large_scale(quick, seed, repeats))
+    doc = {
+        "schema": SCHEMA,
+        "mode": "quick" if quick else "full",
+        "seed": seed,
+        "repeats": repeats,
+        "results": results,
+    }
+    assert_schema(doc)
+    return doc
+
+
+def assert_schema(doc: dict) -> None:
+    """Validate a BENCH_perf document: schema tag, required benchmark
+    entries, and strictly positive timings.  Raises ``ValueError`` so the
+    CI smoke step (and tests) fail loudly if the harness rots."""
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"unexpected schema tag: {doc.get('schema')!r}")
+    results = doc.get("results")
+    if not isinstance(results, dict):
+        raise ValueError("missing results mapping")
+    for name, keys in REQUIRED_RESULTS.items():
+        entry = results.get(name)
+        if not isinstance(entry, dict):
+            raise ValueError(f"missing benchmark entry: {name}")
+        for key in keys:
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or not value > 0:
+                raise ValueError(
+                    f"benchmark {name}.{key} must be a positive number, "
+                    f"got {value!r}"
+                )
+
+
+def write_results(doc: dict, path: str | os.PathLike) -> str:
+    """Write a BENCH_perf document as deterministic-layout JSON."""
+    target = os.fspath(path)
+    parent = os.path.dirname(target)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def summary_lines(doc: dict) -> list[str]:
+    """Human-readable one-liners for the CLI."""
+    results = doc["results"]
+    fit = results["forest_fit"]
+    single = results["forest_predict_single"]
+    batch = results["forest_predict_batch"]
+    plan = results["partition_planning"]
+    sim = results["large_scale"]
+    return [
+        f"mode: {doc['mode']} (repeats: {doc['repeats']}, seed: {doc['seed']})",
+        f"forest fit ({fit['trees']} trees, {fit['n_train']} rows):"
+        f" {fit['seconds_median'] * 1e3:9.1f} ms",
+        f"forest predict, {single['calls']} single rows:"
+        f" {single['seconds_median'] * 1e3:9.1f} ms",
+        f"forest predict, batch {batch['rows']}x{batch['features']}:"
+        f" {batch['seconds_median'] * 1e3:9.1f} ms"
+        f" ({batch['speedup_vs_reference']:.1f}x vs node walk)",
+        f"partition sweep ({plan['plans']} plans):"
+        f" {plan['seconds_median'] * 1e3:9.1f} ms cold,"
+        f" {plan['cached_seconds_median'] * 1e3:.2f} ms cached",
+        f"large scale ({sim['clients']} clients, {sim['steps']} steps):"
+        f" {sim['seconds_median'] * 1e3:9.1f} ms"
+        f" ({sim['speedup_vs_reference']:.2f}x vs node walk)",
+    ]

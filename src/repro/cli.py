@@ -203,6 +203,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"({result.hits} hits / {result.misses} misses)")
     print(f"cold-start queries: {result.coldstart_queries}")
     print(f"total queries:      {result.total_queries}")
+    cache = result.extras.get("partition_cache")
+    if cache is not None:
+        print(f"plan cache:         {cache['hit_ratio']:6.2%} hit ratio "
+              f"({cache['hits']} hits / {cache['misses']} replans)")
     assert result.uplink is not None
     print(f"backhaul peak:      {result.uplink.peak_mbps:.0f} Mbps uplink, "
           f"{result.uplink.total_bytes / 1e9:.2f} GB total")
@@ -258,6 +262,20 @@ def cmd_predictors(args: argparse.Namespace) -> int:
             f"{accuracy.predictor:<10s} {accuracy.top_k_accuracy[1]:>8.1f} "
             f"{accuracy.top_k_accuracy[2]:>8.1f} {mae}"
         )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_benchmarks, summary_lines, write_results
+
+    doc = run_benchmarks(
+        quick=args.quick, seed=args.seed, repeats=args.repeats
+    )
+    for line in summary_lines(doc):
+        print(line)
+    if args.out:
+        path = write_results(doc, args.out)
+        print(f"wrote {path}")
     return 0
 
 
@@ -345,6 +363,18 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument("--top", type=int, default=10,
                            help="show the N largest counters")
 
+    bench = sub.add_parser(
+        "bench", help="time the planner hot paths (perf harness)"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="scaled-down workloads for CI smoke runs")
+    bench.add_argument("--repeats", type=positive_int, default=None,
+                       help="timing repeats per benchmark "
+                            "(default: 5, or 3 with --quick)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="write the BENCH_perf.json document here")
+
     predictors = sub.add_parser("predictors", help="compare mobility predictors")
     predictors.add_argument("--dataset", default="kaist",
                             choices=("kaist", "geolife"))
@@ -362,6 +392,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "faults": cmd_faults,
     "telemetry": cmd_telemetry,
+    "bench": cmd_bench,
     "predictors": cmd_predictors,
 }
 

@@ -210,6 +210,53 @@ class MasterServer:
         self._slowdown_cache[server.server_id] = slowdown
         return slowdown
 
+    def estimate_slowdowns(
+        self, servers: Iterable[EdgeServer]
+    ) -> dict[int, float]:
+        """Batched :meth:`estimate_slowdown` over many candidate servers.
+
+        Pings every not-yet-memoized server once (in iteration order, so
+        the shared RNG consumes noise draws in exactly the sequence the
+        scalar path would) and predicts all slowdowns in a single forest
+        call; already-cached servers are returned from the per-interval
+        memo.  ``master.gpu_pings`` advances by the number of fresh pings,
+        matching the scalar path's one-increment-per-uncached-server
+        semantics, and each predicted value is bit-identical to what
+        :meth:`estimate_slowdown` would have produced — batching is a pure
+        wall-clock optimization.
+        """
+        out: dict[int, float] = {}
+        pending: list[EdgeServer] = []
+        for server in servers:
+            cached = self._slowdown_cache.get(server.server_id)
+            if cached is not None:
+                out[server.server_id] = cached
+            elif not any(p.server_id == server.server_id for p in pending):
+                pending.append(server)
+        if not pending:
+            return out
+        if self.telemetry is not None:
+            self.telemetry.registry.counter("master.gpu_pings").inc(
+                len(pending)
+            )
+        if self.contention_estimator is not None:
+            stats = [server.sample_stats() for server in pending]
+            slowdowns = self.contention_estimator.predict_slowdown_batch(
+                stats
+            )
+            for server, slowdown in zip(pending, slowdowns):
+                value = float(slowdown)
+                self._slowdown_cache[server.server_id] = value
+                out[server.server_id] = value
+        else:
+            for server in pending:
+                value = server.contention.expected_slowdown_for_clients(
+                    len(server.active_clients)
+                )
+                self._slowdown_cache[server.server_id] = value
+                out[server.server_id] = value
+        return out
+
     def partitioner_for(self, client_id: int | None = None) -> DNNPartitioner:
         """The partitioner of one client's DNN model.
 
@@ -287,7 +334,11 @@ class MasterServer:
             self.fault_schedule.backhaul_factor(interval)
             if self.fault_schedule is not None else 1.0
         )
-        records: list[MigrationRecord] = []
+        # Live targets are resolved first so all their GPU pings happen in
+        # one batched slowdown prediction; the per-target transfer work
+        # below draws no randomness, so the batched ping order equals the
+        # scalar loop's order and same-seed runs are unchanged.
+        live_targets: list[EdgeServer] = []
         for target_id in targets:
             if target_id == source.server_id:
                 continue
@@ -299,11 +350,15 @@ class MasterServer:
                         "resilience.dead_target_skips"
                     ).inc()
                 continue
-            target = self.server(target_id)
+            live_targets.append(self.server(target_id))
+        slowdowns = self.estimate_slowdowns(live_targets)
+        records: list[MigrationRecord] = []
+        for target in live_targets:
+            target_id = target.server_id
             # Future partitioning plan, with the *current* GPU workload of
             # the target (assumed stable over the next interval, §3.C.2).
             future_plan = self.partitioner_for(client.client_id).partition(
-                self.estimate_slowdown(target)
+                slowdowns[target_id]
             )
             needed = self._byte_budget(
                 source.server_id, target_id, future_plan.server_bytes

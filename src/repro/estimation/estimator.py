@@ -19,7 +19,9 @@ from repro.estimation.features import (
     build_matrix,
     layer_features,
     sample_features,
+    sample_matrix,
     stats_features,
+    stats_matrix,
 )
 from repro.profiling.gpu_stats import GpuStats
 from repro.profiling.profiler import ContentionSample
@@ -32,6 +34,39 @@ def _group_by_kind(
     for sample in samples:
         groups[sample.info.kind].append(sample)
     return dict(groups)
+
+
+def _forest_rowwise_mean(
+    model: RandomForestRegressor, X: np.ndarray
+) -> np.ndarray:
+    """Ensemble mean per row, bit-identical to single-row ``predict``.
+
+    The transpose makes each row's tree predictions contiguous, so the
+    reduction uses the same pairwise summation a ``(n_trees, 1)`` scalar
+    call gets — batched estimates therefore agree with the per-sample
+    scalar path to the last bit (see RandomForestRegressor.predict_per_tree).
+    """
+    per_tree = model.predict_per_tree(X)
+    return np.ascontiguousarray(per_tree.T).mean(axis=1)
+
+
+def _group_by_nearest_load(
+    samples: list[ContentionSample],
+    models: dict[LayerKind, dict[int, "BestOfLinearLog"]],
+) -> dict[tuple[LayerKind, int], list[int]]:
+    """Sample indices grouped by (kind, nearest trained load level) — one
+    linear-model matrix call per group instead of one per sample."""
+    groups: dict[tuple[LayerKind, int], list[int]] = {}
+    for i, sample in enumerate(samples):
+        kind = sample.info.kind
+        if kind not in models:
+            raise KeyError(f"no model trained for layer kind {kind}")
+        by_load = models[kind]
+        nearest = min(
+            by_load, key=lambda load: abs(load - sample.stats.num_clients)
+        )
+        groups.setdefault((kind, nearest), []).append(i)
+    return groups
 
 
 class ExecutionTimeEstimator(ABC):
@@ -50,6 +85,12 @@ class ExecutionTimeEstimator(ABC):
     def predict_batch(
         self, samples: list[ContentionSample]
     ) -> np.ndarray:
+        """Predicted times for many samples at once.
+
+        The base implementation loops over :meth:`predict`; vectorizing
+        subclasses override it with grouped matrix predictions that agree
+        with the scalar path element-for-element.
+        """
         return np.array([self.predict(s.info, s.stats) for s in samples])
 
 
@@ -89,6 +130,21 @@ class RFWithLoadEstimator(ExecutionTimeEstimator):
         model = self._require_model(info.kind)
         x = np.concatenate([layer_features(info), stats_features(stats)])
         return float(model.predict(x[None, :])[0])
+
+    def predict_batch(
+        self, samples: list[ContentionSample]
+    ) -> np.ndarray:
+        """One forest call per layer kind over a matrix-built feature
+        block, scattered back into sample order."""
+        out = np.empty(len(samples))
+        by_kind: dict[LayerKind, list[int]] = defaultdict(list)
+        for i, sample in enumerate(samples):
+            by_kind[sample.info.kind].append(i)
+        for kind, indices in by_kind.items():
+            model = self._require_model(kind)
+            X = sample_matrix([samples[i] for i in indices], with_load=True)
+            out[indices] = _forest_rowwise_mean(model, X)
+        return out
 
     def feature_importances(self, kind: LayerKind) -> np.ndarray:
         model = self._require_model(kind)
@@ -131,6 +187,17 @@ class LLWithLoadEstimator(ExecutionTimeEstimator):
         x = np.concatenate([layer_features(info), stats_features(stats)])
         return float(by_load[nearest].predict(x[None, :])[0])
 
+    def predict_batch(
+        self, samples: list[ContentionSample]
+    ) -> np.ndarray:
+        out = np.empty(len(samples))
+        for (kind, load), indices in _group_by_nearest_load(
+            samples, self._models
+        ).items():
+            X = sample_matrix([samples[i] for i in indices], with_load=True)
+            out[indices] = self._models[kind][load].predict(X)
+        return out
+
 
 class LLPerLoadEstimator(ExecutionTimeEstimator):
     """NeuroSurgeon baseline: LL on layer features, one model per load level.
@@ -167,6 +234,17 @@ class LLPerLoadEstimator(ExecutionTimeEstimator):
         nearest = min(by_load, key=lambda load: abs(load - stats.num_clients))
         x = layer_features(info)
         return float(by_load[nearest].predict(x[None, :])[0])
+
+    def predict_batch(
+        self, samples: list[ContentionSample]
+    ) -> np.ndarray:
+        out = np.empty(len(samples))
+        for (kind, load), indices in _group_by_nearest_load(
+            samples, self._models
+        ).items():
+            X = sample_matrix([samples[i] for i in indices], with_load=False)
+            out[indices] = self._models[kind][load].predict(X)
+        return out
 
 
 class ContentionEstimator:
@@ -206,6 +284,21 @@ class ContentionEstimator:
             raise RuntimeError("estimator has not been fitted")
         x = stats_features(stats)
         return max(1.0, float(self._model.predict(x[None, :])[0]))
+
+    def predict_slowdown_batch(self, stats_list: list[GpuStats]) -> np.ndarray:
+        """Slowdown factors for many pinged servers in one forest call.
+
+        Element ``i`` is bit-identical to ``predict_slowdown(stats_list[i])``
+        — including the per-element ``max(1.0, ·)`` clamp — so the master
+        can swap the per-server scalar loop for this without changing any
+        same-seed simulation output.
+        """
+        if not self._fitted:
+            raise RuntimeError("estimator has not been fitted")
+        if not stats_list:
+            return np.empty(0)
+        X = stats_matrix(stats_list)
+        return np.maximum(1.0, _forest_rowwise_mean(self._model, X))
 
     def predict_time(self, base_time: float, stats: GpuStats) -> float:
         return base_time * self.predict_slowdown(stats)

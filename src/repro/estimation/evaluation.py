@@ -65,15 +65,29 @@ def compare_estimators(
         raise ValueError(f"test set has no samples of kind {kind}")
     counts = sorted({s.stats.num_clients for s in test_of_kind})
     comparison = EstimatorComparison(client_counts=counts)
+    truth_all = np.array([s.measured_time for s in test_of_kind])
+    count_indices = {
+        count: np.array(
+            [
+                i
+                for i, s in enumerate(test_of_kind)
+                if s.stats.num_clients == count
+            ]
+        )
+        for count in counts
+    }
     rf: RFWithLoadEstimator | None = None
     for estimator in estimators:
         estimator.fit(train)
+        # One vectorized pass over the whole test set; per-load MAE is a
+        # slice of it (predictions are row-independent).
+        predicted_all = estimator.predict_batch(test_of_kind)
         per_count: dict[int, float] = {}
         for count in counts:
-            subset = [s for s in test_of_kind if s.stats.num_clients == count]
-            truth = np.array([s.measured_time for s in subset])
-            predicted = estimator.predict_batch(subset)
-            per_count[count] = mean_absolute_error(truth, predicted)
+            indices = count_indices[count]
+            per_count[count] = mean_absolute_error(
+                truth_all[indices], predicted_all[indices]
+            )
         comparison.mae_by_estimator[estimator.name] = per_count
         if isinstance(estimator, RFWithLoadEstimator):
             rf = estimator

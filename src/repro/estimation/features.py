@@ -47,12 +47,50 @@ def stats_features(stats: GpuStats) -> np.ndarray:
     return np.array(stats.as_features())
 
 
+def layer_matrix(infos: list[LayerInfo]) -> np.ndarray:
+    """Layer hyperparameter features of many layers as one ``(n, 4)``
+    matrix — a single array construction instead of per-layer
+    ``np.array`` + ``np.concatenate`` calls."""
+    return np.array(
+        [
+            (
+                float(info.flops),
+                float(info.input_bytes),
+                float(info.output_bytes),
+                float(info.weight_bytes),
+            )
+            for info in infos
+        ],
+        dtype=float,
+    ).reshape(len(infos), len(LAYER_FEATURE_NAMES))
+
+
+def stats_matrix(stats_list: list[GpuStats]) -> np.ndarray:
+    """GPU workload features of many samples as one ``(n, 4)`` matrix."""
+    return np.array(
+        [stats.as_features() for stats in stats_list], dtype=float
+    ).reshape(len(stats_list), len(GPU_STAT_FEATURE_NAMES))
+
+
+def sample_matrix(
+    samples: list[ContentionSample], with_load: bool = True
+) -> np.ndarray:
+    """Feature matrix of many profiled samples (rows match
+    :func:`sample_features` bit-for-bit, built without per-sample
+    concatenation)."""
+    layer = layer_matrix([s.info for s in samples])
+    if not with_load:
+        return layer
+    stats = stats_matrix([s.stats for s in samples])
+    return np.hstack([layer, stats])
+
+
 def build_matrix(
     samples: list[ContentionSample], with_load: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
     """(X, y) design matrix for a list of profiled samples."""
     if not samples:
         raise ValueError("no samples")
-    X = np.stack([sample_features(s, with_load) for s in samples])
+    X = sample_matrix(samples, with_load)
     y = np.array([s.measured_time for s in samples])
     return X, y

@@ -4,13 +4,88 @@ The paper's edge servers train one random forest per layer type to predict
 layer execution time from layer hyperparameters plus GPU workload features
 (§3.C.1).  Feature importances are averaged over trees, matching the
 right-hand plot of Fig 4.
+
+``fit`` additionally stacks every tree's flat arrays (see
+:class:`~repro.ml.tree.FlatTree`) into one concatenated node table, so
+``predict`` traverses *all trees for all rows* in a single
+level-synchronous loop — the planner-side hot path of the large-scale
+simulator.  The per-tree node walk remains available as
+``_predict_reference`` and via :func:`repro.ml.tree.reference_predict`;
+both paths are bit-for-bit identical (same comparisons, same leaf values,
+same ``mean(axis=0)`` reduction).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.ml.tree import RegressionTree
+from repro.ml.tree import RegressionTree, fast_predict_enabled
+
+
+@dataclass(frozen=True)
+class _StackedTrees:
+    """All trees of a forest concatenated into one flat node table.
+
+    ``roots[t]`` is the index of tree ``t``'s root in the concatenated
+    arrays; ``left``/``right`` are already offset into the global index
+    space (leaves keep -1 sentinels, never dereferenced).
+    """
+
+    feature: np.ndarray  # int64, (total_nodes,)
+    threshold: np.ndarray  # float64, (total_nodes,)
+    value: np.ndarray  # float64, (total_nodes,)
+    left: np.ndarray  # int64, (total_nodes,)
+    right: np.ndarray  # int64, (total_nodes,)
+    roots: np.ndarray  # int64, (n_trees,)
+
+    @classmethod
+    def from_trees(cls, trees: list[RegressionTree]) -> "_StackedTrees":
+        flats = [tree.flat for tree in trees]
+        sizes = np.array([flat.n_nodes for flat in flats], dtype=np.int64)
+        roots = np.concatenate([[0], np.cumsum(sizes)[:-1]]).astype(np.int64)
+        left_parts, right_parts = [], []
+        for flat, offset in zip(flats, roots):
+            left_parts.append(np.where(flat.left >= 0, flat.left + offset, -1))
+            right_parts.append(
+                np.where(flat.right >= 0, flat.right + offset, -1)
+            )
+        return cls(
+            feature=np.concatenate([flat.feature for flat in flats]),
+            threshold=np.concatenate([flat.threshold for flat in flats]),
+            value=np.concatenate([flat.value for flat in flats]),
+            left=np.concatenate(left_parts),
+            right=np.concatenate(right_parts),
+            roots=roots,
+        )
+
+    def predict_all(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_trees, n_rows)``.
+
+        One level-synchronous step moves every still-descending
+        (tree, row) pair one level down; pairs that reached a leaf drop
+        out of the active set, so each iteration only touches the pairs
+        that are actually mid-descent and the loop runs at most
+        ``max(tree depth)`` times for the whole forest.
+        """
+        n = X.shape[0]
+        n_trees = self.roots.shape[0]
+        # Flat (tree-major) state over all (tree, row) pairs.
+        node = np.repeat(self.roots, n)
+        rows = np.tile(np.arange(n), n_trees)
+        active = np.nonzero(self.feature[node] >= 0)[0]
+        while active.size:
+            current = node[active]
+            go_left = (
+                X[rows[active], self.feature[current]]
+                <= self.threshold[current]
+            )
+            node[active] = np.where(
+                go_left, self.left[current], self.right[current]
+            )
+            active = active[self.feature[node[active]] >= 0]
+        return self.value[node].reshape(n_trees, n)
 
 
 class RandomForestRegressor:
@@ -36,6 +111,7 @@ class RandomForestRegressor:
         self.bootstrap = bootstrap
         self._rng = rng or np.random.default_rng()
         self._trees: list[RegressionTree] = []
+        self._stacked: _StackedTrees | None = None
         self.feature_importances_: np.ndarray | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
@@ -45,6 +121,7 @@ class RandomForestRegressor:
             raise ValueError("X must be 2D and y 1D with matching lengths")
         n = X.shape[0]
         self._trees = []
+        self._stacked = None
         importances = np.zeros(X.shape[1])
         for _ in range(self.n_estimators):
             tree = RegressionTree(
@@ -62,6 +139,7 @@ class RandomForestRegressor:
             self._trees.append(tree)
             assert tree.feature_importances_ is not None
             importances += tree.feature_importances_
+        self._stacked = _StackedTrees.from_trees(self._trees)
         total = importances.sum()
         self.feature_importances_ = importances / total if total > 0 else importances
         return self
@@ -69,6 +147,35 @@ class RandomForestRegressor:
     def predict(self, X: np.ndarray) -> np.ndarray:
         if not self._trees:
             raise RuntimeError("forest has not been fitted")
-        X = np.asarray(X, dtype=float)
+        X = self._trees[0]._validate_X(X)
+        if fast_predict_enabled() and self._stacked is not None:
+            return self._stacked.predict_all(X).mean(axis=0)
         predictions = np.stack([tree.predict(X) for tree in self._trees])
+        return predictions.mean(axis=0)
+
+    def predict_per_tree(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_trees, n_rows)``.
+
+        Building block for batch consumers that need each row's ensemble
+        mean to be bit-identical to a single-row ``predict`` call: reduce
+        the *transposed* result row-wise (``ascontiguousarray(out.T)
+        .mean(axis=1)``) so every row gets the same contiguous pairwise
+        summation a ``(n_trees, 1)`` scalar call gets, instead of the
+        column-sequential reduction of a 2D ``mean(axis=0)``.
+        """
+        if not self._trees:
+            raise RuntimeError("forest has not been fitted")
+        X = self._trees[0]._validate_X(X)
+        if fast_predict_enabled() and self._stacked is not None:
+            return self._stacked.predict_all(X)
+        return np.stack([tree.predict(X) for tree in self._trees])
+
+    def _predict_reference(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree node-walk ensemble mean (the pre-vectorization path)."""
+        if not self._trees:
+            raise RuntimeError("forest has not been fitted")
+        X = np.asarray(X, dtype=float)
+        predictions = np.stack(
+            [tree._predict_reference(X) for tree in self._trees]
+        )
         return predictions.mean(axis=0)

@@ -5,13 +5,55 @@ GPU-aware execution-time estimation (§3.C.1).  Splits minimize the weighted
 sum of squared errors of the children; feature importances accumulate the
 impurity decrease of each split, normalized at the end — the same
 "importance" definition the paper plots on the right of Fig 4.
+
+Prediction is array-vectorized: ``fit`` flattens the grown node structure
+into parallel numpy arrays (feature / threshold / value / left / right in
+preorder), and ``predict`` advances every query row one tree level per
+iteration (level-synchronous traversal) instead of walking Python nodes one
+row at a time.  The original node walk survives as
+``RegressionTree._predict_reference`` and can be forced globally with the
+:func:`reference_predict` context manager — equivalence tests and the perf
+harness pin the two paths bit-for-bit against each other.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
+
+#: Global fast-path switch.  True routes ``predict`` through the flattened
+#: arrays; False falls back to the per-row node walk everywhere (trees and
+#: forests).  Toggle via :func:`set_fast_predict` / :func:`reference_predict`.
+_FAST_PREDICT = True
+
+
+def fast_predict_enabled() -> bool:
+    """Is the vectorized flat-array prediction path active?"""
+    return _FAST_PREDICT
+
+
+def set_fast_predict(enabled: bool) -> bool:
+    """Enable/disable the vectorized path; returns the previous setting."""
+    global _FAST_PREDICT
+    previous = _FAST_PREDICT
+    _FAST_PREDICT = bool(enabled)
+    return previous
+
+
+@contextmanager
+def reference_predict():
+    """Force the original node-walking prediction path within the block.
+
+    Used by the equivalence tests and by ``repro bench`` to time the
+    pre-vectorization reference on identical inputs.
+    """
+    previous = set_fast_predict(False)
+    try:
+        yield
+    finally:
+        set_fast_predict(previous)
 
 
 @dataclass
@@ -27,6 +69,79 @@ class _Node:
     @property
     def is_leaf(self) -> bool:
         return self.feature < 0
+
+
+@dataclass(frozen=True)
+class FlatTree:
+    """A fitted tree as parallel preorder arrays (leaves: feature == -1).
+
+    ``left``/``right`` hold child node indices for internal nodes and -1
+    sentinels for leaves (never dereferenced: traversal only advances rows
+    whose current node is internal).  The layout is shared with the
+    forest's stacked all-trees representation, which concatenates these
+    arrays and offsets the child indices.
+    """
+
+    feature: np.ndarray  # int64, (n_nodes,)
+    threshold: np.ndarray  # float64, (n_nodes,)
+    value: np.ndarray  # float64, (n_nodes,)
+    left: np.ndarray  # int64, (n_nodes,)
+    right: np.ndarray  # int64, (n_nodes,)
+
+    @classmethod
+    def from_root(cls, root: _Node) -> "FlatTree":
+        features: list[int] = []
+        thresholds: list[float] = []
+        values: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+
+        def emit(node: _Node) -> int:
+            index = len(features)
+            features.append(node.feature)
+            thresholds.append(node.threshold)
+            values.append(node.value)
+            lefts.append(-1)
+            rights.append(-1)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                lefts[index] = emit(node.left)
+                rights[index] = emit(node.right)
+            return index
+
+        emit(root)
+        return cls(
+            feature=np.asarray(features, dtype=np.int64),
+            threshold=np.asarray(thresholds, dtype=np.float64),
+            value=np.asarray(values, dtype=np.float64),
+            left=np.asarray(lefts, dtype=np.int64),
+            right=np.asarray(rights, dtype=np.int64),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Level-synchronous vectorized traversal of every row at once.
+
+        Rows sitting on a leaf are frozen; the rest take one left/right
+        step per iteration, so the loop runs at most ``depth`` times
+        regardless of the batch size.
+        """
+        n = X.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        active = np.nonzero(self.feature[node] >= 0)[0]
+        while active.size:
+            current = node[active]
+            go_left = (
+                X[active, self.feature[current]] <= self.threshold[current]
+            )
+            node[active] = np.where(
+                go_left, self.left[current], self.right[current]
+            )
+            active = active[self.feature[node[active]] >= 0]
+        return self.value[node]
 
 
 def _best_split(
@@ -106,6 +221,7 @@ class RegressionTree:
         self.max_features = max_features
         self._rng = rng or np.random.default_rng()
         self._root: _Node | None = None
+        self._flat: FlatTree | None = None
         self._n_features = 0
         self.feature_importances_: np.ndarray | None = None
 
@@ -129,6 +245,7 @@ class RegressionTree:
         self._n_features = X.shape[1]
         importances = np.zeros(self._n_features)
         self._root = self._grow(X, y, depth=0, importances=importances)
+        self._flat = FlatTree.from_root(self._root)
         total = importances.sum()
         self.feature_importances_ = (
             importances / total if total > 0 else importances
@@ -163,12 +280,35 @@ class RegressionTree:
         node.right = self._grow(X[~mask], y[~mask], depth + 1, importances)
         return node
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        if self._root is None:
+    @property
+    def flat(self) -> FlatTree:
+        """The fitted tree's parallel-array form (for forest stacking)."""
+        if self._flat is None:
             raise RuntimeError("tree has not been fitted")
+        return self._flat
+
+    def _validate_X(self, X: np.ndarray) -> np.ndarray:
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self._n_features:
             raise ValueError(f"expected shape (n, {self._n_features})")
+        return X
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        X = self._validate_X(X)
+        if _FAST_PREDICT and self._flat is not None:
+            return self._flat.predict(X)
+        return self._walk_nodes(X)
+
+    def _predict_reference(self, X: np.ndarray) -> np.ndarray:
+        """Original per-row Python node walk, kept as the equivalence
+        reference for the vectorized path (bit-for-bit identical)."""
+        if self._root is None:
+            raise RuntimeError("tree has not been fitted")
+        return self._walk_nodes(self._validate_X(X))
+
+    def _walk_nodes(self, X: np.ndarray) -> np.ndarray:
         out = np.empty(X.shape[0])
         for i, row in enumerate(X):
             node = self._root

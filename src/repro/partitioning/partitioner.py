@@ -58,6 +58,16 @@ class DNNPartitioner:
             downlink_bps,
         )
         self._cache: dict[float, PartitionResult] = {}
+        #: Plan-cache effectiveness telemetry: how often :meth:`partition`
+        #: was answered from the quantized cache vs. had to re-plan.
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of :meth:`partition` calls served from the plan cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def graph(self) -> DNNGraph:
@@ -78,7 +88,9 @@ class DNNPartitioner:
         key = self.quantize(server_slowdown)
         cached = self._cache.get(key)
         if cached is not None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
         costs = self._base_costs.scaled_server(max(1.0, key))
         plan = optimal_plan(costs)
         schedule = build_upload_schedule(costs, plan, self.max_chunk_bytes)

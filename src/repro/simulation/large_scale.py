@@ -305,6 +305,11 @@ def run_large_scale(
             client_id: partitioner_pool[client_id % len(partitioner_pool)]
             for client_id in range(num_replay_clients)
         }
+    # Plan-cache counters accumulate for the life of a partitioner; diff
+    # against this baseline so the reported stats are per-run.
+    cache_baseline = [
+        (p.cache_hits, p.cache_misses) for p in partitioner_pool
+    ]
     fault_schedule = _resolve_fault_schedule(settings, registry, replay)
     faults_on = fault_schedule is not None
     overload_cfg = settings.overload
@@ -458,6 +463,27 @@ def run_large_scale(
             ):
                 continue
             server.step_gpu()
+        # 2b. Batched interval planning: every server that will be planned
+        # for this interval is pinged and its slowdown predicted in one
+        # vectorized forest call, in the same first-seen order the lazy
+        # per-client path would use (the shared RNG sees identical draws,
+        # so same-seed output is byte-identical).  Overload runs keep the
+        # lazy path: shedding/redirection decides per client whether a
+        # server is planned at all.
+        if contention_estimator is not None and not overload_on:
+            seen_servers: set[int] = set()
+            planned_servers = []
+            for client in active:
+                server_id = client.current_server
+                if (
+                    server_id is None
+                    or client.client_id in local_this_step
+                    or server_id in seen_servers
+                ):
+                    continue
+                seen_servers.add(server_id)
+                planned_servers.append(master.server(server_id))
+            master.estimate_slowdowns(planned_servers)
         # 3. Query loops.
         for client in active:
             if faults_on:
@@ -730,6 +756,23 @@ def run_large_scale(
         if client_intervals else 1.0
     )
     result.fill_from_telemetry()
+    cache_hits = sum(
+        p.cache_hits - before_hits
+        for p, (before_hits, _) in zip(partitioner_pool, cache_baseline)
+    )
+    cache_misses = sum(
+        p.cache_misses - before_misses
+        for p, (_, before_misses) in zip(partitioner_pool, cache_baseline)
+    )
+    result.extras["partition_cache"] = {
+        "hits": cache_hits,
+        "misses": cache_misses,
+        "hit_ratio": (
+            cache_hits / (cache_hits + cache_misses)
+            if cache_hits + cache_misses
+            else 0.0
+        ),
+    }
     result.uplink = meter.uplink_summary()
     result.downlink = meter.downlink_summary()
     return result

@@ -1,0 +1,149 @@
+"""Batched slowdown estimation on the master: semantics and equivalence.
+
+``MasterServer.estimate_slowdowns`` must be a drop-in for looping over
+``estimate_slowdown`` — same values bit-for-bit (same shared-RNG draw
+order), same per-interval memoization, same ``master.gpu_pings``
+accounting — so the simulator can batch without changing any output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MasterServer, MigrationPolicy
+from repro.estimation.estimator import ContentionEstimator
+from repro.geo.hexgrid import HexCell, HexGrid
+from repro.geo.wifi import EdgeServerRegistry
+from repro.profiling.profiler import generate_contention_dataset
+from repro.telemetry import Telemetry
+
+N_SERVERS = 4
+
+
+@pytest.fixture(scope="module")
+def trained_estimator(branchy_graph, server_device):
+    rng = np.random.default_rng(5)
+    samples = generate_contention_dataset(
+        branchy_graph, server_device, rng,
+        client_counts=(1, 2, 4), rounds_per_count=3,
+    )
+    return ContentionEstimator(
+        n_estimators=6, max_depth=4, rng=rng
+    ).fit(samples)
+
+
+def make_master(tiny_partitioner, seed=7, estimator=None, telemetry=None):
+    grid = HexGrid(50.0)
+    registry = EdgeServerRegistry(grid)
+    for q in range(N_SERVERS):
+        registry.ensure_server(HexCell(q, 0))
+    return MasterServer(
+        registry=registry,
+        partitioner=tiny_partitioner,
+        config=PerDNNConfig(),
+        rng=np.random.default_rng(seed),
+        policy=MigrationPolicy.NONE,
+        contention_estimator=estimator,
+        telemetry=telemetry,
+    )
+
+
+def pings(master):
+    return master.telemetry.registry.counter("master.gpu_pings").value
+
+
+class TestBatchedEquivalence:
+    def test_batch_matches_scalar_loop_bitwise(
+        self, tiny_partitioner, trained_estimator
+    ):
+        # Two masters with identical seeds: one estimates lazily server by
+        # server, the other in one batched call.  The shared RNG feeding
+        # sample_stats must be consumed in the same order, so every value
+        # comes out bit-identical.
+        scalar_master = make_master(tiny_partitioner, estimator=trained_estimator)
+        batch_master = make_master(tiny_partitioner, estimator=trained_estimator)
+        scalar = {
+            sid: scalar_master.estimate_slowdown(scalar_master.server(sid))
+            for sid in range(N_SERVERS)
+        }
+        batch = batch_master.estimate_slowdowns(
+            [batch_master.server(sid) for sid in range(N_SERVERS)]
+        )
+        assert scalar == batch
+
+    def test_fallback_without_estimator(self, tiny_partitioner):
+        master = make_master(tiny_partitioner, estimator=None)
+        servers = [master.server(sid) for sid in range(N_SERVERS)]
+        out = master.estimate_slowdowns(servers)
+        for server in servers:
+            expected = server.contention.expected_slowdown_for_clients(
+                len(server.active_clients)
+            )
+            assert out[server.server_id] == expected
+
+    def test_empty_input(self, tiny_partitioner, trained_estimator):
+        master = make_master(tiny_partitioner, estimator=trained_estimator)
+        assert master.estimate_slowdowns([]) == {}
+
+
+class TestMemoizationAndPings:
+    def test_pings_count_fresh_servers_only(
+        self, tiny_partitioner, trained_estimator
+    ):
+        master = make_master(
+            tiny_partitioner,
+            estimator=trained_estimator,
+            telemetry=Telemetry.create(),
+        )
+        servers = [master.server(sid) for sid in range(N_SERVERS)]
+        first = master.estimate_slowdowns(servers)
+        assert pings(master) == N_SERVERS
+        # Same interval: everything is memoized, no new pings, same values.
+        again = master.estimate_slowdowns(servers)
+        assert again == first
+        assert pings(master) == N_SERVERS
+        # Scalar reads hit the same memo.
+        assert master.estimate_slowdown(servers[0]) == first[0]
+        assert pings(master) == N_SERVERS
+
+    def test_begin_interval_invalidates_memo(
+        self, tiny_partitioner, trained_estimator
+    ):
+        master = make_master(
+            tiny_partitioner,
+            estimator=trained_estimator,
+            telemetry=Telemetry.create(),
+        )
+        servers = [master.server(sid) for sid in range(N_SERVERS)]
+        master.estimate_slowdowns(servers)
+        master.begin_interval()
+        master.estimate_slowdowns(servers)
+        assert pings(master) == 2 * N_SERVERS
+
+    def test_duplicate_servers_ping_once(
+        self, tiny_partitioner, trained_estimator
+    ):
+        master = make_master(
+            tiny_partitioner,
+            estimator=trained_estimator,
+            telemetry=Telemetry.create(),
+        )
+        server = master.server(0)
+        out = master.estimate_slowdowns([server, server, server])
+        assert set(out) == {0}
+        assert pings(master) == 1
+
+    def test_partial_memo_mixes_cached_and_fresh(
+        self, tiny_partitioner, trained_estimator
+    ):
+        master = make_master(
+            tiny_partitioner,
+            estimator=trained_estimator,
+            telemetry=Telemetry.create(),
+        )
+        warm = master.server(0)
+        warm_value = master.estimate_slowdown(warm)
+        servers = [master.server(sid) for sid in range(N_SERVERS)]
+        out = master.estimate_slowdowns(servers)
+        assert out[0] == warm_value
+        assert pings(master) == N_SERVERS  # 1 scalar + (N-1) fresh batched

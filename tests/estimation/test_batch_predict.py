@@ -1,0 +1,122 @@
+"""Batched estimator paths must agree with the scalar paths element-wise.
+
+``predict_slowdown_batch`` and the ``predict_batch`` overrides replace
+per-sample Python loops in the planning hot path; every element has to
+match what the scalar call would have produced (bit-for-bit for the
+forest paths, which same-seed simulation identity depends on).
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimation.estimator import (
+    ContentionEstimator,
+    LLPerLoadEstimator,
+    LLWithLoadEstimator,
+    RFWithLoadEstimator,
+)
+from repro.profiling.gpu_stats import GpuStats
+from repro.profiling.profiler import ContentionSample, generate_contention_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset(branchy_graph, server_device):
+    rng = np.random.default_rng(42)
+    train = generate_contention_dataset(
+        branchy_graph, server_device, rng,
+        client_counts=(1, 2, 4, 8), rounds_per_count=4,
+    )
+    test = generate_contention_dataset(
+        branchy_graph, server_device, rng,
+        client_counts=(1, 2, 4, 8), rounds_per_count=2,
+    )
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def contention_estimator(dataset):
+    train, _ = dataset
+    return ContentionEstimator(
+        n_estimators=8, max_depth=5, rng=np.random.default_rng(0)
+    ).fit(train)
+
+
+class TestContentionEstimatorBatch:
+    def test_batch_matches_scalar_bitwise(self, contention_estimator, dataset):
+        _, test = dataset
+        stats_list = [sample.stats for sample in test]
+        batch = contention_estimator.predict_slowdown_batch(stats_list)
+        scalar = [
+            contention_estimator.predict_slowdown(stats)
+            for stats in stats_list
+        ]
+        assert batch.shape == (len(stats_list),)
+        assert np.array_equal(batch, np.array(scalar))
+
+    def test_clamp_applies_per_element(self, dataset):
+        # Train on sub-unity slowdowns so the raw forest output sits below
+        # 1.0: both paths must clamp each element up to the 1.0 floor.
+        train, test = dataset
+        fast_samples = [
+            ContentionSample(
+                info=s.info,
+                stats=s.stats,
+                base_time=s.base_time,
+                measured_time=0.5 * s.base_time,
+            )
+            for s in train
+        ]
+        estimator = ContentionEstimator(
+            n_estimators=6, max_depth=4, rng=np.random.default_rng(1)
+        ).fit(fast_samples)
+        stats_list = [sample.stats for sample in test[:20]]
+        batch = estimator.predict_slowdown_batch(stats_list)
+        assert np.all(batch == 1.0)
+        for i, stats in enumerate(stats_list):
+            assert batch[i] == estimator.predict_slowdown(stats)
+
+    def test_empty_batch(self, contention_estimator):
+        out = contention_estimator.predict_slowdown_batch([])
+        assert out.shape == (0,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ContentionEstimator().predict_slowdown_batch(
+                [GpuStats(10.0, 10.0, 40.0, 1)]
+            )
+
+
+class TestExecutionTimeEstimatorBatch:
+    def test_rf_batch_matches_scalar_bitwise(self, dataset):
+        train, test = dataset
+        estimator = RFWithLoadEstimator(
+            n_estimators=6, max_depth=6, rng=np.random.default_rng(2)
+        ).fit(train)
+        batch = estimator.predict_batch(test)
+        scalar = [estimator.predict(s.info, s.stats) for s in test]
+        assert np.array_equal(batch, np.array(scalar))
+
+    @pytest.mark.parametrize(
+        "estimator_cls", [LLWithLoadEstimator, LLPerLoadEstimator]
+    )
+    def test_ll_batch_matches_scalar(self, dataset, estimator_cls):
+        train, test = dataset
+        estimator = estimator_cls().fit(train)
+        batch = estimator.predict_batch(test)
+        scalar = np.array(
+            [estimator.predict(s.info, s.stats) for s in test]
+        )
+        np.testing.assert_allclose(batch, scalar, rtol=1e-12, atol=0.0)
+
+    def test_batch_preserves_sample_order(self, dataset):
+        # Mixed layer kinds scatter through per-kind model groups; the
+        # output must land back in input order.
+        train, test = dataset
+        estimator = RFWithLoadEstimator(
+            n_estimators=4, max_depth=4, rng=np.random.default_rng(3)
+        ).fit(train)
+        shuffled = list(reversed(test))
+        assert np.array_equal(
+            estimator.predict_batch(shuffled),
+            estimator.predict_batch(test)[::-1],
+        )

@@ -62,6 +62,25 @@ class TestCacheEquivalence:
             assert cached.plan.server_indices == fresh_plan.server_indices
             assert cached.plan.latency == pytest.approx(fresh_plan.latency)
 
+    def test_hit_miss_counters(self, partitioner):
+        assert partitioner.cache_hits == 0
+        assert partitioner.cache_misses == 0
+        assert partitioner.cache_hit_ratio == 0.0
+        partitioner.partition(1.0)
+        assert (partitioner.cache_hits, partitioner.cache_misses) == (0, 1)
+        partitioner.partition(1.0)
+        partitioner.partition(1.1)  # quantizes to the same 1.0 bucket
+        assert (partitioner.cache_hits, partitioner.cache_misses) == (2, 1)
+        partitioner.partition(2.0)
+        assert (partitioner.cache_hits, partitioner.cache_misses) == (2, 2)
+        assert partitioner.cache_hit_ratio == pytest.approx(0.5)
+
+    def test_degraded_shares_counters(self, partitioner):
+        partitioner.partition(1.0)
+        partitioner.degraded(1.0, inflation=2.0)  # new 2.0 bucket: miss
+        partitioner.degraded(1.0, inflation=2.0)  # cached now: hit
+        assert (partitioner.cache_hits, partitioner.cache_misses) == (1, 2)
+
     def test_across_boundary_differs_only_when_plan_changes(self, partitioner):
         """Walk adjacent quantum buckets: either the optimal plan changed
         (different server layer set) or the cached artefacts are
