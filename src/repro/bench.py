@@ -38,6 +38,12 @@ REQUIRED_RESULTS: dict[str, tuple[str, ...]] = {
         "reference_seconds_median",
         "speedup_vs_reference",
     ),
+    "large_scale_sharded": (
+        "seconds_median",
+        "reference_seconds_median",
+        "speedup_vs_reference",
+        "clients_steps_per_second",
+    ),
 }
 
 
@@ -229,6 +235,94 @@ def bench_large_scale(quick: bool, seed: int, repeats: int) -> dict:
     }
 
 
+def bench_large_scale_sharded(quick: bool, seed: int, repeats: int) -> dict:
+    """City-scale run through the sharded multiprocessing driver.
+
+    The headline number is throughput — client-intervals simulated per
+    wall-clock second — at a population the single-process loop cannot
+    sustain interactively (10k+ clients in full mode; a 1k smoke in
+    quick/CI mode).  The reference is the same workload through the
+    unsharded scalar loop (:func:`~repro.simulation.large_scale.
+    reference_simulate`), timed once: at this scale it is far too slow
+    for repeated medians, which is the point of the sharded driver.
+
+    Predictor and contention estimator are trained once and shared, so
+    both paths time the simulation itself; the sharded run drops the
+    event trace (``record_events=False``) — counters are unaffected and
+    at city scale the trace dominates inter-process transfer.
+    """
+    from repro.core.config import PerDNNConfig
+    from repro.core.master import MigrationPolicy
+    from repro.simulation.large_scale import (
+        SimulationSettings,
+        reference_simulate,
+        run_large_scale,
+        train_default_estimator,
+        train_default_predictor,
+    )
+    from repro.simulation.sharding import run_large_scale_sharded
+    from repro.trajectories.synthetic import kaist_like
+
+    users, dataset_steps, max_steps, shard_size = (
+        (1000, 12, 3, 128) if quick else (10000, 25, 8, 512)
+    )
+    workers = max(1, min(os.cpu_count() or 1, 8))
+    rng = np.random.default_rng(seed)
+    dataset = kaist_like(rng, num_users=users, duration_steps=dataset_steps)
+    config = PerDNNConfig(migration_radius_m=100.0)
+    settings = SimulationSettings(
+        policy=MigrationPolicy.PERDNN, max_steps=max_steps, seed=seed
+    )
+    partitioner = _build_partitioner("mobilenet")
+    train, _ = dataset.split_time(settings.replay_fraction)
+    aux_rng = np.random.default_rng(seed)
+    predictor = train_default_predictor(
+        train, config.prediction_history, aux_rng
+    )
+    estimator = train_default_estimator(partitioner, aux_rng)
+
+    def run():
+        return run_large_scale_sharded(
+            dataset,
+            _build_partitioner("mobilenet"),
+            settings,
+            config=config,
+            shard_size=shard_size,
+            workers=workers,
+            predictor=predictor,
+            contention_estimator=estimator,
+            record_events=False,
+        )
+
+    seconds = _median_seconds(run, repeats)
+    result = run()
+    num_clients = result.num_clients
+    with reference_simulate():
+        start = time.perf_counter()
+        run_large_scale(
+            dataset,
+            _build_partitioner("mobilenet"),
+            settings,
+            config=config,
+            predictor=predictor,
+            contention_estimator=estimator,
+        )
+        reference_seconds = time.perf_counter() - start
+    return {
+        "large_scale_sharded": {
+            "seconds_median": seconds,
+            "reference_seconds_median": reference_seconds,
+            "speedup_vs_reference": reference_seconds / seconds,
+            "clients_steps_per_second": num_clients * max_steps / seconds,
+            "clients": num_clients,
+            "steps": max_steps,
+            "shards": result.extras["sharding"]["shards"],
+            "shard_size": shard_size,
+            "workers": workers,
+        }
+    }
+
+
 def run_benchmarks(
     quick: bool = False, seed: int = 0, repeats: int | None = None
 ) -> dict:
@@ -241,6 +335,7 @@ def run_benchmarks(
     results.update(bench_forest(quick, seed, repeats))
     results.update(bench_partition(quick, seed, repeats))
     results.update(bench_large_scale(quick, seed, repeats))
+    results.update(bench_large_scale_sharded(quick, seed, repeats))
     doc = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
@@ -294,6 +389,7 @@ def summary_lines(doc: dict) -> list[str]:
     batch = results["forest_predict_batch"]
     plan = results["partition_planning"]
     sim = results["large_scale"]
+    sharded = results["large_scale_sharded"]
     return [
         f"mode: {doc['mode']} (repeats: {doc['repeats']}, seed: {doc['seed']})",
         f"forest fit ({fit['trees']} trees, {fit['n_train']} rows):"
@@ -309,4 +405,9 @@ def summary_lines(doc: dict) -> list[str]:
         f"large scale ({sim['clients']} clients, {sim['steps']} steps):"
         f" {sim['seconds_median'] * 1e3:9.1f} ms"
         f" ({sim['speedup_vs_reference']:.2f}x vs node walk)",
+        f"sharded ({sharded['clients']} clients, {sharded['steps']} steps,"
+        f" {sharded['shards']} shards x {sharded['workers']} workers):"
+        f" {sharded['seconds_median']:9.2f} s"
+        f" ({sharded['clients_steps_per_second']:,.0f} client-steps/s,"
+        f" {sharded['speedup_vs_reference']:.2f}x vs scalar)",
     ]

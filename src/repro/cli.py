@@ -142,6 +142,7 @@ def _print_profiles(stream) -> None:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.large_scale import SimulationSettings, run_large_scale
+    from repro.simulation.sharding import run_large_scale_sharded
 
     config = PerDNNConfig(
         migration_radius_m=args.radius,
@@ -172,7 +173,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         faults=profile,
         overload=overload,
     )
-    result = run_large_scale(dataset, partitioner, settings, config=config)
+    sharded = args.workers > 1 or args.shard_size is not None
+    if sharded:
+        result = run_large_scale_sharded(
+            dataset,
+            partitioner,
+            settings,
+            config=config,
+            shard_size=args.shard_size or 256,
+            workers=args.workers,
+        )
+    else:
+        result = run_large_scale(dataset, partitioner, settings, config=config)
     if args.telemetry:
         assert result.telemetry is not None
         meta = {
@@ -186,6 +198,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             meta["faults"] = args.faults
         if overload is not None:
             meta["overload"] = args.overload
+        if sharded:
+            # Only the decomposition goes into the snapshot — never the
+            # worker count, so runs with different --workers stay
+            # byte-for-byte comparable (the CI smoke `cmp`s them).
+            meta["shard_size"] = args.shard_size or 256
         try:
             path = result.telemetry.write(args.telemetry, meta=meta)
         except OSError as exc:
@@ -199,6 +216,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"policy: {result.policy}")
     print(f"servers: {result.num_servers}, clients: {result.num_clients}, "
           f"steps: {result.steps}")
+    if sharded:
+        info = result.extras["sharding"]
+        print(f"sharding:           {info['shards']} shards "
+              f"(target size {info['shard_size']}), "
+              f"{info['workers']} worker(s)")
     print(f"hit ratio:          {result.hit_ratio:6.2f} "
           f"({result.hits} hits / {result.misses} misses)")
     print(f"cold-start queries: {result.coldstart_queries}")
@@ -347,6 +369,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--queue-capacity", type=positive_int, default=8,
                           help="per-server admission queue capacity "
                                "(with --overload; default: 8)")
+    simulate.add_argument("--workers", type=positive_int, default=1,
+                          help="worker processes for the sharded runner "
+                               "(>1 implies sharding; default: 1)")
+    simulate.add_argument("--shard-size", type=positive_int, default=None,
+                          help="target clients per spatial shard; setting "
+                               "this enables the sharded runner even with "
+                               "one worker (default: 256 when sharded)")
     simulate.add_argument("--telemetry", metavar="PATH", default=None,
                           help="write the run's telemetry snapshot (JSON)")
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=True)
 class HexCell:
@@ -50,6 +52,35 @@ class HexGrid:
         q_frac = (math.sqrt(3.0) / 3.0 * x - y / 3.0) / self.radius
         r_frac = (2.0 / 3.0 * y) / self.radius
         return self._axial_round(q_frac, r_frac)
+
+    def cells_of(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cell_of`: ``(n, 2)`` points -> ``(n, 2)`` axial
+        ``(q, r)`` int64 coordinates.
+
+        Operation-for-operation the same arithmetic as the scalar path
+        (same constants, same evaluation order, and ``np.rint`` matches
+        Python ``round``'s half-to-even), so the two agree bit-for-bit —
+        the fast simulation path depends on that.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[1] != 2:
+            raise ValueError(f"points must be (n, 2), got {pts.shape}")
+        x = pts[:, 0]
+        y = pts[:, 1]
+        q = (math.sqrt(3.0) / 3.0 * x - y / 3.0) / self.radius
+        r = (2.0 / 3.0 * y) / self.radius
+        s = -q - r
+        q_round = np.rint(q)
+        r_round = np.rint(r)
+        s_round = np.rint(s)
+        q_diff = np.abs(q_round - q)
+        r_diff = np.abs(r_round - r)
+        s_diff = np.abs(s_round - s)
+        fix_q = (q_diff > r_diff) & (q_diff > s_diff)
+        fix_r = ~fix_q & (r_diff > s_diff)
+        q_out = np.where(fix_q, -r_round - s_round, q_round)
+        r_out = np.where(fix_r, -q_out - s_round, r_round)
+        return np.stack([q_out, r_out], axis=1).astype(np.int64)
 
     @staticmethod
     def _axial_round(q: float, r: float) -> HexCell:

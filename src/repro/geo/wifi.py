@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
 from repro.geo.hexgrid import HexCell, HexGrid
 
 
@@ -27,10 +29,23 @@ class EdgeServerRegistry:
     def from_visited_points(
         cls, grid: HexGrid, points: Iterable[tuple[float, float]]
     ) -> "EdgeServerRegistry":
-        """Allocate one server per cell that any of ``points`` falls in."""
+        """Allocate one server per cell that any of ``points`` falls in.
+
+        Server ids follow first-seen point order, exactly as the scalar
+        per-point loop would assign them (the vectorized path below only
+        removes the per-point Python call, not the allocation order).
+        """
         registry = cls(grid)
-        for point in points:
-            registry.ensure_server(grid.cell_of(point))
+        pts = np.array(
+            points if isinstance(points, np.ndarray) else list(points),
+            dtype=float,
+        ).reshape(-1, 2)
+        if pts.shape[0] == 0:
+            return registry
+        cells = grid.cells_of(pts)
+        _, first_seen = np.unique(cells, axis=0, return_index=True)
+        for i in np.sort(first_seen):
+            registry.ensure_server(HexCell(int(cells[i, 0]), int(cells[i, 1])))
         return registry
 
     def ensure_server(self, cell: HexCell) -> int:
@@ -60,6 +75,30 @@ class EdgeServerRegistry:
     def server_at(self, point: tuple[float, float]) -> int | None:
         """Server covering ``point``'s cell, or None if no server there."""
         return self._cell_to_server.get(self.grid.cell_of(point))
+
+    def servers_for_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Vectorized lookup: ``(n, 2)`` axial cells -> ``(n,)`` server ids
+        (-1 where the cell has no server).  One dict probe per *distinct*
+        cell instead of one per row."""
+        cells = np.asarray(cells)
+        if cells.ndim != 2 or cells.shape[1] != 2:
+            raise ValueError(f"cells must be (n, 2), got {cells.shape}")
+        if cells.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        unique, inverse = np.unique(cells, axis=0, return_inverse=True)
+        lut = np.fromiter(
+            (
+                self._cell_to_server.get(HexCell(int(q), int(r)), -1)
+                for q, r in unique
+            ),
+            dtype=np.int64,
+            count=unique.shape[0],
+        )
+        return lut[inverse.reshape(-1)]
+
+    def servers_at_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`server_at` over ``(n, 2)`` points (-1 = none)."""
+        return self.servers_for_cells(self.grid.cells_of(points))
 
     def server_for_cell(self, cell: HexCell) -> int | None:
         return self._cell_to_server.get(cell)

@@ -9,7 +9,9 @@ under a given link capacity.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.telemetry.registry import MetricsRegistry
@@ -38,6 +40,54 @@ class TrafficSummary:
             self.server_peaks_mbps, key=self.server_peaks_mbps.get, reverse=True
         )
         return ranked[:count]
+
+
+def merge_summaries(
+    parts: Sequence[tuple[TrafficSummary, int]],
+) -> TrafficSummary:
+    """Combine per-shard summaries into one region-wide view.
+
+    Each entry pairs a shard's summary with that shard's server-id offset
+    (shards number their servers from 0; the offset rebases them into the
+    merged id space, so per-server keys are disjoint).  The result is
+    order-independent: totals use exact summation, and the global peak is
+    the maximum shard peak with ties broken by the smallest rebased
+    ``(server, interval)``.
+    """
+    server_peaks: dict[int, float] = {}
+    candidates: list[tuple[float, int, int]] = []
+    for summary, offset in parts:
+        for server_id, peak in summary.server_peaks_mbps.items():
+            rebased = server_id + offset
+            if rebased in server_peaks:
+                raise ValueError(
+                    f"server id collision at {rebased}: offsets must make "
+                    "shard id ranges disjoint"
+                )
+            server_peaks[rebased] = peak
+        if summary.peak_server is not None:
+            candidates.append(
+                (
+                    summary.peak_mbps,
+                    summary.peak_server + offset,
+                    summary.peak_interval,
+                )
+            )
+    total = math.fsum(summary.total_bytes for summary, _ in parts)
+    peak_mbps, peak_server, peak_interval = 0.0, None, None
+    if candidates:
+        best = max(candidate[0] for candidate in candidates)
+        peak_mbps, peak_server, peak_interval = min(
+            (c for c in candidates if c[0] == best),
+            key=lambda c: (c[1], c[2]),
+        )
+    return TrafficSummary(
+        peak_mbps=peak_mbps,
+        peak_server=peak_server,
+        peak_interval=peak_interval,
+        total_bytes=total,
+        server_peaks_mbps=server_peaks,
+    )
 
 
 class TrafficMeter:

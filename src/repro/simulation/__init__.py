@@ -10,6 +10,7 @@
 
 from repro.simulation.query_loop import (
     QueryRecord,
+    WindowOutcome,
     run_local_window,
     run_query_window,
 )
@@ -22,15 +23,25 @@ from repro.simulation.single_client import (
 from repro.simulation.large_scale import (
     LargeScaleResult,
     SimulationSettings,
+    fast_simulate_enabled,
+    reference_simulate,
     run_large_scale,
+    set_fast_simulate,
 )
 from repro.simulation.multi_handoff import (
     HandoffChainResult,
     simulate_handoff_chain,
 )
+from repro.simulation.sharding import (
+    ShardPlan,
+    plan_shards,
+    run_large_scale_sharded,
+    shard_seed,
+)
 
 __all__ = [
     "QueryRecord",
+    "WindowOutcome",
     "run_local_window",
     "run_query_window",
     "HandoffResult",
@@ -40,6 +51,13 @@ __all__ = [
     "SimulationSettings",
     "LargeScaleResult",
     "run_large_scale",
+    "fast_simulate_enabled",
+    "set_fast_simulate",
+    "reference_simulate",
+    "ShardPlan",
+    "plan_shards",
+    "run_large_scale_sharded",
+    "shard_seed",
     "HandoffChainResult",
     "simulate_handoff_chain",
 ]

@@ -22,6 +22,7 @@ per-server per-interval backhaul traffic (§4.B.4, Fig 10).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,7 @@ from repro.overload import (
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.profiler import generate_contention_dataset
 from repro.simulation.query_loop import run_local_window, run_query_window
+from repro.simulation.vectorized import ClientArrays, propose_associations
 from repro.telemetry import (
     AssociationEvent,
     ColdStartEvent,
@@ -55,6 +57,41 @@ from repro.telemetry import (
     QueryWindowEvent,
     Telemetry,
 )
+
+#: Global fast-path switch for the interval loop, mirroring
+#: :data:`repro.ml.tree._FAST_PREDICT`.  True routes movement/association
+#: through the struct-of-arrays passes and query windows through the
+#: memoized steady-state integrator; False replays the original scalar
+#: loop everywhere.  Both paths export byte-identical telemetry — the
+#: equivalence tests pin them against each other.
+_FAST_SIMULATE = True
+
+
+def fast_simulate_enabled() -> bool:
+    """Is the vectorized interval loop active?"""
+    return _FAST_SIMULATE
+
+
+def set_fast_simulate(enabled: bool) -> bool:
+    """Enable/disable the vectorized loop; returns the previous setting."""
+    global _FAST_SIMULATE
+    previous = _FAST_SIMULATE
+    _FAST_SIMULATE = bool(enabled)
+    return previous
+
+
+@contextmanager
+def reference_simulate():
+    """Force the scalar reference interval loop within the block.
+
+    Used by the equivalence tests and by ``repro bench`` to time the
+    pre-vectorization reference on identical inputs.
+    """
+    previous = set_fast_simulate(False)
+    try:
+        yield
+    finally:
+        set_fast_simulate(previous)
 
 
 @dataclass(frozen=True)
@@ -337,6 +374,11 @@ def run_large_scale(
         MobileClient(i, trajectory, config.prediction_history)
         for i, trajectory in enumerate(usable)
     ]
+    fast_sim = fast_simulate_enabled()
+    arrays = ClientArrays.from_clients(clients) if fast_sim else None
+    # Steady-state query-window counts recur across clients and steps;
+    # one memo per run amortizes the serial integration (fast path only).
+    count_memo: dict = {}
     model_names = sorted({p.graph.name for p in partitioner_pool})
     result = LargeScaleResult(
         policy=settings.policy.value,
@@ -390,19 +432,37 @@ def run_large_scale(
             for client in active:
                 client.update_model()
                 metrics.counter("sim.model_updates").inc()
-        # 1. Movement and (re-)association.
+        # 1. Movement and (re-)association.  Advancing first (no client
+        # observes another's move) lets the fast path propose every
+        # client's next association in one struct-of-arrays pass; the
+        # apply loop below is shared with the scalar reference, which
+        # computes each proposal per client instead.
         associated_this_step: set[int] = set()
-        for client in active:
-            position = client.advance()
+        positions = [client.advance() for client in active]
+        proposals = None
+        if fast_sim and active:
+            ids = arrays.refresh(active, positions)
+            proposals = propose_associations(
+                registry,
+                arrays.positions[ids],
+                arrays.current_server[ids],
+                config.handover_hysteresis_m,
+            )
+        for index, client in enumerate(active):
+            position = positions[index]
             assert position is not None
             if routing and client.current_server is not None:
                 # §3.A routing: stay on the first server; only the access
                 # cell changes as the user moves.
                 continue
-            server_id = decide_association(
-                registry, position, client.current_server,
-                config.handover_hysteresis_m,
-            )
+            if proposals is not None:
+                proposed = int(proposals[index])
+                server_id = None if proposed < 0 else proposed
+            else:
+                server_id = decide_association(
+                    registry, position, client.current_server,
+                    config.handover_hysteresis_m,
+                )
             assert server_id is not None, "registry covers every trace point"
             if faults_on and fault_schedule.server_down(server_id, step):
                 current = client.current_server
@@ -499,6 +559,8 @@ def run_large_scale(
                         interval,
                         config.query_gap_seconds,
                         telemetry=metrics,
+                        fast=fast_sim,
+                        count_memo=count_memo,
                     )
                     metrics.counter("resilience.local_intervals").inc()
                     metrics.counter(
@@ -593,6 +655,8 @@ def run_large_scale(
                     config.query_gap_seconds,
                     telemetry=metrics,
                     record_fallback=False,
+                    fast=fast_sim,
+                    count_memo=count_memo,
                 )
                 metrics.counter(
                     "overload.queries", {"outcome": "shed"}
@@ -690,6 +754,8 @@ def run_large_scale(
                 latency_overhead=overhead,
                 queue_wait=queue_wait,
                 telemetry=metrics,
+                fast=fast_sim,
+                count_memo=count_memo,
             )
             if routing and hops > 0 and outcome.count and tensors is not None:
                 access_server = registry.server_at(client.position)

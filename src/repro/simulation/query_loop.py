@@ -34,14 +34,49 @@ class QueryRecord:
 
 @dataclass(frozen=True)
 class WindowOutcome:
-    """Result of integrating one query window."""
+    """Result of integrating one query window.
+
+    The fast steady-state path skips materializing per-query records and
+    reports the tally in ``num_queries`` instead; ``count`` is the one
+    true query count either way.
+    """
 
     queries: tuple[QueryRecord, ...]
     end_bytes: float  # upload progress at window end
+    num_queries: int | None = None
 
     @property
     def count(self) -> int:
-        return len(self.queries)
+        return len(self.queries) if self.num_queries is None else self.num_queries
+
+
+def _steady_query_count(
+    first_start: float,
+    latency: float,
+    query_gap: float,
+    duration: float,
+    count_memo: dict | None,
+) -> int:
+    """Queries completed by the scalar loop when latency is constant.
+
+    Replays the exact serial float recurrence ``t += latency + query_gap``
+    (closed forms can land on the other side of a float boundary), but
+    memoized on the tuple of inputs so each distinct window shape is
+    integrated once per run.
+    """
+    key = (first_start, latency, query_gap, duration)
+    if count_memo is not None:
+        cached = count_memo.get(key)
+        if cached is not None:
+            return cached
+    count = 0
+    t = first_start
+    while t + latency <= duration:
+        count += 1
+        t += latency + query_gap
+    if count_memo is not None:
+        count_memo[key] = count
+    return count
 
 
 def run_query_window(
@@ -55,6 +90,8 @@ def run_query_window(
     latency_overhead: float = 0.0,
     queue_wait: float | None = None,
     telemetry: MetricsRegistry | None = None,
+    fast: bool = False,
+    count_memo: dict | None = None,
 ) -> WindowOutcome:
     """Integrate the query loop over ``duration`` seconds.
 
@@ -68,6 +105,14 @@ def run_query_window(
     server's admission queue and is observed into the
     ``overload.queue_wait_seconds`` histogram.  With ``telemetry`` the
     window records each completed query and its (simulated) latency.
+
+    ``fast`` enables the steady-state shortcut: when no bytes move during
+    the window (nothing left to upload, or not uploading at all) every
+    query has the same latency, so the count comes from the memoized
+    serial recurrence and no per-query records are built.  Telemetry is
+    bit-identical to the scalar loop; only ``outcome.queries`` is empty
+    (``outcome.count`` still reports the tally).  Windows with upload
+    progress fall through to the exact scalar integration.
     """
     if duration < 0:
         raise ValueError("duration must be non-negative")
@@ -80,6 +125,27 @@ def run_query_window(
     total = schedule.total_bytes
     start_bytes = min(start_bytes, total)
     byte_rate = uplink_bps / 8.0 if uploading else 0.0
+    if fast and (byte_rate == 0.0 or start_bytes >= total):
+        # received is constant: min(total, start_bytes + rate*t) equals the
+        # clamped start_bytes at every query start time.
+        latency = schedule.latency_after_bytes(start_bytes) + latency_overhead
+        first_start = first_gap + (queue_wait or 0.0)
+        count = _steady_query_count(
+            first_start, latency, query_gap, duration, count_memo
+        )
+        end_bytes = min(total, start_bytes + byte_rate * duration)
+        if telemetry is not None:
+            telemetry.counter("query.windows").inc()
+            if queue_wait is not None:
+                telemetry.histogram(
+                    "overload.queue_wait_seconds", QUEUE_WAIT_BUCKETS
+                ).observe(queue_wait)
+            if count:
+                telemetry.counter("query.completed").inc(count)
+                telemetry.histogram(
+                    "query.latency_seconds", QUERY_LATENCY_BUCKETS
+                ).observe_repeated(latency, count)
+        return WindowOutcome(queries=(), end_bytes=end_bytes, num_queries=count)
     records: list[QueryRecord] = []
     t = first_gap + (queue_wait or 0.0)
     while True:
@@ -114,6 +180,8 @@ def run_local_window(
     query_gap: float,
     telemetry: MetricsRegistry | None = None,
     record_fallback: bool = True,
+    fast: bool = False,
+    count_memo: dict | None = None,
 ) -> WindowOutcome:
     """Integrate one interval of queries executed fully on the client.
 
@@ -130,6 +198,22 @@ def run_local_window(
         raise ValueError("local_latency must be positive")
     if duration < 0:
         raise ValueError("duration must be non-negative")
+    if fast:
+        # Local windows are always steady state (constant latency, no
+        # upload), so the count shortcut applies unconditionally.
+        count = _steady_query_count(
+            0.0, local_latency, query_gap, duration, count_memo
+        )
+        if telemetry is not None:
+            telemetry.counter("query.windows").inc()
+            if count:
+                telemetry.counter("query.completed").inc(count)
+                if record_fallback:
+                    telemetry.counter("query.local_fallback").inc(count)
+                telemetry.histogram(
+                    "query.latency_seconds", QUERY_LATENCY_BUCKETS
+                ).observe_repeated(local_latency, count)
+        return WindowOutcome(queries=(), end_bytes=0.0, num_queries=count)
     records: list[QueryRecord] = []
     t = 0.0
     while t + local_latency <= duration:

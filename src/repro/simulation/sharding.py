@@ -1,0 +1,430 @@
+"""City-scale sharded simulation driver.
+
+:func:`run_large_scale_sharded` scales :func:`~repro.simulation.
+large_scale.run_large_scale` past the single-process interval loop by
+splitting the client population into *spatial shards* — trajectories
+grouped by the hex cell their replay starts in — and running each shard
+as an independent sub-simulation, optionally fanned out over
+``multiprocessing`` workers.  Per-shard telemetry is folded back with the
+order-independent registry merge, so the combined snapshot is
+byte-identical no matter how many workers ran or in what order shards
+finished.
+
+Semantics: a shard simulates only its own clients against its own server
+fleet (the cells those clients visit), with a seed derived
+deterministically from ``(run seed, shard index)``.  That makes shards
+embarrassingly parallel — there is no cross-shard GPU contention or
+migration — which is the standard population-split approximation for
+city-scale mobile simulation.  What *is* pinned exactly, by tests:
+
+* the decomposition and merge depend only on ``(dataset, settings,
+  shard_size)`` — ``workers`` 1, 2, or 4 export the same bytes;
+* each shard obeys the fast-vs-reference equivalence of the unsharded
+  loop, so a sharded run under :func:`~repro.simulation.large_scale.
+  reference_simulate` is byte-identical to the fast one;
+* merged counters satisfy the same conservation and no-query-dropped
+  invariants as the scalar path (property suite).
+
+Client and server ids are rebased by per-shard offsets (shard order) so
+merged traces, per-server metric labels, and traffic summaries stay
+collision-free.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields, replace
+
+import numpy as np
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.estimation.estimator import ContentionEstimator
+from repro.faults import FaultSchedule
+from repro.geo.hexgrid import HexGrid
+from repro.ml.tree import fast_predict_enabled, set_fast_predict
+from repro.mobility.predictor import PointPredictor
+from repro.mobility.trajectory import TrajectoryDataset
+from repro.network.traffic import merge_summaries
+from repro.partitioning.partitioner import DNNPartitioner
+from repro.simulation.large_scale import (
+    LargeScaleResult,
+    SimulationSettings,
+    fast_simulate_enabled,
+    run_large_scale,
+    set_fast_simulate,
+    train_default_estimator,
+    train_default_predictor,
+)
+from repro.telemetry import (
+    Event,
+    EventTrace,
+    MetricsRegistry,
+    Telemetry,
+    merge_registries,
+)
+
+#: Gauges that are not per-shard additive under :func:`merge_registries`.
+#: ``sim.steps`` is the longest shard's horizon; everything else defaults
+#: to "sum" (client/server totals, per-server queue depths — whose labels
+#: are disjoint after rebasing anyway).  ``resilience.availability`` is a
+#: ratio and is recomputed from merged counters after the fold.
+GAUGE_MERGE_RULES: dict[str, str] = {"sim.steps": "max"}
+
+#: Event fields that carry client/server identifiers (rebased on merge).
+_CLIENT_ID_FIELDS = frozenset({"client_id"})
+_SERVER_ID_FIELDS = frozenset(
+    {"server_id", "previous_server", "source_server", "target_server"}
+)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One spatial shard: which trajectories it simulates."""
+
+    index: int
+    trajectory_indices: tuple[int, ...]
+    cells: tuple[tuple[int, int], ...]  # home cells, sorted axial (q, r)
+    num_usable: int  # trajectories with >= 2 replay points
+
+
+def shard_seed(seed: int, shard_index: int) -> int:
+    """Deterministic, worker-independent per-shard seed."""
+    sequence = np.random.SeedSequence([seed & 0xFFFFFFFF, shard_index])
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+def plan_shards(
+    dataset: TrajectoryDataset,
+    config: PerDNNConfig,
+    settings: SimulationSettings,
+    shard_size: int,
+) -> list[ShardPlan]:
+    """Spatially decompose the client population into shards.
+
+    Each trajectory's *home cell* is the hex cell of its first replayed
+    point (where the client enters the simulation).  Home cells are
+    visited in sorted axial order and packed greedily until a shard holds
+    at least ``shard_size`` usable clients; a cell's clients always land
+    in the same shard.  The plan depends only on the dataset, the cell
+    radius, the replay split, and ``shard_size`` — never on worker count.
+    """
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
+    grid = HexGrid(config.cell_radius_m)
+    _, replay = dataset.split_time(settings.replay_fraction)
+    n = len(dataset.trajectories)
+    if n == 0:
+        return []
+    firsts = np.zeros((n, 2), dtype=float)
+    usable = np.zeros(n, dtype=bool)
+    for i, trajectory in enumerate(replay.trajectories):
+        usable[i] = len(trajectory) >= 2
+        source = trajectory if len(trajectory) else dataset.trajectories[i]
+        firsts[i] = source.points[0]
+    cells = grid.cells_of(firsts)
+    groups: dict[tuple[int, int], list[int]] = {}
+    for i in range(n):
+        groups.setdefault((int(cells[i, 0]), int(cells[i, 1])), []).append(i)
+    shards: list[ShardPlan] = []
+    pending: list[int] = []
+    pending_cells: list[tuple[int, int]] = []
+    pending_usable = 0
+
+    def close() -> None:
+        nonlocal pending, pending_cells, pending_usable
+        shards.append(
+            ShardPlan(
+                index=len(shards),
+                trajectory_indices=tuple(pending),
+                cells=tuple(pending_cells),
+                num_usable=pending_usable,
+            )
+        )
+        pending, pending_cells, pending_usable = [], [], 0
+
+    for cell in sorted(groups):
+        members = groups[cell]
+        pending.extend(members)
+        pending_cells.append(cell)
+        pending_usable += int(usable[members].sum())
+        if pending_usable >= shard_size:
+            close()
+    if pending:
+        close()
+    return shards
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """Everything one worker needs to run one shard (spawn-safe)."""
+
+    index: int
+    dataset: TrajectoryDataset
+    partitioner_blob: bytes  # pickled template: same warm cache per shard
+    settings: SimulationSettings
+    config: PerDNNConfig
+    predictor: PointPredictor | None
+    contention_estimator: ContentionEstimator | None
+    fast_simulate: bool
+    fast_predict: bool
+    record_events: bool
+
+
+def _run_shard_job(job: _ShardJob) -> LargeScaleResult:
+    """Worker entry point: run one shard as a full sub-simulation.
+
+    The fast-path toggles are process globals, so the parent's setting is
+    shipped explicitly (a spawned worker would not inherit a context
+    manager entered after the pool was created).
+    """
+    previous_sim = set_fast_simulate(job.fast_simulate)
+    previous_predict = set_fast_predict(job.fast_predict)
+    try:
+        partitioner = pickle.loads(job.partitioner_blob)
+        telemetry = Telemetry.create(record_events=job.record_events)
+        return run_large_scale(
+            job.dataset,
+            partitioner,
+            job.settings,
+            config=job.config,
+            predictor=job.predictor,
+            contention_estimator=job.contention_estimator,
+            telemetry=telemetry,
+        )
+    finally:
+        set_fast_simulate(previous_sim)
+        set_fast_predict(previous_predict)
+
+
+def _sub_dataset(
+    dataset: TrajectoryDataset, indices: tuple[int, ...]
+) -> TrajectoryDataset:
+    return TrajectoryDataset(
+        name=dataset.name,
+        interval_seconds=dataset.interval_seconds,
+        bbox=dataset.bbox,
+        trajectories=tuple(dataset.trajectories[i] for i in indices),
+    )
+
+
+def _rebase_registry(
+    registry: MetricsRegistry, server_offset: int
+) -> MetricsRegistry:
+    """Copy a shard registry, shifting ``server`` labels into the merged
+    id space so per-server metrics from different shards never collide."""
+    rebased = MetricsRegistry()
+    for metric in registry.metrics():
+        labels = dict(metric.labels)
+        if "server" in labels:
+            labels["server"] = str(int(labels["server"]) + server_offset)
+        if hasattr(metric, "buckets"):
+            copy = rebased.histogram(metric.name, metric.buckets, labels)
+            copy.counts = list(metric.counts)
+            copy.sum = metric.sum
+            copy.count = metric.count
+        elif hasattr(metric, "set"):
+            rebased.gauge(metric.name, labels).set(metric.value)
+        else:
+            rebased.counter(metric.name, labels).value = metric.value
+    return rebased
+
+
+def _rebase_event(event: Event, client_offset: int, server_offset: int) -> Event:
+    changes: dict[str, int] = {}
+    for field_info in fields(event):
+        name = field_info.name
+        value = getattr(event, name)
+        if value is None:
+            continue
+        if name in _CLIENT_ID_FIELDS:
+            changes[name] = value + client_offset
+        elif name in _SERVER_ID_FIELDS:
+            changes[name] = value + server_offset
+    return replace(event, **changes) if changes else event
+
+
+def _merge_results(
+    dataset: TrajectoryDataset,
+    settings: SimulationSettings,
+    model: str,
+    shard_results: list[LargeScaleResult],
+    shard_size: int,
+    workers: int,
+) -> LargeScaleResult:
+    """Fold per-shard results into one region-wide ``LargeScaleResult``.
+
+    Deterministic and order-independent: shard results arrive in shard
+    order by construction, id offsets are cumulative sums over that
+    order, and the registry fold itself is permutation-invariant.
+    """
+    client_offsets: list[int] = []
+    server_offsets: list[int] = []
+    clients_total = 0
+    servers_total = 0
+    for shard_result in shard_results:
+        client_offsets.append(clients_total)
+        server_offsets.append(servers_total)
+        clients_total += shard_result.num_clients
+        servers_total += shard_result.num_servers
+    registries = [
+        _rebase_registry(r.telemetry.registry, offset)
+        for r, offset in zip(shard_results, server_offsets)
+    ]
+    merged_registry = merge_registries(registries, GAUGE_MERGE_RULES)
+    # Availability is a ratio, not a sum — recompute from merged counters
+    # (matches what run_large_scale would emit over the union workload).
+    client_intervals = merged_registry.value("resilience.client_intervals")
+    local_intervals = merged_registry.value("resilience.local_intervals")
+    merged_registry.gauge("resilience.availability").set(
+        1.0 - local_intervals / client_intervals if client_intervals else 1.0
+    )
+    trace = EventTrace()
+    for shard_result, client_offset, server_offset in zip(
+        shard_results, client_offsets, server_offsets
+    ):
+        for event in shard_result.telemetry.trace:
+            trace.record(_rebase_event(event, client_offset, server_offset))
+    telemetry = Telemetry(registry=merged_registry, trace=trace)
+    merged = LargeScaleResult(
+        policy=settings.policy.value,
+        dataset=dataset.name,
+        model=model,
+        num_servers=servers_total,
+        num_clients=clients_total,
+        telemetry=telemetry,
+    )
+    merged.fill_from_telemetry()
+    cache_hits = sum(
+        r.extras["partition_cache"]["hits"] for r in shard_results
+    )
+    cache_misses = sum(
+        r.extras["partition_cache"]["misses"] for r in shard_results
+    )
+    merged.extras["partition_cache"] = {
+        "hits": cache_hits,
+        "misses": cache_misses,
+        "hit_ratio": (
+            cache_hits / (cache_hits + cache_misses)
+            if cache_hits + cache_misses
+            else 0.0
+        ),
+    }
+    merged.extras["sharding"] = {
+        "shards": len(shard_results),
+        "shard_size": shard_size,
+        "workers": workers,
+        "clients_per_shard": [r.num_clients for r in shard_results],
+    }
+    merged.uplink = merge_summaries(
+        [
+            (r.uplink, offset)
+            for r, offset in zip(shard_results, server_offsets)
+        ]
+    )
+    merged.downlink = merge_summaries(
+        [
+            (r.downlink, offset)
+            for r, offset in zip(shard_results, server_offsets)
+        ]
+    )
+    return merged
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_large_scale_sharded(
+    dataset: TrajectoryDataset,
+    partitioner: DNNPartitioner | list[DNNPartitioner],
+    settings: SimulationSettings,
+    config: PerDNNConfig | None = None,
+    shard_size: int = 256,
+    workers: int = 1,
+    predictor: PointPredictor | None = None,
+    contention_estimator: ContentionEstimator | None = None,
+    record_events: bool = True,
+) -> LargeScaleResult:
+    """Run the large-scale simulation sharded over worker processes.
+
+    Drop-in sibling of :func:`run_large_scale` for populations far past
+    what one interval loop can replay.  The predictor and contention
+    estimator are trained once here (same rng order as the unsharded
+    entry point) and shared by every shard; the partitioner is pickled
+    once so each shard starts from an identical (possibly pre-warmed)
+    plan cache regardless of which worker runs it.
+
+    ``record_events=False`` drops the structured event trace (counters
+    and histograms are unaffected) — at hundreds of thousands of client
+    windows the trace dominates memory and inter-process transfer.
+
+    The returned result is the deterministic, order-independent merge of
+    the per-shard results; ``result.extras["sharding"]`` records the
+    decomposition.  Exported telemetry bytes depend on ``shard_size`` but
+    not on ``workers``.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if isinstance(settings.faults, FaultSchedule):
+        raise ValueError(
+            "sharded runs need a FaultProfile (schedules are built from "
+            "each shard's own servers); pass the profile instead"
+        )
+    config = config or PerDNNConfig(
+        migration_radius_m=settings.migration_radius_m
+    )
+    pool = list(partitioner) if isinstance(partitioner, list) else [partitioner]
+    if not pool:
+        raise ValueError("at least one partitioner is required")
+    # Mirror run_large_scale's training order so both entry points derive
+    # identical models from the same seed.
+    rng = np.random.default_rng(settings.seed)
+    train, _ = dataset.split_time(settings.replay_fraction)
+    if settings.policy is MigrationPolicy.PERDNN and predictor is None:
+        predictor = train_default_predictor(
+            train, config.prediction_history, rng
+        )
+    if contention_estimator is None and settings.use_contention_estimator:
+        contention_estimator = train_default_estimator(pool[0], rng)
+    partitioner_blob = pickle.dumps(partitioner)
+    shards = plan_shards(dataset, config, settings, shard_size)
+    jobs = [
+        _ShardJob(
+            index=shard.index,
+            dataset=_sub_dataset(dataset, shard.trajectory_indices),
+            partitioner_blob=partitioner_blob,
+            settings=replace(
+                settings, seed=shard_seed(settings.seed, shard.index)
+            ),
+            config=config,
+            predictor=predictor,
+            contention_estimator=contention_estimator,
+            fast_simulate=fast_simulate_enabled(),
+            fast_predict=fast_predict_enabled(),
+            record_events=record_events,
+        )
+        for shard in shards
+    ]
+    if workers <= 1 or len(jobs) <= 1:
+        shard_results = [_run_shard_job(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs)),
+            mp_context=_pool_context(),
+        ) as executor:
+            shard_results = list(executor.map(_run_shard_job, jobs))
+    model_names = sorted({p.graph.name for p in pool})
+    return _merge_results(
+        dataset,
+        settings,
+        "+".join(model_names),
+        shard_results,
+        shard_size=shard_size,
+        workers=workers,
+    )

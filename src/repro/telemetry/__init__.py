@@ -21,6 +21,7 @@ from repro.telemetry.events import (
     FaultEvent,
     FractionalTruncationEvent,
     MigrationEvent,
+    NullEventTrace,
     QueryWindowEvent,
     event_from_dict,
 )
@@ -40,6 +41,7 @@ from repro.telemetry.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_registries,
     normalize_labels,
 )
 
@@ -52,8 +54,14 @@ class Telemetry:
     trace: EventTrace = field(default_factory=EventTrace)
 
     @classmethod
-    def create(cls, record_timings: bool = False) -> "Telemetry":
-        return cls(registry=MetricsRegistry(record_timings=record_timings))
+    def create(
+        cls, record_timings: bool = False, record_events: bool = True
+    ) -> "Telemetry":
+        trace = EventTrace() if record_events else NullEventTrace()
+        return cls(
+            registry=MetricsRegistry(record_timings=record_timings),
+            trace=trace,
+        )
 
     def snapshot(self, meta: dict | None = None) -> dict:
         return snapshot(self.registry, self.trace, meta)
@@ -82,10 +90,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MigrationEvent",
+    "NullEventTrace",
     "QueryWindowEvent",
     "Telemetry",
     "dumps_snapshot",
     "event_from_dict",
+    "merge_registries",
     "metrics_csv",
     "normalize_labels",
     "read_snapshot",

@@ -188,3 +188,17 @@ class EventTrace:
 
     def clear(self) -> None:
         self._events.clear()
+
+
+class NullEventTrace(EventTrace):
+    """An event trace that drops everything.
+
+    Used by very large sharded runs (``record_events=False``) where
+    keeping hundreds of thousands of per-window events would dominate
+    memory and inter-process transfer; exported snapshots then carry an
+    empty ``events`` list.  Counters are unaffected — only the structured
+    trace is discarded.
+    """
+
+    def record(self, event: Event) -> None:  # noqa: ARG002 - deliberate drop
+        return None

@@ -133,6 +133,30 @@ class Histogram:
         self.sum += value
         self.count += 1
 
+    def observe_repeated(self, value: float, times: int) -> None:
+        """``times`` consecutive ``observe(value)`` calls in one step.
+
+        The bucket walk happens once, but ``sum`` still accumulates one
+        addition per observation: float addition is not associative, and
+        the fast simulation path relies on this method being bit-identical
+        to the equivalent observe() loop.  ``times == 0`` is a no-op that
+        does not register anything.
+        """
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        if times == 0:
+            return
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += times
+        for _ in range(times):
+            self.sum += value
+        self.count += times
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
@@ -320,6 +344,12 @@ class MetricsRegistry:
         Merging two registries that recorded disjoint halves of a workload
         equals one registry that recorded the interleaved whole (for
         counters and histograms; gauges are last-write).
+
+        .. warning:: last-write gauges make pairwise merging
+           *order-dependent*, and chained float ``+=`` makes even counter
+           sums depend on fold order in the last ulp.  When combining more
+           than two registries (shard fan-in), use
+           :func:`merge_registries`, which is permutation-invariant.
         """
         for key, theirs in sorted(other._metrics.items()):
             mine = self._metrics.get(key)
@@ -353,3 +383,74 @@ class MetricsRegistry:
             "gauges": gauges,
             "histograms": histograms,
         }
+
+
+#: Gauge combination rules accepted by :func:`merge_registries`.
+GAUGE_RULES = ("sum", "max", "min")
+
+
+def merge_registries(
+    registries,
+    gauge_rules: Mapping[str, str] | None = None,
+    default_gauge_rule: str = "sum",
+) -> MetricsRegistry:
+    """Combine any number of registries into a fresh, order-independent one.
+
+    Unlike pairwise :meth:`MetricsRegistry.merge` (which folds left and
+    lets the last gauge write win), this merge is *permutation-invariant*:
+    feeding the same registries in any order produces byte-identical
+    exports.
+
+    * counters and histogram sums use :func:`math.fsum` — the exact
+      correctly-rounded sum, which does not depend on addend order;
+    * histogram bucket tallies and counts are integer sums;
+    * gauges combine under a per-name rule (``"sum"``, ``"max"`` or
+      ``"min"``; ``gauge_rules`` maps gauge names to rules, everything
+      else uses ``default_gauge_rule``) — all commutative, so no write
+      ordering leaks into the result.
+
+    Metric kinds and histogram bucket bounds must agree across inputs for
+    any shared ``(name, labels)`` key.
+    """
+    if default_gauge_rule not in GAUGE_RULES:
+        raise ValueError(f"unknown gauge rule {default_gauge_rule!r}")
+    rules = dict(gauge_rules or {})
+    for name, rule in rules.items():
+        if rule not in GAUGE_RULES:
+            raise ValueError(f"unknown gauge rule {rule!r} for {name!r}")
+    grouped: dict[tuple[str, Labels], list[Metric]] = {}
+    for registry in registries:
+        for metric in registry.metrics():
+            grouped.setdefault((metric.name, metric.labels), []).append(metric)
+    merged = MetricsRegistry()
+    for (name, labels), parts in sorted(grouped.items()):
+        first = parts[0]
+        if any(type(p) is not type(first) for p in parts):
+            raise TypeError(f"cannot merge {name!r}: kind mismatch")
+        labels_map = dict(labels)
+        if isinstance(first, Counter):
+            merged.counter(name, labels_map).value = math.fsum(
+                p.value for p in parts
+            )
+        elif isinstance(first, Gauge):
+            rule = rules.get(name, default_gauge_rule)
+            values = [p.value for p in parts]
+            if rule == "sum":
+                combined = math.fsum(values)
+            elif rule == "max":
+                combined = max(values)
+            else:
+                combined = min(values)
+            merged.gauge(name, labels_map).set(combined)
+        else:
+            if any(p.buckets != first.buckets for p in parts):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            hist = merged.histogram(name, first.buckets, labels_map)
+            hist.counts = [
+                sum(column) for column in zip(*(p.counts for p in parts))
+            ]
+            hist.sum = math.fsum(p.sum for p in parts)
+            hist.count = sum(p.count for p in parts)
+    return merged

@@ -115,3 +115,68 @@ class TestRegistry:
         near = registry.servers_within(grid.center(HexCell(0, 0)), 100.0)
         far = registry.servers_within(grid.center(HexCell(0, 0)), 500.0)
         assert len(near) < len(far) <= 5
+
+
+class TestVectorizedGeo:
+    """The array passes must agree with the scalar helpers bit for bit —
+    the sharded simulator's byte-identity rests on this."""
+
+    def test_cells_of_matches_cell_of(self):
+        grid = HexGrid(50.0)
+        rng = np.random.default_rng(11)
+        points = rng.uniform(-2000.0, 2000.0, size=(5000, 2))
+        cells = grid.cells_of(points)
+        for i in range(len(points)):
+            scalar = grid.cell_of((points[i, 0], points[i, 1]))
+            assert (cells[i, 0], cells[i, 1]) == (scalar.q, scalar.r)
+
+    def test_cells_of_on_cell_boundaries(self):
+        # Centers, corners, and edge midpoints stress the rounding
+        # tie-break branches of the axial rounder.
+        grid = HexGrid(50.0)
+        centers = np.array(
+            [grid.center(HexCell(q, r)) for q in range(-3, 4)
+             for r in range(-3, 4)]
+        )
+        offsets = np.array(
+            [(0.0, 0.0), (25.0, 0.0), (0.0, 25.0), (-25.0, -25.0)]
+        )
+        points = (centers[:, None, :] + offsets[None, :, :]).reshape(-1, 2)
+        cells = grid.cells_of(points)
+        for i in range(len(points)):
+            scalar = grid.cell_of((points[i, 0], points[i, 1]))
+            assert (cells[i, 0], cells[i, 1]) == (scalar.q, scalar.r)
+
+    def test_cells_of_validates_shape(self):
+        grid = HexGrid(50.0)
+        with pytest.raises(ValueError):
+            grid.cells_of(np.zeros((4, 3)))
+
+    def test_vectorized_registry_allocation_matches_scalar(self):
+        grid = HexGrid(50.0)
+        rng = np.random.default_rng(12)
+        points = rng.uniform(-1500.0, 1500.0, size=(3000, 2))
+        vectorized = EdgeServerRegistry.from_visited_points(grid, points)
+        scalar = EdgeServerRegistry(grid)
+        for point in points:
+            scalar.ensure_server(grid.cell_of((point[0], point[1])))
+        # Identical server ids in identical first-seen order.
+        assert vectorized.num_servers == scalar.num_servers
+        for server_id in range(vectorized.num_servers):
+            assert vectorized.cell_of_server(server_id) == (
+                scalar.cell_of_server(server_id)
+            )
+
+    def test_servers_at_points_matches_server_at(self):
+        grid = HexGrid(50.0)
+        rng = np.random.default_rng(13)
+        seen = rng.uniform(-500.0, 500.0, size=(200, 2))
+        registry = EdgeServerRegistry.from_visited_points(grid, seen)
+        queries = np.vstack(
+            [seen[:50], rng.uniform(-4000.0, 4000.0, size=(100, 2))]
+        )
+        ids = registry.servers_at_points(queries)
+        for i in range(len(queries)):
+            scalar = registry.server_at((queries[i, 0], queries[i, 1]))
+            expected = -1 if scalar is None else scalar
+            assert ids[i] == expected

@@ -1,0 +1,111 @@
+"""Property-based invariants on the sharded simulation path.
+
+The overload conservation law (every offered window resolves to exactly
+one of admitted/shed/redirected/degraded) and the resilience guarantee
+(no query is ever dropped — every window's queries land in the totals)
+must survive the spatial decomposition and the order-independent merge,
+for randomized seeds, shard sizes, and policies.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.master import MigrationPolicy
+from repro.faults import get_profile
+from repro.overload import OverloadConfig
+from repro.simulation.large_scale import SimulationSettings
+from repro.simulation.sharding import run_large_scale_sharded
+from repro.trajectories.synthetic import kaist_like
+
+_DATASET = kaist_like(np.random.default_rng(33), num_users=8, duration_steps=60)
+
+
+def _run(tiny_partitioner, seed, shard_size, overload=None, faults=None):
+    settings_ = SimulationSettings(
+        policy=MigrationPolicy.PERDNN,
+        migration_radius_m=100.0,
+        max_steps=8,
+        seed=seed,
+        faults=faults,
+        overload=overload,
+    )
+    # workers=1 keeps hypothesis examples in-process (the worker-count
+    # invariance itself is pinned by tests/simulation).
+    return run_large_scale_sharded(
+        _DATASET, tiny_partitioner, settings_,
+        shard_size=shard_size, workers=1,
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    policy=st.sampled_from(["reject", "redirect", "degrade"]),
+    seed=st.integers(0, 100),
+    shard_size=st.sampled_from([2, 3, 50]),
+)
+def test_overload_conservation_survives_the_merge(
+    tiny_partitioner, policy, seed, shard_size
+):
+    overload = OverloadConfig(policy=policy, queue_capacity=1)
+    result = _run(tiny_partitioner, seed, shard_size, overload=overload)
+    stats = result.extras["overload"]
+    assert stats["offered"] > 0
+    assert stats["offered"] == (
+        stats["admitted"] + stats["shed"]
+        + stats["redirected"] + stats["degraded"]
+    )
+    # Each policy can only ever produce its own non-admitted outcome.
+    if policy == "reject":
+        assert stats["redirected"] == 0 and stats["degraded"] == 0
+    elif policy == "redirect":
+        assert stats["degraded"] == 0
+    else:
+        assert stats["redirected"] == 0 and stats["shed"] == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    shard_size=st.sampled_from([2, 3, 50]),
+    profile=st.sampled_from(["churn", "flash-crowd", "blackout"]),
+)
+def test_no_query_dropped_under_faults(
+    tiny_partitioner, seed, shard_size, profile
+):
+    result = _run(
+        tiny_partitioner, seed, shard_size, faults=get_profile(profile)
+    )
+    trace = result.telemetry.trace
+    windows = list(trace.of_kind("query_window"))
+    # Every client-interval produced exactly one window event, and every
+    # window's queries are accounted for in the merged total — faults
+    # degrade to local execution, they never drop work.
+    registry = result.telemetry.registry
+    assert len(windows) == int(registry.value("resilience.client_intervals"))
+    assert sum(e.queries for e in windows) == result.total_queries
+    assert result.total_queries > 0
+    assert 0.0 <= result.availability <= 1.0
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 100), shard_size=st.sampled_from([2, 5, 50]))
+def test_merged_result_matches_its_own_registry(
+    tiny_partitioner, seed, shard_size
+):
+    result = _run(tiny_partitioner, seed, shard_size)
+    registry = result.telemetry.registry
+    assert result.total_queries == int(registry.value("query.completed"))
+    assert result.hits == int(
+        registry.value("sim.cold_start", {"outcome": "hit"})
+    )
+    assert result.misses == int(
+        registry.value("sim.cold_start", {"outcome": "miss"})
+    )
+    assert result.num_clients == int(registry.value("sim.num_clients"))
+    assert result.num_servers == int(registry.value("sim.num_servers"))
+    per_shard = result.extras["sharding"]["clients_per_shard"]
+    assert sum(per_shard) == result.num_clients
+    trace_queries = sum(
+        e.queries for e in result.telemetry.trace.of_kind("query_window")
+    )
+    assert trace_queries == result.total_queries

@@ -87,3 +87,91 @@ class TestRunQueryWindow:
             run_query_window(schedule, -1.0, 8.0, 1.0, 0.5)
         with pytest.raises(ValueError):
             run_query_window(schedule, 0.0, 8.0, -1.0, 0.5)
+
+
+class TestFastSteadyState:
+    """The fast steady-state path must agree with the scalar loop on the
+    count, the end bytes, and every telemetry byte."""
+
+    def _registries(self):
+        from repro.telemetry import MetricsRegistry
+
+        return MetricsRegistry(), MetricsRegistry()
+
+    @pytest.mark.parametrize("duration", [0.0, 4.0, 10.0, 63.7])
+    @pytest.mark.parametrize("start_fraction", [0.0, 0.5, 1.0])
+    def test_window_count_matches_scalar(self, duration, start_fraction):
+        from repro.telemetry import metrics_csv
+
+        schedule = make_schedule([80.0], [1.0, 0.25])
+        start = start_fraction * schedule.total_bytes
+        slow_metrics, fast_metrics = self._registries()
+        # uploading=False keeps received bytes constant -> fast-eligible.
+        slow = run_query_window(
+            schedule, start, 8.0, duration, 0.5,
+            uploading=False, telemetry=slow_metrics,
+        )
+        fast = run_query_window(
+            schedule, start, 8.0, duration, 0.5,
+            uploading=False, telemetry=fast_metrics, fast=True,
+        )
+        assert fast.count == slow.count
+        assert fast.end_bytes == slow.end_bytes
+        assert fast.queries == ()
+        assert metrics_csv(fast_metrics) == metrics_csv(slow_metrics)
+
+    def test_upload_in_progress_falls_through_to_scalar(self):
+        schedule = make_schedule([80.0], [1.0, 0.25])
+        outcome = run_query_window(
+            schedule, 0.0, 8.0, 100.0, 0.5, fast=True,
+        )
+        # Bytes move during this window, so the fast path must decline
+        # and the exact per-query integration run instead.
+        assert outcome.num_queries is None
+        assert len(outcome.queries) == outcome.count > 0
+
+    def test_queue_wait_recorded_identically(self):
+        from repro.telemetry import metrics_csv
+
+        schedule = make_schedule([], [1.0])
+        slow_metrics, fast_metrics = self._registries()
+        slow = run_query_window(
+            schedule, 0.0, 8.0, 10.0, 0.5,
+            queue_wait=1.25, telemetry=slow_metrics,
+        )
+        fast = run_query_window(
+            schedule, 0.0, 8.0, 10.0, 0.5,
+            queue_wait=1.25, telemetry=fast_metrics, fast=True,
+        )
+        assert fast.count == slow.count
+        assert metrics_csv(fast_metrics) == metrics_csv(slow_metrics)
+
+    def test_local_window_matches_scalar(self):
+        from repro.simulation.query_loop import run_local_window
+        from repro.telemetry import metrics_csv
+
+        for record_fallback in (True, False):
+            slow_metrics, fast_metrics = self._registries()
+            slow = run_local_window(
+                0.8, 30.0, 0.5, telemetry=slow_metrics,
+                record_fallback=record_fallback,
+            )
+            fast = run_local_window(
+                0.8, 30.0, 0.5, telemetry=fast_metrics,
+                record_fallback=record_fallback, fast=True,
+            )
+            assert fast.count == slow.count
+            assert metrics_csv(fast_metrics) == metrics_csv(slow_metrics)
+
+    def test_memo_is_reused(self):
+        schedule = make_schedule([], [1.0])
+        memo = {}
+        first = run_query_window(
+            schedule, 0.0, 8.0, 10.0, 0.5, fast=True, count_memo=memo,
+        )
+        assert len(memo) == 1
+        second = run_query_window(
+            schedule, 0.0, 8.0, 10.0, 0.5, fast=True, count_memo=memo,
+        )
+        assert len(memo) == 1
+        assert first.count == second.count

@@ -1,0 +1,226 @@
+"""Equivalence pins for the sharded city-scale simulator.
+
+Three layers of same-seed byte-identity:
+
+* the sharded run is a pure function of ``(dataset, settings,
+  shard_size)`` — worker counts 1, 2, and 4 export identical telemetry
+  snapshots, with faults and overload protection enabled too;
+* the struct-of-arrays fast path and the scalar reference loop
+  (:func:`repro.simulation.large_scale.reference_simulate`) agree byte
+  for byte, sharded and unsharded, across every subsystem combination;
+* dropping the event trace (``record_events=False``) changes events
+  only — every counter and histogram stays identical.
+
+Plus the decomposition invariants of :func:`plan_shards` and the
+validation surface of :func:`run_large_scale_sharded`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerDNNConfig
+from repro.core.master import MigrationPolicy
+from repro.faults import get_profile
+from repro.overload import OverloadConfig, SheddingPolicy
+from repro.simulation.large_scale import (
+    SimulationSettings,
+    fast_simulate_enabled,
+    reference_simulate,
+    run_large_scale,
+    set_fast_simulate,
+)
+from repro.simulation.sharding import (
+    plan_shards,
+    run_large_scale_sharded,
+    shard_seed,
+)
+from repro.trajectories.synthetic import kaist_like
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return kaist_like(np.random.default_rng(3), num_users=18, duration_steps=60)
+
+
+def make_settings(**kwargs):
+    kwargs.setdefault("policy", MigrationPolicy.PERDNN)
+    kwargs.setdefault("max_steps", 5)
+    kwargs.setdefault("seed", 3)
+    return SimulationSettings(**kwargs)
+
+
+SUBSYSTEMS = {
+    "plain": {},
+    "faults": {"faults": get_profile("churn")},
+    "overload": {"overload": OverloadConfig(policy=SheddingPolicy.REDIRECT)},
+    "both": {
+        "faults": get_profile("flash-crowd"),
+        "overload": OverloadConfig(policy=SheddingPolicy.DEGRADE),
+    },
+}
+
+
+def run_sharded(dataset, partitioner, settings, **kwargs):
+    kwargs.setdefault("shard_size", 4)
+    return run_large_scale_sharded(dataset, partitioner, settings, **kwargs)
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("subsystem", sorted(SUBSYSTEMS))
+    def test_workers_1_2_4_byte_identical(
+        self, dataset, tiny_partitioner, subsystem
+    ):
+        settings = make_settings(**SUBSYSTEMS[subsystem])
+        dumps = {}
+        results = {}
+        for workers in (1, 2, 4):
+            result = run_sharded(
+                dataset, tiny_partitioner, settings, workers=workers
+            )
+            dumps[workers] = result.telemetry.dumps()
+            results[workers] = result
+        assert dumps[1] == dumps[2] == dumps[4]
+        reference = results[1]
+        for workers in (2, 4):
+            other = results[workers]
+            assert other.total_queries == reference.total_queries
+            assert other.hits == reference.hits
+            assert other.misses == reference.misses
+            assert other.migrations == reference.migrations
+            assert other.num_clients == reference.num_clients
+            assert other.num_servers == reference.num_servers
+            assert other.server_changes == reference.server_changes
+            assert other.steps == reference.steps
+            assert other.availability == reference.availability
+            assert other.shed_queries == reference.shed_queries
+            assert other.redirected_queries == reference.redirected_queries
+            assert other.local_fallback_queries == (
+                reference.local_fallback_queries
+            )
+
+    @pytest.mark.parametrize("shard_size", [2, 5, 1000])
+    def test_shard_sizes_internally_consistent(
+        self, dataset, tiny_partitioner, shard_size
+    ):
+        # Every decomposition granularity must itself be worker-invariant
+        # (shard_size=1000 collapses to a single shard).
+        settings = make_settings()
+        single = run_sharded(
+            dataset, tiny_partitioner, settings,
+            shard_size=shard_size, workers=1,
+        )
+        multi = run_sharded(
+            dataset, tiny_partitioner, settings,
+            shard_size=shard_size, workers=2,
+        )
+        assert single.telemetry.dumps() == multi.telemetry.dumps()
+        assert single.extras["sharding"]["shards"] == (
+            multi.extras["sharding"]["shards"]
+        )
+
+
+class TestFastReferenceIdentity:
+    @pytest.mark.parametrize("subsystem", sorted(SUBSYSTEMS))
+    def test_sharded_fast_vs_reference(
+        self, dataset, tiny_partitioner, subsystem
+    ):
+        settings = make_settings(**SUBSYSTEMS[subsystem])
+        fast = run_sharded(dataset, tiny_partitioner, settings, workers=2)
+        with reference_simulate():
+            reference = run_sharded(
+                dataset, tiny_partitioner, settings, workers=2
+            )
+        assert fast.telemetry.dumps() == reference.telemetry.dumps()
+
+    @pytest.mark.parametrize("subsystem", sorted(SUBSYSTEMS))
+    def test_unsharded_fast_vs_reference(
+        self, dataset, tiny_partitioner, subsystem
+    ):
+        # The scalar reference path must stay alive and equivalent for
+        # the plain runner too, with every subsystem combination.
+        settings = make_settings(**SUBSYSTEMS[subsystem])
+        fast = run_large_scale(dataset, tiny_partitioner, settings)
+        with reference_simulate():
+            reference = run_large_scale(dataset, tiny_partitioner, settings)
+        assert fast.telemetry.dumps() == reference.telemetry.dumps()
+
+    def test_toggle_roundtrip(self):
+        assert fast_simulate_enabled()
+        previous = set_fast_simulate(False)
+        assert previous is True
+        assert not fast_simulate_enabled()
+        with reference_simulate():
+            assert not fast_simulate_enabled()
+        set_fast_simulate(True)
+        assert fast_simulate_enabled()
+
+
+class TestEventTraceOption:
+    def test_record_events_false_keeps_metrics(self, dataset, tiny_partitioner):
+        settings = make_settings()
+        full = run_sharded(dataset, tiny_partitioner, settings, workers=1)
+        lean = run_sharded(
+            dataset, tiny_partitioner, settings, workers=1,
+            record_events=False,
+        )
+        assert len(list(full.telemetry.trace)) > 0
+        assert len(list(lean.telemetry.trace)) == 0
+        full_snapshot = full.telemetry.snapshot()
+        lean_snapshot = lean.telemetry.snapshot()
+        assert lean_snapshot["events"] == []
+        assert lean_snapshot["metrics"] == full_snapshot["metrics"]
+        assert lean.total_queries == full.total_queries
+
+
+class TestShardPlan:
+    def test_partition_is_exact(self, dataset, tiny_partitioner):
+        settings = make_settings()
+        config = PerDNNConfig(migration_radius_m=settings.migration_radius_m)
+        shards = plan_shards(dataset, config, settings, shard_size=4)
+        covered = [i for s in shards for i in s.trajectory_indices]
+        assert sorted(covered) == list(range(len(dataset.trajectories)))
+        assert len(set(covered)) == len(covered)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        # Greedy packing: every shard except possibly the last reaches
+        # the target usable-client count.
+        for shard in shards[:-1]:
+            assert shard.num_usable >= 4
+
+    def test_plan_depends_only_on_inputs(self, dataset, tiny_partitioner):
+        settings = make_settings()
+        config = PerDNNConfig(migration_radius_m=settings.migration_radius_m)
+        a = plan_shards(dataset, config, settings, shard_size=4)
+        b = plan_shards(dataset, config, settings, shard_size=4)
+        assert a == b
+
+    def test_shard_seed_is_deterministic(self):
+        assert shard_seed(3, 0) == shard_seed(3, 0)
+        assert shard_seed(3, 0) != shard_seed(3, 1)
+        assert shard_seed(3, 1) != shard_seed(4, 1)
+
+    def test_shard_size_must_be_positive(self, dataset):
+        settings = make_settings()
+        config = PerDNNConfig()
+        with pytest.raises(ValueError, match="shard_size"):
+            plan_shards(dataset, config, settings, shard_size=0)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self, dataset, tiny_partitioner):
+        with pytest.raises(ValueError, match="workers"):
+            run_large_scale_sharded(
+                dataset, tiny_partitioner, make_settings(), workers=0
+            )
+
+    def test_prebuilt_schedule_rejected(self, dataset, tiny_partitioner):
+        # Schedules are bound to one concrete server set; shards each
+        # build their own from a profile.
+        profile = get_profile("churn")
+        schedule = profile.build((0, 1, 2), seed=1, horizon=5)
+        settings = make_settings(faults=schedule)
+        with pytest.raises(ValueError, match="FaultProfile"):
+            run_large_scale_sharded(dataset, tiny_partitioner, settings)
+
+    def test_empty_partitioner_pool_rejected(self, dataset):
+        with pytest.raises(ValueError, match="partitioner"):
+            run_large_scale_sharded(dataset, [], make_settings())

@@ -220,3 +220,27 @@ class TestMerge:
         b.gauge("x")
         with pytest.raises(TypeError):
             a.merge(b)
+
+
+class TestObserveRepeated:
+    def test_identical_to_observe_loop(self):
+        buckets = (0.1, 1.0, 10.0)
+        repeated = Histogram("h", buckets)
+        looped = Histogram("h", buckets)
+        for value, times in ((0.05, 3), (0.7, 0), (2.0, 7), (50.0, 2)):
+            repeated.observe_repeated(value, times)
+            for _ in range(times):
+                looped.observe(value)
+        assert repeated.counts == looped.counts
+        assert repeated.sum == looped.sum  # bitwise: same serial adds
+        assert repeated.count == looped.count
+
+    def test_zero_times_is_a_noop(self):
+        histogram = Histogram("h", (1.0,))
+        histogram.observe_repeated(0.5, 0)
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0,)).observe_repeated(0.5, -1)

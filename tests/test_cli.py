@@ -232,3 +232,54 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "cannot write telemetry snapshot" in err
         assert len(err.strip().splitlines()) == 1
+
+
+class TestShardedSimulate:
+    def test_parser_accepts_sharding_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--workers", "4", "--shard-size", "64"]
+        )
+        assert args.workers == 4
+        assert args.shard_size == 64
+
+    def test_sharding_defaults_to_unsharded(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workers == 1
+        assert args.shard_size is None
+
+    @pytest.mark.parametrize("flag", ["--workers", "--shard-size"])
+    def test_sharding_counts_must_be_positive(self, capsys, flag):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", flag, "0"])
+        capsys.readouterr()
+
+    def test_sharded_run_reports_decomposition(self, capsys):
+        assert main(
+            [
+                "simulate", "--dataset", "kaist", "--model", "mobilenet",
+                "--policy", "perdnn", "--steps", "4", "--users", "8",
+                "--dataset-steps", "40", "--shard-size", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sharding:" in out
+        assert "shards" in out
+
+    def test_sharded_snapshot_has_no_worker_meta(self, capsys, tmp_path):
+        # The CI smoke `cmp`s snapshots from different --workers runs, so
+        # worker count must never leak into the exported bytes.
+        import json
+
+        path = tmp_path / "sharded.telemetry.json"
+        assert main(
+            [
+                "simulate", "--model", "mobilenet", "--policy", "perdnn",
+                "--steps", "4", "--users", "8", "--dataset-steps", "40",
+                "--workers", "2", "--shard-size", "2",
+                "--telemetry", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert doc["meta"]["shard_size"] == 2
+        assert "workers" not in doc["meta"]
