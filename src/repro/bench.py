@@ -44,6 +44,11 @@ REQUIRED_RESULTS: dict[str, tuple[str, ...]] = {
         "speedup_vs_reference",
         "clients_steps_per_second",
     ),
+    "large_scale_sharded_checkpointed": (
+        "seconds_median",
+        "baseline_seconds_median",
+        "clients_steps_per_second",
+    ),
 }
 
 
@@ -235,32 +240,21 @@ def bench_large_scale(quick: bool, seed: int, repeats: int) -> dict:
     }
 
 
-def bench_large_scale_sharded(quick: bool, seed: int, repeats: int) -> dict:
-    """City-scale run through the sharded multiprocessing driver.
+def _sharded_workload(quick: bool, seed: int) -> dict:
+    """The shared city-scale workload of the sharded benchmarks.
 
-    The headline number is throughput — client-intervals simulated per
-    wall-clock second — at a population the single-process loop cannot
-    sustain interactively (10k+ clients in full mode; a 1k smoke in
-    quick/CI mode).  The reference is the same workload through the
-    unsharded scalar loop (:func:`~repro.simulation.large_scale.
-    reference_simulate`), timed once: at this scale it is far too slow
-    for repeated medians, which is the point of the sharded driver.
-
-    Predictor and contention estimator are trained once and shared, so
-    both paths time the simulation itself; the sharded run drops the
-    event trace (``record_events=False``) — counters are unaffected and
-    at city scale the trace dominates inter-process transfer.
+    Built once per `repro bench` invocation: dataset generation and
+    predictor/estimator training at the 10k-client shape dominate setup
+    time, and sharing them keeps the in-memory and checkpointed benches
+    timing the identical simulation.
     """
     from repro.core.config import PerDNNConfig
     from repro.core.master import MigrationPolicy
     from repro.simulation.large_scale import (
         SimulationSettings,
-        reference_simulate,
-        run_large_scale,
         train_default_estimator,
         train_default_predictor,
     )
-    from repro.simulation.sharding import run_large_scale_sharded
     from repro.trajectories.synthetic import kaist_like
 
     users, dataset_steps, max_steps, shard_size = (
@@ -280,32 +274,73 @@ def bench_large_scale_sharded(quick: bool, seed: int, repeats: int) -> dict:
         train, config.prediction_history, aux_rng
     )
     estimator = train_default_estimator(partitioner, aux_rng)
+    return {
+        "dataset": dataset,
+        "config": config,
+        "settings": settings,
+        "predictor": predictor,
+        "estimator": estimator,
+        "max_steps": max_steps,
+        "shard_size": shard_size,
+        "workers": workers,
+    }
 
-    def run():
-        return run_large_scale_sharded(
-            dataset,
-            _build_partitioner("mobilenet"),
-            settings,
-            config=config,
-            shard_size=shard_size,
-            workers=workers,
-            predictor=predictor,
-            contention_estimator=estimator,
-            record_events=False,
-        )
 
-    seconds = _median_seconds(run, repeats)
-    result = run()
+def _run_sharded_workload(workload: dict, checkpoint_dir=None):
+    from repro.simulation.sharding import run_large_scale_sharded
+
+    return run_large_scale_sharded(
+        workload["dataset"],
+        _build_partitioner("mobilenet"),
+        workload["settings"],
+        config=workload["config"],
+        shard_size=workload["shard_size"],
+        workers=workload["workers"],
+        predictor=workload["predictor"],
+        contention_estimator=workload["estimator"],
+        record_events=False,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+def bench_large_scale_sharded(
+    quick: bool, seed: int, repeats: int, workload: dict | None = None
+) -> dict:
+    """City-scale run through the sharded multiprocessing driver.
+
+    The headline number is throughput — client-intervals simulated per
+    wall-clock second — at a population the single-process loop cannot
+    sustain interactively (10k+ clients in full mode; a 1k smoke in
+    quick/CI mode).  The reference is the same workload through the
+    unsharded scalar loop (:func:`~repro.simulation.large_scale.
+    reference_simulate`), timed once: at this scale it is far too slow
+    for repeated medians, which is the point of the sharded driver.
+
+    Predictor and contention estimator are trained once and shared, so
+    both paths time the simulation itself; the sharded run drops the
+    event trace (``record_events=False``) — counters are unaffected and
+    at city scale the trace dominates inter-process transfer.
+    """
+    from repro.simulation.large_scale import (
+        reference_simulate,
+        run_large_scale,
+    )
+
+    workload = workload or _sharded_workload(quick, seed)
+    max_steps = workload["max_steps"]
+
+    seconds = _median_seconds(lambda: _run_sharded_workload(workload), repeats)
+    result = _run_sharded_workload(workload)
     num_clients = result.num_clients
     with reference_simulate():
         start = time.perf_counter()
         run_large_scale(
-            dataset,
+            workload["dataset"],
             _build_partitioner("mobilenet"),
-            settings,
-            config=config,
-            predictor=predictor,
-            contention_estimator=estimator,
+            workload["settings"],
+            config=workload["config"],
+            predictor=workload["predictor"],
+            contention_estimator=workload["estimator"],
         )
         reference_seconds = time.perf_counter() - start
     return {
@@ -317,10 +352,59 @@ def bench_large_scale_sharded(quick: bool, seed: int, repeats: int) -> dict:
             "clients": num_clients,
             "steps": max_steps,
             "shards": result.extras["sharding"]["shards"],
-            "shard_size": shard_size,
-            "workers": workers,
+            "shard_size": workload["shard_size"],
+            "workers": workload["workers"],
         }
     }
+
+
+def bench_large_scale_sharded_checkpointed(
+    quick: bool,
+    seed: int,
+    repeats: int,
+    workload: dict | None = None,
+    baseline_seconds: float | None = None,
+) -> dict:
+    """The sharded workload again, with per-shard checkpoint spill.
+
+    Every timed run writes each completed shard to a fresh temporary
+    checkpoint directory and streams the merge back from those files —
+    the full fault-tolerant path (supervisor + spill + streaming fold).
+    ``overhead_fraction`` tracks its cost against the in-memory merge of
+    ``large_scale_sharded`` on the identical workload; the acceptance
+    target is < 5% wall-clock at the 10k-client shape.
+    """
+    import shutil
+    import tempfile
+
+    workload = workload or _sharded_workload(quick, seed)
+    max_steps = workload["max_steps"]
+
+    def run():
+        scratch = tempfile.mkdtemp(prefix="bench-ckpt-")
+        try:
+            return _run_sharded_workload(workload, checkpoint_dir=scratch)
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    seconds = _median_seconds(run, repeats)
+    result = run()
+    entry = {
+        "seconds_median": seconds,
+        "clients_steps_per_second": result.num_clients * max_steps / seconds,
+        "clients": result.num_clients,
+        "steps": max_steps,
+        "shards": result.extras["sharding"]["shards"],
+        "shard_size": workload["shard_size"],
+        "workers": workload["workers"],
+    }
+    if baseline_seconds is None:
+        baseline_seconds = _median_seconds(
+            lambda: _run_sharded_workload(workload), repeats
+        )
+    entry["baseline_seconds_median"] = baseline_seconds
+    entry["overhead_fraction"] = seconds / baseline_seconds - 1.0
+    return {"large_scale_sharded_checkpointed": entry}
 
 
 def run_benchmarks(
@@ -335,7 +419,16 @@ def run_benchmarks(
     results.update(bench_forest(quick, seed, repeats))
     results.update(bench_partition(quick, seed, repeats))
     results.update(bench_large_scale(quick, seed, repeats))
-    results.update(bench_large_scale_sharded(quick, seed, repeats))
+    workload = _sharded_workload(quick, seed)
+    results.update(
+        bench_large_scale_sharded(quick, seed, repeats, workload=workload)
+    )
+    results.update(
+        bench_large_scale_sharded_checkpointed(
+            quick, seed, repeats, workload=workload,
+            baseline_seconds=results["large_scale_sharded"]["seconds_median"],
+        )
+    )
     doc = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
@@ -390,6 +483,7 @@ def summary_lines(doc: dict) -> list[str]:
     plan = results["partition_planning"]
     sim = results["large_scale"]
     sharded = results["large_scale_sharded"]
+    checkpointed = results["large_scale_sharded_checkpointed"]
     return [
         f"mode: {doc['mode']} (repeats: {doc['repeats']}, seed: {doc['seed']})",
         f"forest fit ({fit['trees']} trees, {fit['n_train']} rows):"
@@ -410,4 +504,8 @@ def summary_lines(doc: dict) -> list[str]:
         f" {sharded['seconds_median']:9.2f} s"
         f" ({sharded['clients_steps_per_second']:,.0f} client-steps/s,"
         f" {sharded['speedup_vs_reference']:.2f}x vs scalar)",
+        f"sharded + checkpoint spill:"
+        f" {checkpointed['seconds_median']:9.2f} s"
+        f" ({checkpointed['seconds_median'] / checkpointed['baseline_seconds_median'] - 1.0:+.1%}"
+        f" vs in-memory merge)",
     ]

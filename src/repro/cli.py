@@ -140,9 +140,33 @@ def _print_profiles(stream) -> None:
         )
 
 
+def _build_supervision(args: argparse.Namespace):
+    """Translate the simulate supervision/chaos flags into configs."""
+    from repro.faults import WorkerChaos
+    from repro.simulation.supervisor import SupervisorConfig
+
+    chaos = None
+    if args.chaos_kill or args.chaos_hang or args.chaos_kill_shard:
+        chaos = WorkerChaos(
+            seed=args.chaos_seed,
+            kill_rate=args.chaos_kill,
+            hang_rate=args.chaos_hang,
+            max_injections_per_shard=args.chaos_max_injections,
+            hang_seconds=args.chaos_hang_seconds,
+            always_kill=tuple(args.chaos_kill_shard or ()),
+        )
+    return SupervisorConfig(
+        max_attempts=args.shard_attempts,
+        timeout_seconds=args.shard_timeout,
+        allow_partial=args.allow_partial,
+        chaos=chaos,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.large_scale import SimulationSettings, run_large_scale
     from repro.simulation.sharding import run_large_scale_sharded
+    from repro.simulation.supervisor import ShardError
 
     config = PerDNNConfig(
         migration_radius_m=args.radius,
@@ -163,6 +187,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             policy=SheddingPolicy(args.overload),
             queue_capacity=args.queue_capacity,
         )
+    sharded = (
+        args.workers > 1
+        or args.shard_size is not None
+        or args.checkpoint_dir is not None
+    )
+    sharded_only = {
+        "--resume": args.resume,
+        "--allow-partial": args.allow_partial,
+        "--shard-timeout": args.shard_timeout is not None,
+        "--shard-attempts": args.shard_attempts != 3,
+        "--chaos-kill": bool(args.chaos_kill),
+        "--chaos-hang": bool(args.chaos_hang),
+        "--chaos-kill-shard": bool(args.chaos_kill_shard),
+    }
+    misused = [flag for flag, used in sharded_only.items() if used]
+    if misused and not sharded:
+        print(
+            f"error: {', '.join(misused)} only apply to sharded runs; "
+            "add --shard-size, --workers, or --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        supervision = _build_supervision(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     partitioner = _make_partitioner(args.model, config)
     dataset = _make_dataset(args.dataset, args.users, args.dataset_steps, args.seed)
     settings = SimulationSettings(
@@ -173,16 +224,36 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         faults=profile,
         overload=overload,
     )
-    sharded = args.workers > 1 or args.shard_size is not None
     if sharded:
-        result = run_large_scale_sharded(
-            dataset,
-            partitioner,
-            settings,
-            config=config,
-            shard_size=args.shard_size or 256,
-            workers=args.workers,
-        )
+        try:
+            result = run_large_scale_sharded(
+                dataset,
+                partitioner,
+                settings,
+                config=config,
+                shard_size=args.shard_size or 256,
+                workers=args.workers,
+                supervision=supervision,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
+        except ShardError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            for failure in exc.failures:
+                print(f"  {failure.describe()}", file=sys.stderr)
+            if args.checkpoint_dir:
+                print(
+                    f"completed shards are checkpointed in "
+                    f"{args.checkpoint_dir!r}; rerun with --resume to "
+                    "continue, or add --allow-partial to merge without the "
+                    "poison shard",
+                    file=sys.stderr,
+                )
+            return 1
+        except ValueError as exc:
+            # Stale checkpoint, unwritable directory, bad arguments.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
         result = run_large_scale(dataset, partitioner, settings, config=config)
     if args.telemetry:
@@ -221,6 +292,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"sharding:           {info['shards']} shards "
               f"(target size {info['shard_size']}), "
               f"{info['workers']} worker(s)")
+        if info.get("retries"):
+            print(f"shard retries:      {info['retries']}")
+        if info.get("resumed_shards"):
+            print(f"resumed shards:     {len(info['resumed_shards'])} "
+                  f"of {info['planned_shards']} (from checkpoint)")
+        if info.get("failed_shards"):
+            print(f"failed shards:      {info['failed_shards']} "
+                  f"({info['failed_clients']} clients dropped; "
+                  "partial merge)")
     print(f"hit ratio:          {result.hit_ratio:6.2f} "
           f"({result.hits} hits / {result.misses} misses)")
     print(f"cold-start queries: {result.coldstart_queries}")
@@ -376,6 +456,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help="target clients per spatial shard; setting "
                                "this enables the sharded runner even with "
                                "one worker (default: 256 when sharded)")
+    simulate.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                          help="spill each completed shard here and merge "
+                               "streamingly from disk (implies sharding)")
+    simulate.add_argument("--resume", action="store_true",
+                          help="skip shards already completed in "
+                               "--checkpoint-dir by an interrupted run "
+                               "(settings fingerprint must match)")
+    simulate.add_argument("--allow-partial", action="store_true",
+                          help="merge without shards that exhausted their "
+                               "retry budget instead of failing the run; "
+                               "missing coverage is reported explicitly")
+    simulate.add_argument("--shard-attempts", type=positive_int, default=3,
+                          help="executions granted per shard before "
+                               "quarantine (default: 3)")
+    simulate.add_argument("--shard-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-shard wall-clock cap; a shard past it "
+                               "is killed and retried (default: none)")
+    simulate.add_argument("--chaos-kill", type=float, default=0.0,
+                          metavar="RATE",
+                          help="chaos testing: per-attempt probability of "
+                               "killing the worker process (default: 0)")
+    simulate.add_argument("--chaos-hang", type=float, default=0.0,
+                          metavar="RATE",
+                          help="chaos testing: per-attempt probability of "
+                               "hanging the worker (pair with "
+                               "--shard-timeout; default: 0)")
+    simulate.add_argument("--chaos-seed", type=int, default=0,
+                          help="seed of the chaos schedule (default: 0)")
+    simulate.add_argument("--chaos-kill-shard", type=int,
+                          action="append", metavar="INDEX", default=None,
+                          help="kill every attempt of this shard index "
+                               "(repeatable); forces quarantine")
+    simulate.add_argument("--chaos-max-injections", type=int, default=1,
+                          help="sabotaged attempts per shard before the "
+                               "chaos schedule lets it through (default: 1)")
+    simulate.add_argument("--chaos-hang-seconds", type=float, default=3600.0,
+                          help="how long a chaos hang sleeps (default: 3600)")
     simulate.add_argument("--telemetry", metavar="PATH", default=None,
                           help="write the run's telemetry snapshot (JSON)")
 

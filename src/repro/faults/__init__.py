@@ -15,6 +15,13 @@ this package.
 
 from __future__ import annotations
 
+from repro.faults.chaos import (
+    CHAOS_EXIT_CODE,
+    CHAOS_HANG,
+    CHAOS_KILL,
+    CHAOS_NONE,
+    WorkerChaos,
+)
 from repro.faults.profiles import (
     BUILTIN_PROFILES,
     FaultProfile,
@@ -55,12 +62,17 @@ def record_fault(
 
 __all__ = [
     "BUILTIN_PROFILES",
+    "CHAOS_EXIT_CODE",
+    "CHAOS_HANG",
+    "CHAOS_KILL",
+    "CHAOS_NONE",
     "DEFAULT_BACKOFF_CAP",
     "Degradation",
     "FaultProfile",
     "FaultSchedule",
     "ServerCrash",
     "Window",
+    "WorkerChaos",
     "backoff_intervals",
     "get_profile",
     "record_fault",

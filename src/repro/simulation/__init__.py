@@ -38,6 +38,19 @@ from repro.simulation.sharding import (
     run_large_scale_sharded,
     shard_seed,
 )
+from repro.simulation.checkpoint import (
+    CheckpointStore,
+    ShardRecord,
+    run_fingerprint,
+)
+from repro.simulation.supervisor import (
+    ShardError,
+    ShardFailure,
+    SupervisionReport,
+    SupervisorConfig,
+    retry_delay,
+    supervise,
+)
 
 __all__ = [
     "QueryRecord",
@@ -58,6 +71,15 @@ __all__ = [
     "plan_shards",
     "run_large_scale_sharded",
     "shard_seed",
+    "CheckpointStore",
+    "ShardRecord",
+    "run_fingerprint",
+    "ShardError",
+    "ShardFailure",
+    "SupervisionReport",
+    "SupervisorConfig",
+    "retry_delay",
+    "supervise",
     "HandoffChainResult",
     "simulate_handoff_chain",
 ]

@@ -33,9 +33,10 @@ collision-free.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields, replace
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -49,6 +50,11 @@ from repro.mobility.predictor import PointPredictor
 from repro.mobility.trajectory import TrajectoryDataset
 from repro.network.traffic import merge_summaries
 from repro.partitioning.partitioner import DNNPartitioner
+from repro.simulation.checkpoint import (
+    CheckpointStore,
+    ShardRecord,
+    run_fingerprint,
+)
 from repro.simulation.large_scale import (
     LargeScaleResult,
     SimulationSettings,
@@ -57,6 +63,11 @@ from repro.simulation.large_scale import (
     set_fast_simulate,
     train_default_estimator,
     train_default_predictor,
+)
+from repro.simulation.supervisor import (
+    SupervisionReport,
+    SupervisorConfig,
+    supervise,
 )
 from repro.telemetry import (
     Event,
@@ -91,8 +102,17 @@ class ShardPlan:
 
 
 def shard_seed(seed: int, shard_index: int) -> int:
-    """Deterministic, worker-independent per-shard seed."""
-    sequence = np.random.SeedSequence([seed & 0xFFFFFFFF, shard_index])
+    """Deterministic, worker-independent per-shard seed.
+
+    The *full* run seed feeds the :class:`~numpy.random.SeedSequence`:
+    seeds that differ only above bit 32 derive different per-shard seeds
+    (an earlier revision masked with ``0xFFFFFFFF`` and collided them).
+    For seeds below 2**32 the derivation is unchanged — SeedSequence
+    decomposes a small int into the same single entropy word — so
+    existing snapshots are unaffected; the regression suite pins both
+    properties.
+    """
+    sequence = np.random.SeedSequence([seed, shard_index])
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
 
 
@@ -246,34 +266,52 @@ def _rebase_event(event: Event, client_offset: int, server_offset: int) -> Event
     return replace(event, **changes) if changes else event
 
 
-def _merge_results(
+def _merge_records(
     dataset: TrajectoryDataset,
     settings: SimulationSettings,
     model: str,
-    shard_results: list[LargeScaleResult],
+    records: Iterable[ShardRecord],
     shard_size: int,
     workers: int,
 ) -> LargeScaleResult:
-    """Fold per-shard results into one region-wide ``LargeScaleResult``.
+    """Fold per-shard records into one region-wide ``LargeScaleResult``.
 
-    Deterministic and order-independent: shard results arrive in shard
-    order by construction, id offsets are cumulative sums over that
-    order, and the registry fold itself is permutation-invariant.
+    ``records`` is consumed *streamingly*, one shard at a time, in shard
+    order: the registry fold (:func:`merge_registries`) pulls rebased
+    registries from a generator that computes cumulative id offsets,
+    rebases trace events, and collects traffic summaries as a side
+    effect.  With a checkpoint store behind the iterable, no two shard
+    registries ever co-reside in memory — this is ROADMAP item 1(c)'s
+    streaming export.  The fold itself is permutation-invariant, so the
+    merged bytes match the old materialized merge exactly.
     """
-    client_offsets: list[int] = []
-    server_offsets: list[int] = []
-    clients_total = 0
-    servers_total = 0
-    for shard_result in shard_results:
-        client_offsets.append(clients_total)
-        server_offsets.append(servers_total)
-        clients_total += shard_result.num_clients
-        servers_total += shard_result.num_servers
-    registries = [
-        _rebase_registry(r.telemetry.registry, offset)
-        for r, offset in zip(shard_results, server_offsets)
-    ]
-    merged_registry = merge_registries(registries, GAUGE_MERGE_RULES)
+    trace = EventTrace()
+    uplinks: list[tuple] = []
+    downlinks: list[tuple] = []
+    totals = {
+        "clients": 0, "servers": 0, "hits": 0, "misses": 0, "shards": 0,
+    }
+    clients_per_shard: list[int] = []
+
+    def rebased_registries() -> Iterator[MetricsRegistry]:
+        for record in records:
+            client_offset = totals["clients"]
+            server_offset = totals["servers"]
+            totals["clients"] += record.num_clients
+            totals["servers"] += record.num_servers
+            totals["hits"] += record.cache_hits
+            totals["misses"] += record.cache_misses
+            totals["shards"] += 1
+            clients_per_shard.append(record.num_clients)
+            for event in record.events:
+                trace.record(
+                    _rebase_event(event, client_offset, server_offset)
+                )
+            uplinks.append((record.uplink, server_offset))
+            downlinks.append((record.downlink, server_offset))
+            yield _rebase_registry(record.registry, server_offset)
+
+    merged_registry = merge_registries(rebased_registries(), GAUGE_MERGE_RULES)
     # Availability is a ratio, not a sum — recompute from merged counters
     # (matches what run_large_scale would emit over the union workload).
     client_intervals = merged_registry.value("resilience.client_intervals")
@@ -281,28 +319,18 @@ def _merge_results(
     merged_registry.gauge("resilience.availability").set(
         1.0 - local_intervals / client_intervals if client_intervals else 1.0
     )
-    trace = EventTrace()
-    for shard_result, client_offset, server_offset in zip(
-        shard_results, client_offsets, server_offsets
-    ):
-        for event in shard_result.telemetry.trace:
-            trace.record(_rebase_event(event, client_offset, server_offset))
     telemetry = Telemetry(registry=merged_registry, trace=trace)
     merged = LargeScaleResult(
         policy=settings.policy.value,
         dataset=dataset.name,
         model=model,
-        num_servers=servers_total,
-        num_clients=clients_total,
+        num_servers=totals["servers"],
+        num_clients=totals["clients"],
         telemetry=telemetry,
     )
     merged.fill_from_telemetry()
-    cache_hits = sum(
-        r.extras["partition_cache"]["hits"] for r in shard_results
-    )
-    cache_misses = sum(
-        r.extras["partition_cache"]["misses"] for r in shard_results
-    )
+    cache_hits = totals["hits"]
+    cache_misses = totals["misses"]
     merged.extras["partition_cache"] = {
         "hits": cache_hits,
         "misses": cache_misses,
@@ -313,23 +341,13 @@ def _merge_results(
         ),
     }
     merged.extras["sharding"] = {
-        "shards": len(shard_results),
+        "shards": totals["shards"],
         "shard_size": shard_size,
         "workers": workers,
-        "clients_per_shard": [r.num_clients for r in shard_results],
+        "clients_per_shard": clients_per_shard,
     }
-    merged.uplink = merge_summaries(
-        [
-            (r.uplink, offset)
-            for r, offset in zip(shard_results, server_offsets)
-        ]
-    )
-    merged.downlink = merge_summaries(
-        [
-            (r.downlink, offset)
-            for r, offset in zip(shard_results, server_offsets)
-        ]
-    )
+    merged.uplink = merge_summaries(uplinks)
+    merged.downlink = merge_summaries(downlinks)
     return merged
 
 
@@ -350,8 +368,11 @@ def run_large_scale_sharded(
     predictor: PointPredictor | None = None,
     contention_estimator: ContentionEstimator | None = None,
     record_events: bool = True,
+    supervision: SupervisorConfig | None = None,
+    checkpoint_dir: str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> LargeScaleResult:
-    """Run the large-scale simulation sharded over worker processes.
+    """Run the large-scale simulation sharded over supervised workers.
 
     Drop-in sibling of :func:`run_large_scale` for populations far past
     what one interval loop can replay.  The predictor and contention
@@ -360,28 +381,58 @@ def run_large_scale_sharded(
     once so each shard starts from an identical (possibly pre-warmed)
     plan cache regardless of which worker runs it.
 
+    Shards run under :func:`~repro.simulation.supervisor.supervise`:
+    worker crashes and per-shard timeouts are retried with
+    capped-exponential backoff in a fresh process (``supervision``
+    configures attempts/timeout/backoff), and a shard that exhausts its
+    budget either raises a typed
+    :class:`~repro.simulation.supervisor.ShardError` or — under
+    ``supervision.allow_partial`` — is dropped from the merge with its
+    missing coverage accounted in ``extras["sharding"]``
+    (``failed_shards``/``failed_clients``).  A retried shard re-runs the
+    same deterministic :func:`shard_seed`, so retries never change the
+    merged bytes.
+
+    With ``checkpoint_dir`` every completed shard is spilled to disk the
+    moment it lands and the merge *streams* from those files (constant
+    memory in the shard count); ``resume=True`` skips shards already
+    completed by an earlier interrupted run, after a settings-fingerprint
+    check rejects checkpoints from any different run.
+
     ``record_events=False`` drops the structured event trace (counters
     and histograms are unaffected) — at hundreds of thousands of client
     windows the trace dominates memory and inter-process transfer.
 
     The returned result is the deterministic, order-independent merge of
     the per-shard results; ``result.extras["sharding"]`` records the
-    decomposition.  Exported telemetry bytes depend on ``shard_size`` but
-    not on ``workers``.
+    decomposition and the supervision outcome.  Exported telemetry bytes
+    depend on ``shard_size`` but not on ``workers``, retries, chaos, or
+    whether the run was checkpointed or resumed.
     """
+    # Validate everything cheap *before* the expensive predictor and
+    # estimator training, so a bad invocation fails in milliseconds.
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if shard_size < 1:
+        raise ValueError("shard_size must be >= 1")
     if isinstance(settings.faults, FaultSchedule):
         raise ValueError(
             "sharded runs need a FaultProfile (schedules are built from "
             "each shard's own servers); pass the profile instead"
         )
-    config = config or PerDNNConfig(
-        migration_radius_m=settings.migration_radius_m
-    )
     pool = list(partitioner) if isinstance(partitioner, list) else [partitioner]
     if not pool:
         raise ValueError("at least one partitioner is required")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
+    supervision = supervision or SupervisorConfig()
+    store = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        store.prepare()  # fail now if the directory is unusable
+    config = config or PerDNNConfig(
+        migration_radius_m=settings.migration_radius_m
+    )
     # Mirror run_large_scale's training order so both entry points derive
     # identical models from the same seed.
     rng = np.random.default_rng(settings.seed)
@@ -394,6 +445,27 @@ def run_large_scale_sharded(
         contention_estimator = train_default_estimator(pool[0], rng)
     partitioner_blob = pickle.dumps(partitioner)
     shards = plan_shards(dataset, config, settings, shard_size)
+    model_names = sorted({p.graph.name for p in pool})
+
+    completed: set[int] = set()
+    if store is not None:
+        fingerprint = run_fingerprint(
+            dataset, settings, config, shard_size, model_names,
+            record_events, fast_simulate_enabled(), fast_predict_enabled(),
+        )
+        if resume:
+            store.check_fingerprint(fingerprint)
+            completed = store.completed_shards(len(shards))
+        elif store.has_manifest():
+            raise ValueError(
+                f"checkpoint directory {store.directory!r} already holds a "
+                "run; pass resume=True to continue it or use a fresh "
+                "directory"
+            )
+        store.write_manifest(
+            fingerprint, len(shards), shard_size, record_events
+        )
+
     jobs = [
         _ShardJob(
             index=shard.index,
@@ -410,21 +482,66 @@ def run_large_scale_sharded(
             record_events=record_events,
         )
         for shard in shards
+        if shard.index not in completed
     ]
-    if workers <= 1 or len(jobs) <= 1:
-        shard_results = [_run_shard_job(job) for job in jobs]
+
+    def spill(index: int, result: LargeScaleResult) -> None:
+        store.write_shard(ShardRecord.from_result(index, result))
+
+    results, report = supervise(
+        jobs,
+        _run_shard_job,
+        workers=workers,
+        config=supervision,
+        mp_context=_pool_context(),
+        on_result=spill if store is not None else None,
+        # With a store the merge streams from disk; holding every shard
+        # result in memory as well would defeat the point.
+        keep_results=store is None,
+    )
+
+    surviving = sorted(completed | set(results))
+    if store is not None:
+        records: Iterable[ShardRecord] = (
+            store.load_shard(index) for index in surviving
+        )
     else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(jobs)),
-            mp_context=_pool_context(),
-        ) as executor:
-            shard_results = list(executor.map(_run_shard_job, jobs))
-    model_names = sorted({p.graph.name for p in pool})
-    return _merge_results(
+        records = (
+            ShardRecord.from_result(index, results[index])
+            for index in surviving
+        )
+    merged = _merge_records(
         dataset,
         settings,
         "+".join(model_names),
-        shard_results,
+        records,
         shard_size=shard_size,
         workers=workers,
     )
+    _annotate_supervision(merged, shards, completed, report)
+    return merged
+
+
+def _annotate_supervision(
+    merged: LargeScaleResult,
+    shards: list[ShardPlan],
+    resumed: set[int],
+    report: SupervisionReport,
+) -> None:
+    """Record the supervision outcome in ``extras["sharding"]``.
+
+    ``extras`` never enter the exported telemetry snapshot, so the
+    accounting can mention retries/resumes without breaking the
+    byte-identity invariants.  Conservation: ``sum(clients_per_shard) +
+    failed_clients`` equals the planned usable-client total even under a
+    partial merge.
+    """
+    by_index = {shard.index: shard for shard in shards}
+    info = merged.extras["sharding"]
+    info["planned_shards"] = len(shards)
+    info["failed_shards"] = list(report.quarantined)
+    info["failed_clients"] = sum(
+        by_index[index].num_usable for index in report.quarantined
+    )
+    info["retries"] = report.retries
+    info["resumed_shards"] = sorted(resumed)

@@ -389,6 +389,42 @@ class MetricsRegistry:
 GAUGE_RULES = ("sum", "max", "min")
 
 
+class _MergeSlot:
+    """Streaming accumulator for one ``(name, labels)`` key.
+
+    Integer tallies (bucket counts, observation counts) fold as they
+    arrive — integer addition is exact.  Float values are *collected* and
+    reduced with :func:`math.fsum` at the end, so the result is the exact
+    correctly-rounded sum regardless of how many registries streamed
+    through or in which order.
+    """
+
+    __slots__ = ("kind", "values", "buckets", "counts", "count")
+
+    def __init__(self, metric: Metric) -> None:
+        self.kind = type(metric)
+        self.values: list[float] = []
+        if isinstance(metric, Histogram):
+            self.buckets = metric.buckets
+            self.counts = [0] * (len(metric.buckets) + 1)
+            self.count = 0
+
+    def absorb(self, name: str, metric: Metric) -> None:
+        if type(metric) is not self.kind:
+            raise TypeError(f"cannot merge {name!r}: kind mismatch")
+        if isinstance(metric, Histogram):
+            if metric.buckets != self.buckets:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ"
+                )
+            for i, bucket_count in enumerate(metric.counts):
+                self.counts[i] += bucket_count
+            self.count += metric.count
+            self.values.append(metric.sum)
+        else:
+            self.values.append(metric.value)
+
+
 def merge_registries(
     registries,
     gauge_rules: Mapping[str, str] | None = None,
@@ -409,6 +445,13 @@ def merge_registries(
       else uses ``default_gauge_rule``) — all commutative, so no write
       ordering leaks into the result.
 
+    ``registries`` may be any iterable — including a generator that loads
+    registries lazily (e.g. one checkpointed shard file at a time).  Each
+    registry is consumed and released before the next is requested, so
+    peak memory is the *merged* footprint plus one input, never all
+    inputs at once.  Streaming and materialized inputs produce
+    byte-identical merges (the fsum sees the same addend multiset).
+
     Metric kinds and histogram bucket bounds must agree across inputs for
     any shared ``(name, labels)`` key.
     """
@@ -418,39 +461,31 @@ def merge_registries(
     for name, rule in rules.items():
         if rule not in GAUGE_RULES:
             raise ValueError(f"unknown gauge rule {rule!r} for {name!r}")
-    grouped: dict[tuple[str, Labels], list[Metric]] = {}
+    slots: dict[tuple[str, Labels], _MergeSlot] = {}
     for registry in registries:
         for metric in registry.metrics():
-            grouped.setdefault((metric.name, metric.labels), []).append(metric)
+            key = (metric.name, metric.labels)
+            slot = slots.get(key)
+            if slot is None:
+                slot = slots[key] = _MergeSlot(metric)
+            slot.absorb(metric.name, metric)
     merged = MetricsRegistry()
-    for (name, labels), parts in sorted(grouped.items()):
-        first = parts[0]
-        if any(type(p) is not type(first) for p in parts):
-            raise TypeError(f"cannot merge {name!r}: kind mismatch")
+    for (name, labels), slot in sorted(slots.items()):
         labels_map = dict(labels)
-        if isinstance(first, Counter):
-            merged.counter(name, labels_map).value = math.fsum(
-                p.value for p in parts
-            )
-        elif isinstance(first, Gauge):
+        if slot.kind is Counter:
+            merged.counter(name, labels_map).value = math.fsum(slot.values)
+        elif slot.kind is Gauge:
             rule = rules.get(name, default_gauge_rule)
-            values = [p.value for p in parts]
             if rule == "sum":
-                combined = math.fsum(values)
+                combined = math.fsum(slot.values)
             elif rule == "max":
-                combined = max(values)
+                combined = max(slot.values)
             else:
-                combined = min(values)
+                combined = min(slot.values)
             merged.gauge(name, labels_map).set(combined)
         else:
-            if any(p.buckets != first.buckets for p in parts):
-                raise ValueError(
-                    f"cannot merge histogram {name!r}: bucket bounds differ"
-                )
-            hist = merged.histogram(name, first.buckets, labels_map)
-            hist.counts = [
-                sum(column) for column in zip(*(p.counts for p in parts))
-            ]
-            hist.sum = math.fsum(p.sum for p in parts)
-            hist.count = sum(p.count for p in parts)
+            hist = merged.histogram(name, slot.buckets, labels_map)
+            hist.counts = list(slot.counts)
+            hist.sum = math.fsum(slot.values)
+            hist.count = slot.count
     return merged

@@ -198,6 +198,18 @@ class TestShardPlan:
         assert shard_seed(3, 0) != shard_seed(3, 1)
         assert shard_seed(3, 1) != shard_seed(4, 1)
 
+    def test_shard_seed_uses_full_seed(self):
+        # Regression: an earlier revision masked the run seed with
+        # 0xFFFFFFFF, colliding seeds that differ only above bit 32.
+        for index in range(4):
+            assert shard_seed(2**32 + 5, index) != shard_seed(5, index)
+        # And a pinned low-seed value: feeding the full seed must not
+        # change the derivation for seeds below 2**32 (SeedSequence sees
+        # the same entropy word), so existing snapshots stay valid.
+        assert shard_seed(3, 0) == int(
+            np.random.SeedSequence([3, 0]).generate_state(1, np.uint32)[0]
+        )
+
     def test_shard_size_must_be_positive(self, dataset):
         settings = make_settings()
         config = PerDNNConfig()
@@ -224,3 +236,35 @@ class TestValidation:
     def test_empty_partitioner_pool_rejected(self, dataset):
         with pytest.raises(ValueError, match="partitioner"):
             run_large_scale_sharded(dataset, [], make_settings())
+
+    def test_shard_size_rejected_before_training(self, dataset, tiny_partitioner):
+        with pytest.raises(ValueError, match="shard_size"):
+            run_large_scale_sharded(
+                dataset, tiny_partitioner, make_settings(), shard_size=0
+            )
+
+    def test_resume_requires_checkpoint_dir(self, dataset, tiny_partitioner):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_large_scale_sharded(
+                dataset, tiny_partitioner, make_settings(), resume=True
+            )
+
+    def test_bad_invocations_fail_fast(self, dataset, tiny_partitioner, tmp_path):
+        # The whole point of validating before training: a bad call must
+        # return in milliseconds, not after predictor/estimator fits.
+        import time
+
+        bad_dir = tmp_path / "file-not-dir"
+        bad_dir.write_text("occupied")
+        start = time.perf_counter()
+        for invocation in (
+            dict(workers=0),
+            dict(shard_size=-1),
+            dict(resume=True),
+            dict(checkpoint_dir=bad_dir),
+        ):
+            with pytest.raises(ValueError):
+                run_large_scale_sharded(
+                    dataset, tiny_partitioner, make_settings(), **invocation
+                )
+        assert time.perf_counter() - start < 0.5
