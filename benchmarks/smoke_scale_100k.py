@@ -1,0 +1,136 @@
+"""CI smoke for the 100k-scale sharded path, at the quick shape.
+
+Runs the same workload shape as ``repro bench``'s
+``large_scale_sharded_100k`` quick mode (2000 clients, shard size 128,
+``record_events=False``) once per requested worker count and asserts the
+two guarantees the full-scale run depends on:
+
+- **Worker-count invariance**: every run exports byte-identical
+  telemetry JSON (the sharded snapshot is a pure function of
+  ``(dataset, settings, shard_size)``).
+- **Bounded peak memory**: each run's peak RSS — measured in a forked
+  child so the figure is the run's own high-water mark, covering the
+  parent-side streaming merge and the largest shard worker — stays
+  under ``--rss-ceiling-mb``.
+
+The runs share a ``--model-cache`` directory, so the first one trains
+and stores the predictor/estimator blob and the later ones load it —
+the byte comparison therefore also smokes cache-hit byte-safety.
+
+Usage (what CI runs)::
+
+    PYTHONPATH=src python benchmarks/smoke_scale_100k.py \
+        --workers 1 2 --rss-ceiling-mb 1024 --out-dir smoke-100k
+"""
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+sys.path.insert(0, REPO_SRC)
+
+from repro.bench import _build_partitioner, _measure_in_child  # noqa: E402
+from repro.core.config import PerDNNConfig  # noqa: E402
+from repro.core.master import MigrationPolicy  # noqa: E402
+from repro.simulation.large_scale import SimulationSettings  # noqa: E402
+from repro.simulation.sharding import run_large_scale_sharded  # noqa: E402
+from repro.trajectories.synthetic import kaist_like  # noqa: E402
+
+USERS, DATASET_STEPS, MAX_STEPS, SHARD_SIZE = 2000, 12, 3, 128
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=[1, 2],
+        help="worker counts to run and compare (default: 1 2)",
+    )
+    parser.add_argument(
+        "--rss-ceiling-mb", type=float, default=1024.0,
+        help="fail if any run's peak RSS exceeds this (default: 1024)",
+    )
+    parser.add_argument(
+        "--out-dir", default="smoke-100k",
+        help="directory for telemetry snapshots and the model cache",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    cache_dir = os.path.join(args.out_dir, "model-cache")
+
+    rng = np.random.default_rng(args.seed)
+    dataset = kaist_like(rng, num_users=USERS, duration_steps=DATASET_STEPS)
+    config = PerDNNConfig(migration_radius_m=100.0)
+    settings = SimulationSettings(
+        policy=MigrationPolicy.PERDNN, max_steps=MAX_STEPS, seed=args.seed
+    )
+
+    snapshots: dict[int, str] = {}
+    failures: list[str] = []
+    for workers in args.workers:
+
+        def run(workers: int = workers) -> dict:
+            result = run_large_scale_sharded(
+                dataset,
+                _build_partitioner("mobilenet"),
+                settings,
+                config=config,
+                shard_size=SHARD_SIZE,
+                workers=workers,
+                record_events=False,
+                model_cache_dir=cache_dir,
+            )
+            return {
+                "telemetry": result.telemetry.dumps(),
+                "shards": result.extras["sharding"]["shards"],
+                "clients": result.num_clients,
+            }
+
+        measured = _measure_in_child(run)
+        payload = measured["payload"]
+        snapshots[workers] = payload["telemetry"]
+        path = os.path.join(args.out_dir, f"smoke-w{workers}.telemetry.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload["telemetry"])
+        print(
+            f"workers={workers}: {payload['clients']} clients / "
+            f"{payload['shards']} shards in {measured['seconds']:.1f}s, "
+            f"peak RSS {measured['peak_rss_mb']:.0f} MB "
+            f"(ceiling {args.rss_ceiling_mb:.0f} MB)"
+        )
+        if measured["peak_rss_mb"] > args.rss_ceiling_mb:
+            failures.append(
+                f"workers={workers} peak RSS {measured['peak_rss_mb']:.0f} MB "
+                f"exceeds ceiling {args.rss_ceiling_mb:.0f} MB"
+            )
+
+    baseline_workers = args.workers[0]
+    baseline = snapshots[baseline_workers]
+    for workers, snapshot in snapshots.items():
+        if snapshot != baseline:
+            failures.append(
+                f"telemetry for workers={workers} differs from "
+                f"workers={baseline_workers} (must be byte-identical)"
+            )
+    if any(
+        name.startswith("models-") for name in os.listdir(cache_dir)
+    ) is False:
+        failures.append("model cache directory has no stored blob")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(snapshots)} worker counts byte-identical, "
+        "peak RSS under ceiling, model cache populated"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

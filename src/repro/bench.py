@@ -49,7 +49,22 @@ REQUIRED_RESULTS: dict[str, tuple[str, ...]] = {
         "baseline_seconds_median",
         "clients_steps_per_second",
     ),
+    "large_scale_sharded_100k": (
+        "seconds_median",
+        "clients_steps_per_second",
+        "clients_steps_per_second_per_worker",
+        "speedup_vs_10k_per_worker",
+        "peak_rss_mb",
+    ),
 }
+
+#: Per-worker throughput (clients x steps / second / worker) of the 10k
+#: ``large_scale_sharded`` case as committed before the 100k scaling work
+#: (BENCH_perf.json at commit 93e7bec).  The 100k case reports its own
+#: per-worker throughput normalized against this fixed trajectory point,
+#: so the speedup is comparable across machines of different core counts
+#: and across reruns of the harness.
+SEED_10K_CLIENT_STEPS_PER_WORKER = 6056.5
 
 
 def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
@@ -407,28 +422,214 @@ def bench_large_scale_sharded_checkpointed(
     return {"large_scale_sharded_checkpointed": entry}
 
 
+def _child_entry(conn, fn: Callable[[], dict]) -> None:
+    import resource
+
+    start = time.perf_counter()
+    payload = fn()
+    seconds = time.perf_counter() - start
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    conn.send(
+        {
+            "seconds": seconds,
+            "peak_rss_mb": max(self_kb, child_kb) / 1024.0,
+            "payload": payload,
+        }
+    )
+    conn.close()
+
+
+def _measure_in_child(fn: Callable[[], dict]) -> dict:
+    """Time ``fn`` in a forked child and report its peak RSS.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so measuring in
+    the bench process itself would report whatever earlier cases peaked
+    at; a fresh fork gives the case its own zeroed mark.  The reported
+    figure is the max of the child's own peak (the parent side of the
+    sharded run: setup, supervisor, streaming merge) and its waited-for
+    children's peak (the shard workers) — i.e. the largest single process
+    the run ever needed, which is what a memory ceiling bounds.  Falls
+    back to an in-process run (RSS of this process, high-water caveat and
+    all) where fork is unavailable.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        import resource
+
+        start = time.perf_counter()
+        payload = fn()
+        seconds = time.perf_counter() - start
+        self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        return {
+            "seconds": seconds,
+            "peak_rss_mb": max(self_kb, child_kb) / 1024.0,
+            "payload": payload,
+        }
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(target=_child_entry, args=(child_conn, fn))
+    process.start()
+    child_conn.close()
+    try:
+        measured = parent_conn.recv()
+    finally:
+        process.join()
+        parent_conn.close()
+    return measured
+
+
+def bench_large_scale_sharded_100k(quick: bool, seed: int, repeats: int) -> dict:
+    """The 100k-client shape through the sharded driver, timed once.
+
+    The scaling headline of ROADMAP item 1: a population an order of
+    magnitude past the 10k case, run with ``record_events=False`` through
+    the batched query-window/migration paths and the streaming merge.
+    Reported per-worker throughput is normalized against the committed
+    pre-scaling 10k baseline (:data:`SEED_10K_CLIENT_STEPS_PER_WORKER`),
+    and peak RSS comes from a forked child so the figure is the run's
+    own, not the harness's high-water mark.  A single timed run
+    (``repeats`` is ignored): at this shape the simulation dwarfs timer
+    noise and a median would triple a multi-minute case.
+
+    Setup is untimed and deliberately amortized: the mobility predictor
+    trains on a 10k-user subsample of the train split (SVR training is
+    superlinear in users and contributes nothing to the timed region —
+    the broadcast blob the shards receive is identical in size either
+    way).  Quick mode scales the population down for CI smoke runs.
+    """
+    from repro.core.config import PerDNNConfig
+    from repro.core.master import MigrationPolicy
+    from repro.mobility.trajectory import TrajectoryDataset
+    from repro.simulation.large_scale import (
+        SimulationSettings,
+        train_default_estimator,
+        train_default_predictor,
+    )
+    from repro.simulation.sharding import run_large_scale_sharded
+    from repro.trajectories.synthetic import kaist_like
+
+    users, dataset_steps, max_steps, shard_size = (
+        (2000, 12, 3, 128) if quick else (100_000, 25, 8, 512)
+    )
+    workers = max(1, min(os.cpu_count() or 1, 8))
+    rng = np.random.default_rng(seed)
+    dataset = kaist_like(rng, num_users=users, duration_steps=dataset_steps)
+    config = PerDNNConfig(migration_radius_m=100.0)
+    settings = SimulationSettings(
+        policy=MigrationPolicy.PERDNN, max_steps=max_steps, seed=seed
+    )
+    partitioner = _build_partitioner("mobilenet")
+    train, _ = dataset.split_time(settings.replay_fraction)
+    train_sub = TrajectoryDataset(
+        name=train.name,
+        interval_seconds=train.interval_seconds,
+        bbox=train.bbox,
+        trajectories=train.trajectories[: min(users, 10_000)],
+    )
+    aux_rng = np.random.default_rng(seed)
+    predictor = train_default_predictor(
+        train_sub, config.prediction_history, aux_rng
+    )
+    estimator = train_default_estimator(partitioner, aux_rng)
+
+    def run() -> dict:
+        result = run_large_scale_sharded(
+            dataset,
+            _build_partitioner("mobilenet"),
+            settings,
+            config=config,
+            shard_size=shard_size,
+            workers=workers,
+            predictor=predictor,
+            contention_estimator=estimator,
+            record_events=False,
+        )
+        info = result.extras["sharding"]
+        return {"clients": result.num_clients, "shards": info["shards"]}
+
+    measured = _measure_in_child(run)
+    seconds = measured["seconds"]
+    num_clients = measured["payload"]["clients"]
+    per_second = num_clients * max_steps / seconds
+    per_worker = per_second / workers
+    return {
+        "large_scale_sharded_100k": {
+            "seconds_median": seconds,
+            "clients_steps_per_second": per_second,
+            "clients_steps_per_second_per_worker": per_worker,
+            "speedup_vs_10k_per_worker": (
+                per_worker / SEED_10K_CLIENT_STEPS_PER_WORKER
+            ),
+            "peak_rss_mb": measured["peak_rss_mb"],
+            "clients": num_clients,
+            "steps": max_steps,
+            "shards": measured["payload"]["shards"],
+            "shard_size": shard_size,
+            "workers": workers,
+        }
+    }
+
+
+#: ``--only`` case name -> standalone runner (each builds its own
+#: workload; the all-cases path below shares setup between the sharded
+#: cases instead).  A case may emit several result entries (``forest``
+#: produces the four forest_* timings).
+BENCH_CASES: dict[str, Callable[[bool, int, int], dict]] = {
+    "forest": bench_forest,
+    "partition": bench_partition,
+    "large_scale": bench_large_scale,
+    "large_scale_sharded": bench_large_scale_sharded,
+    "large_scale_sharded_checkpointed": bench_large_scale_sharded_checkpointed,
+    "large_scale_sharded_100k": bench_large_scale_sharded_100k,
+}
+
+
 def run_benchmarks(
-    quick: bool = False, seed: int = 0, repeats: int | None = None
+    quick: bool = False,
+    seed: int = 0,
+    repeats: int | None = None,
+    only: str | None = None,
 ) -> dict:
-    """Run every hot-path benchmark; returns the BENCH_perf document."""
+    """Run the hot-path benchmarks; returns the BENCH_perf document.
+
+    ``only`` selects a single :data:`BENCH_CASES` entry — the document
+    then carries just that case's results and is marked ``"only"`` so
+    schema validation does not demand the absent entries (a partial
+    document is for iterating on one case, not for committing as
+    ``BENCH_perf.json``).
+    """
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    results: dict[str, dict] = {}
-    results.update(bench_forest(quick, seed, repeats))
-    results.update(bench_partition(quick, seed, repeats))
-    results.update(bench_large_scale(quick, seed, repeats))
-    workload = _sharded_workload(quick, seed)
-    results.update(
-        bench_large_scale_sharded(quick, seed, repeats, workload=workload)
-    )
-    results.update(
-        bench_large_scale_sharded_checkpointed(
-            quick, seed, repeats, workload=workload,
-            baseline_seconds=results["large_scale_sharded"]["seconds_median"],
+    if only is not None and only not in BENCH_CASES:
+        raise ValueError(
+            f"unknown benchmark case {only!r}; available: "
+            + ", ".join(sorted(BENCH_CASES))
         )
-    )
+    results: dict[str, dict] = {}
+    if only is not None:
+        results.update(BENCH_CASES[only](quick, seed, repeats))
+    else:
+        results.update(bench_forest(quick, seed, repeats))
+        results.update(bench_partition(quick, seed, repeats))
+        results.update(bench_large_scale(quick, seed, repeats))
+        workload = _sharded_workload(quick, seed)
+        results.update(
+            bench_large_scale_sharded(quick, seed, repeats, workload=workload)
+        )
+        results.update(
+            bench_large_scale_sharded_checkpointed(
+                quick, seed, repeats, workload=workload,
+                baseline_seconds=(
+                    results["large_scale_sharded"]["seconds_median"]
+                ),
+            )
+        )
+        results.update(bench_large_scale_sharded_100k(quick, seed, repeats))
     doc = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
@@ -436,6 +637,8 @@ def run_benchmarks(
         "repeats": repeats,
         "results": results,
     }
+    if only is not None:
+        doc["only"] = only
     assert_schema(doc)
     return doc
 
@@ -443,15 +646,23 @@ def run_benchmarks(
 def assert_schema(doc: dict) -> None:
     """Validate a BENCH_perf document: schema tag, required benchmark
     entries, and strictly positive timings.  Raises ``ValueError`` so the
-    CI smoke step (and tests) fail loudly if the harness rots."""
+    CI smoke step (and tests) fail loudly if the harness rots.  A
+    document marked ``"only"`` (from ``repro bench --only CASE``) is
+    validated over the entries it carries; full documents must carry
+    every required entry."""
     if doc.get("schema") != SCHEMA:
         raise ValueError(f"unexpected schema tag: {doc.get('schema')!r}")
     results = doc.get("results")
     if not isinstance(results, dict):
         raise ValueError("missing results mapping")
+    partial = doc.get("only") is not None
+    if partial and not results:
+        raise ValueError("partial document carries no results")
     for name, keys in REQUIRED_RESULTS.items():
         entry = results.get(name)
         if not isinstance(entry, dict):
+            if partial:
+                continue
             raise ValueError(f"missing benchmark entry: {name}")
         for key in keys:
             value = entry.get(key)
@@ -475,37 +686,75 @@ def write_results(doc: dict, path: str | os.PathLike) -> str:
 
 
 def summary_lines(doc: dict) -> list[str]:
-    """Human-readable one-liners for the CLI."""
+    """Human-readable one-liners for the CLI.
+
+    Covers whatever entries the document carries, so partial ``--only``
+    documents summarize cleanly.
+    """
     results = doc["results"]
-    fit = results["forest_fit"]
-    single = results["forest_predict_single"]
-    batch = results["forest_predict_batch"]
-    plan = results["partition_planning"]
-    sim = results["large_scale"]
-    sharded = results["large_scale_sharded"]
-    checkpointed = results["large_scale_sharded_checkpointed"]
-    return [
+    lines = [
         f"mode: {doc['mode']} (repeats: {doc['repeats']}, seed: {doc['seed']})",
-        f"forest fit ({fit['trees']} trees, {fit['n_train']} rows):"
-        f" {fit['seconds_median'] * 1e3:9.1f} ms",
-        f"forest predict, {single['calls']} single rows:"
-        f" {single['seconds_median'] * 1e3:9.1f} ms",
-        f"forest predict, batch {batch['rows']}x{batch['features']}:"
-        f" {batch['seconds_median'] * 1e3:9.1f} ms"
-        f" ({batch['speedup_vs_reference']:.1f}x vs node walk)",
-        f"partition sweep ({plan['plans']} plans):"
-        f" {plan['seconds_median'] * 1e3:9.1f} ms cold,"
-        f" {plan['cached_seconds_median'] * 1e3:.2f} ms cached",
-        f"large scale ({sim['clients']} clients, {sim['steps']} steps):"
-        f" {sim['seconds_median'] * 1e3:9.1f} ms"
-        f" ({sim['speedup_vs_reference']:.2f}x vs node walk)",
-        f"sharded ({sharded['clients']} clients, {sharded['steps']} steps,"
-        f" {sharded['shards']} shards x {sharded['workers']} workers):"
-        f" {sharded['seconds_median']:9.2f} s"
-        f" ({sharded['clients_steps_per_second']:,.0f} client-steps/s,"
-        f" {sharded['speedup_vs_reference']:.2f}x vs scalar)",
-        f"sharded + checkpoint spill:"
-        f" {checkpointed['seconds_median']:9.2f} s"
-        f" ({checkpointed['seconds_median'] / checkpointed['baseline_seconds_median'] - 1.0:+.1%}"
-        f" vs in-memory merge)",
     ]
+    fit = results.get("forest_fit")
+    if fit is not None:
+        lines.append(
+            f"forest fit ({fit['trees']} trees, {fit['n_train']} rows):"
+            f" {fit['seconds_median'] * 1e3:9.1f} ms"
+        )
+    single = results.get("forest_predict_single")
+    if single is not None:
+        lines.append(
+            f"forest predict, {single['calls']} single rows:"
+            f" {single['seconds_median'] * 1e3:9.1f} ms"
+        )
+    batch = results.get("forest_predict_batch")
+    if batch is not None:
+        lines.append(
+            f"forest predict, batch {batch['rows']}x{batch['features']}:"
+            f" {batch['seconds_median'] * 1e3:9.1f} ms"
+            f" ({batch['speedup_vs_reference']:.1f}x vs node walk)"
+        )
+    plan = results.get("partition_planning")
+    if plan is not None:
+        lines.append(
+            f"partition sweep ({plan['plans']} plans):"
+            f" {plan['seconds_median'] * 1e3:9.1f} ms cold,"
+            f" {plan['cached_seconds_median'] * 1e3:.2f} ms cached"
+        )
+    sim = results.get("large_scale")
+    if sim is not None:
+        lines.append(
+            f"large scale ({sim['clients']} clients, {sim['steps']} steps):"
+            f" {sim['seconds_median'] * 1e3:9.1f} ms"
+            f" ({sim['speedup_vs_reference']:.2f}x vs node walk)"
+        )
+    sharded = results.get("large_scale_sharded")
+    if sharded is not None:
+        lines.append(
+            f"sharded ({sharded['clients']} clients, {sharded['steps']} steps,"
+            f" {sharded['shards']} shards x {sharded['workers']} workers):"
+            f" {sharded['seconds_median']:9.2f} s"
+            f" ({sharded['clients_steps_per_second']:,.0f} client-steps/s,"
+            f" {sharded['speedup_vs_reference']:.2f}x vs scalar)"
+        )
+    checkpointed = results.get("large_scale_sharded_checkpointed")
+    if checkpointed is not None:
+        lines.append(
+            f"sharded + checkpoint spill:"
+            f" {checkpointed['seconds_median']:9.2f} s"
+            f" ({checkpointed['seconds_median'] / checkpointed['baseline_seconds_median'] - 1.0:+.1%}"
+            f" vs in-memory merge)"
+        )
+    hundred_k = results.get("large_scale_sharded_100k")
+    if hundred_k is not None:
+        lines.append(
+            f"sharded 100k shape ({hundred_k['clients']} clients,"
+            f" {hundred_k['steps']} steps, {hundred_k['shards']} shards x"
+            f" {hundred_k['workers']} workers):"
+            f" {hundred_k['seconds_median']:9.2f} s"
+            f" ({hundred_k['clients_steps_per_second_per_worker']:,.0f}"
+            f" client-steps/s/worker,"
+            f" {hundred_k['speedup_vs_10k_per_worker']:.2f}x vs committed 10k,"
+            f" peak RSS {hundred_k['peak_rss_mb']:,.0f} MB)"
+        )
+    return lines

@@ -194,6 +194,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     sharded_only = {
         "--resume": args.resume,
+        "--model-cache": args.model_cache is not None,
         "--allow-partial": args.allow_partial,
         "--shard-timeout": args.shard_timeout is not None,
         "--shard-attempts": args.shard_attempts != 3,
@@ -224,6 +225,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         faults=profile,
         overload=overload,
     )
+    profiler = None
+    if args.profile_top is not None:
+        # Parent-process view: for sharded runs the shard simulations
+        # execute in worker processes, so the profile shows setup,
+        # supervision, and the streaming merge — which is exactly the
+        # parent-side cost worth inspecting.  Unsharded runs profile the
+        # whole simulation.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if sharded:
         try:
             result = run_large_scale_sharded(
@@ -236,6 +248,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 supervision=supervision,
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
+                model_cache_dir=args.model_cache,
             )
         except ShardError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -256,6 +269,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             return 2
     else:
         result = run_large_scale(dataset, partitioner, settings, config=config)
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(
+            args.profile_top
+        )
+        print(f"profile (top {args.profile_top} by cumulative time):")
+        print(buffer.getvalue().rstrip())
     if args.telemetry:
         assert result.telemetry is not None
         meta = {
@@ -370,9 +395,14 @@ def cmd_predictors(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_benchmarks, summary_lines, write_results
 
-    doc = run_benchmarks(
-        quick=args.quick, seed=args.seed, repeats=args.repeats
-    )
+    try:
+        doc = run_benchmarks(
+            quick=args.quick, seed=args.seed, repeats=args.repeats,
+            only=args.only,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for line in summary_lines(doc):
         print(line)
     if args.out:
@@ -463,6 +493,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip shards already completed in "
                                "--checkpoint-dir by an interrupted run "
                                "(settings fingerprint must match)")
+    simulate.add_argument("--model-cache", metavar="DIR", default=None,
+                          help="cache the trained predictor/estimator "
+                               "blob here, keyed by a model fingerprint; "
+                               "repeat runs over the same dataset/seed "
+                               "skip training (sharded runs only)")
+    simulate.add_argument("--profile", type=positive_int, default=None,
+                          metavar="N", dest="profile_top",
+                          help="run under cProfile and print the top N "
+                               "functions by cumulative time")
     simulate.add_argument("--allow-partial", action="store_true",
                           help="merge without shards that exhausted their "
                                "retry budget instead of failing the run; "
@@ -519,6 +558,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timing repeats per benchmark "
                             "(default: 5, or 3 with --quick)")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--only", metavar="CASE", default=None,
+                       help="run a single benchmark case (forest, "
+                            "partition, large_scale, large_scale_sharded, "
+                            "large_scale_sharded_checkpointed, "
+                            "large_scale_sharded_100k); the document is "
+                            "marked partial")
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="write the BENCH_perf.json document here")
 

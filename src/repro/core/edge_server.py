@@ -57,6 +57,20 @@ class EdgeServer:
         self.telemetry = telemetry
         self._cache: dict[int, CachedModel] = {}
         self._active_clients: set[int] = set()
+        # Hot-path counter objects, resolved once instead of per lookup
+        # (registry counters are stable singletons per (name, labels)).
+        if telemetry is not None:
+            self._lookup_hit = telemetry.counter(
+                "cache.lookups", {"outcome": "hit"}
+            )
+            self._lookup_miss = telemetry.counter(
+                "cache.lookups", {"outcome": "miss"}
+            )
+            self._bytes_added = telemetry.counter("cache.bytes_added")
+        else:
+            self._lookup_hit = None
+            self._lookup_miss = None
+            self._bytes_added = None
 
     # ------------------------------------------------------------------
     # GPU state
@@ -99,13 +113,11 @@ class EdgeServer:
         """Cached bytes of the client's model at ``version`` (stale = 0)."""
         entry = self._cache.get(client_id)
         if entry is None or entry.version != version:
-            if self.telemetry is not None:
-                self.telemetry.counter(
-                    "cache.lookups", {"outcome": "miss"}
-                ).inc()
+            if self._lookup_miss is not None:
+                self._lookup_miss.inc()
             return 0.0
-        if self.telemetry is not None:
-            self.telemetry.counter("cache.lookups", {"outcome": "hit"}).inc()
+        if self._lookup_hit is not None:
+            self._lookup_hit.inc()
         return entry.received_bytes
 
     def add_bytes(
@@ -130,8 +142,8 @@ class EdgeServer:
             self._cache[client_id] = entry
         entry.received_bytes += nbytes
         entry.refresh(now_interval, ttl_intervals)
-        if self.telemetry is not None:
-            self.telemetry.counter("cache.bytes_added").inc(nbytes)
+        if self._bytes_added is not None:
+            self._bytes_added.inc(nbytes)
         return entry.received_bytes
 
     def refresh_ttl(

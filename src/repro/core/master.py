@@ -322,9 +322,78 @@ class MasterServer:
                 )
             return []
         predicted = self.predictor.predict_point(window)
-        targets = self.registry.servers_within(
-            predicted, self.config.migration_radius_m
+        return self._migrate_to_predicted(client, interval, predicted)
+
+    def proactive_migrate_batch(
+        self, clients: Iterable[MobileClient], interval: int
+    ) -> None:
+        """One interval of :meth:`proactive_migrate` over many clients.
+
+        Collects every eligible client's mobility window and predicts all
+        next locations in a single :meth:`PointPredictor.predict_points`
+        call (whose per-row output is bit-identical to the scalar
+        ``predict_point`` — the predictors compute row-independently), then
+        replays the per-client transfer logic in client order so fault
+        events, GPU-ping RNG draws, and traffic records land exactly as
+        the scalar loop would.
+        """
+        if self.policy is not MigrationPolicy.PERDNN:
+            return
+        assert self.predictor is not None
+        eligible: list[tuple[MobileClient, np.ndarray]] = []
+        for client in clients:
+            window = client.recent_window()
+            if window is None or client.current_server is None:
+                continue
+            if not self.server_available(client.current_server, interval):
+                continue
+            eligible.append((client, window))
+        if not eligible:
+            return
+        if (
+            self.fault_schedule is not None
+            and not self.fault_schedule.backhaul_available(interval)
+        ):
+            if self.telemetry is not None:
+                for client, _ in eligible:
+                    record_fault(
+                        self.telemetry, interval, "backhaul_blocked",
+                        server_id=client.current_server,
+                        client_id=client.client_id,
+                    )
+            return
+        windows = np.stack([window for _, window in eligible])
+        predictions = self.predictor.predict_points(windows)
+        points = [
+            (float(point[0]), float(point[1])) for point in predictions
+        ]
+        # One chunked radius query for every predicted location; each row
+        # equals the scalar ``servers_within`` call the per-client path
+        # makes.
+        targets_list = self.registry.servers_within_batch(
+            points, self.config.migration_radius_m
         )
+        for (client, _), point, targets in zip(
+            eligible, points, targets_list
+        ):
+            self._migrate_to_predicted(client, interval, point, targets)
+
+    def _migrate_to_predicted(
+        self,
+        client: MobileClient,
+        interval: int,
+        predicted: tuple[float, float],
+        targets: list[int] | None = None,
+    ) -> list[MigrationRecord]:
+        """Transfer layers toward one client's predicted next location.
+
+        ``targets`` lets the batched caller hand in a precomputed
+        ``servers_within(predicted, migration_radius_m)`` row.
+        """
+        if targets is None:
+            targets = self.registry.servers_within(
+                predicted, self.config.migration_radius_m
+            )
         source = self.server(client.current_server)
         version = client.model_version
         source_bytes = source.cached_bytes(client.client_id, version)
@@ -352,14 +421,13 @@ class MasterServer:
                 continue
             live_targets.append(self.server(target_id))
         slowdowns = self.estimate_slowdowns(live_targets)
+        partition = self.partitioner_for(client.client_id).partition
         records: list[MigrationRecord] = []
         for target in live_targets:
             target_id = target.server_id
             # Future partitioning plan, with the *current* GPU workload of
             # the target (assumed stable over the next interval, §3.C.2).
-            future_plan = self.partitioner_for(client.client_id).partition(
-                slowdowns[target_id]
-            )
+            future_plan = partition(slowdowns[target_id])
             needed = self._byte_budget(
                 source.server_id, target_id, future_plan.server_bytes
             )

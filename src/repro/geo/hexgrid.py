@@ -125,8 +125,10 @@ class HexGrid:
         if distance < 0:
             raise ValueError("distance must be non-negative")
         origin = self.cell_of(point)
-        # Ring bound: adjacent centres are sqrt(3)*radius apart.
-        rings = int(math.ceil(distance / (math.sqrt(3.0) * self.radius))) + 1
+        # Ring bound: centres at hex-hop k are at least 1.5*radius*k away
+        # (the apothem of the hop-k ring), and ``point`` sits at most one
+        # circumradius from its cell centre — the +1 covers that.
+        rings = int(math.ceil(distance / (1.5 * self.radius))) + 1
         x, y = point
         found: list[HexCell] = []
         for dq in range(-rings, rings + 1):

@@ -10,7 +10,8 @@ within r metres of this location*.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+import math
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -24,6 +25,10 @@ class EdgeServerRegistry:
         self.grid = grid
         self._cell_to_server: dict[HexCell, int] = {}
         self._server_to_cell: dict[int, HexCell] = {}
+        # Flat views of every allocated server (centres, cells, ids) in
+        # cell-sorted order, built lazily for the vectorized radius query
+        # and invalidated whenever a server is allocated.
+        self._radius_index: tuple[np.ndarray, list[int]] | None = None
 
     @classmethod
     def from_visited_points(
@@ -56,6 +61,7 @@ class EdgeServerRegistry:
         server_id = len(self._cell_to_server)
         self._cell_to_server[cell] = server_id
         self._server_to_cell[server_id] = cell
+        self._radius_index = None
         return server_id
 
     @property
@@ -103,10 +109,110 @@ class EdgeServerRegistry:
     def server_for_cell(self, cell: HexCell) -> int | None:
         return self._cell_to_server.get(cell)
 
+    def _build_radius_index(self) -> tuple[np.ndarray, list[int]]:
+        """Centres/ids of every allocated server, sorted by cell ``(q, r)``.
+
+        The sort matches the order :meth:`~repro.geo.hexgrid.HexGrid.cells_within`
+        returns cells in, so the vectorized radius query below reproduces
+        the reference enumeration order exactly.
+        """
+        index = self._radius_index
+        if index is not None:
+            return index
+        cells = sorted(self._cell_to_server)
+        ids = [self._cell_to_server[cell] for cell in cells]
+        if cells:
+            centers = np.array(
+                [self.grid.center(cell) for cell in cells], dtype=float
+            )
+        else:
+            centers = np.empty((0, 2), dtype=float)
+        index = (centers, ids)
+        self._radius_index = index
+        return index
+
     def servers_within(
         self, point: tuple[float, float], distance: float
     ) -> list[int]:
-        """Ids of allocated servers whose cell centre is within ``distance``."""
+        """Ids of allocated servers whose cell centre is within ``distance``.
+
+        Equivalent to scanning :meth:`HexGrid.cells_within` for allocated
+        cells (kept as :meth:`_servers_within_reference`), but instead of
+        enumerating candidate cells it filters the allocated-server centre
+        array: a vectorized squared-distance prefilter with a safety
+        margin, then the exact ``math.hypot(...) <= distance`` comparison
+        the reference uses on the few survivors.  Same servers, same
+        (cell-sorted) order, same float comparisons.
+        """
+        if distance < 0:
+            raise ValueError("distance must be non-negative")
+        centers, ids = self._build_radius_index()
+        if not ids:
+            return []
+        x, y = point
+        dx = centers[:, 0] - x
+        dy = centers[:, 1] - y
+        # Superset prefilter: hypot is correctly rounded, so anything it
+        # reports within `distance` has squared distance at most a hair
+        # above distance**2; the margin covers that hair.
+        threshold = (distance * (1.0 + 1e-9)) ** 2 + 1e-9
+        candidates = np.nonzero(dx * dx + dy * dy <= threshold)[0]
+        return [
+            ids[i]
+            for i in candidates.tolist()
+            if math.hypot(centers[i, 0] - x, centers[i, 1] - y) <= distance
+        ]
+
+    def servers_within_batch(
+        self, points: Sequence[tuple[float, float]], distance: float
+    ) -> list[list[int]]:
+        """:meth:`servers_within` for many points in one array pass.
+
+        Row ``i`` of the result equals ``servers_within(points[i],
+        distance)`` exactly — the prefilter runs as one chunked
+        ``(points, servers)`` distance-squared matrix, and survivors get
+        the same scalar ``math.hypot`` comparison (on the same array
+        reads) the per-point query applies.  Used by the proactive
+        migration pass, which needs the radius neighbourhood of every
+        client's predicted location each interval.
+        """
+        if distance < 0:
+            raise ValueError("distance must be non-negative")
+        points = list(points)
+        centers, ids = self._build_radius_index()
+        if not ids or not points:
+            return [[] for _ in points]
+        pts = np.asarray(points, dtype=float).reshape(len(points), 2)
+        threshold = (distance * (1.0 + 1e-9)) ** 2 + 1e-9
+        out: list[list[int]] = []
+        # Chunk rows so the candidate matrix stays small regardless of
+        # how many points one interval asks about.
+        chunk = max(1, 4_000_000 // max(1, centers.shape[0]))
+        cx = centers[:, 0]
+        cy = centers[:, 1]
+        for start in range(0, pts.shape[0], chunk):
+            block = pts[start : start + chunk]
+            dx = cx[np.newaxis, :] - block[:, 0][:, np.newaxis]
+            dy = cy[np.newaxis, :] - block[:, 1][:, np.newaxis]
+            mask = dx * dx + dy * dy <= threshold
+            rows, cols = np.nonzero(mask)
+            split_at = np.searchsorted(rows, np.arange(1, block.shape[0]))
+            for row, candidates in enumerate(np.split(cols, split_at)):
+                x, y = block[row, 0], block[row, 1]
+                out.append(
+                    [
+                        ids[i]
+                        for i in candidates.tolist()
+                        if math.hypot(centers[i, 0] - x, centers[i, 1] - y)
+                        <= distance
+                    ]
+                )
+        return out
+
+    def _servers_within_reference(
+        self, point: tuple[float, float], distance: float
+    ) -> list[int]:
+        """Reference radius query: enumerate cells, probe the allocation."""
         servers = []
         for cell in self.grid.cells_within(point, distance):
             server_id = self._cell_to_server.get(cell)

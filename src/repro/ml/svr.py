@@ -85,7 +85,15 @@ class LinearSVR:
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self.weights_.shape[0]:
             raise ValueError(f"expected shape (n, {self.weights_.shape[0]})")
-        return X @ self.weights_ + self.bias_
+        # Column-sweep accumulation instead of BLAS `X @ w`: each row's
+        # result is the same fixed left-to-right sum regardless of how many
+        # rows are in the batch, so predicting m windows at once is
+        # bit-identical to m single-row calls.  (BLAS gemv re-blocks by
+        # batch shape and breaks that row independence.)
+        out = np.full(X.shape[0], self.bias_, dtype=float)
+        for j, weight in enumerate(self.weights_.tolist()):
+            out += X[:, j] * weight
+        return out
 
 
 class MultiOutputLinearSVR:

@@ -42,52 +42,78 @@ class TrafficSummary:
         return ranked[:count]
 
 
-def merge_summaries(
-    parts: Sequence[tuple[TrafficSummary, int]],
-) -> TrafficSummary:
-    """Combine per-shard summaries into one region-wide view.
+class TrafficFold:
+    """Streaming fold of per-shard summaries into one region-wide view.
 
-    Each entry pairs a shard's summary with that shard's server-id offset
+    Incremental form of :func:`merge_summaries`: shards are
+    :meth:`add`-ed one at a time and only the *merged* state is retained —
+    the combined per-server peak table (which the final summary contains
+    anyway), one peak candidate per shard, and one running total per shard
+    (kept as a list so the final total is the same exact :func:`math.fsum`
+    the one-shot merge computes).  Peak memory is therefore the merged
+    footprint plus a single shard's summary, independent of shard count.
+
+    Each shard pairs its summary with that shard's server-id offset
     (shards number their servers from 0; the offset rebases them into the
     merged id space, so per-server keys are disjoint).  The result is
     order-independent: totals use exact summation, and the global peak is
     the maximum shard peak with ties broken by the smallest rebased
     ``(server, interval)``.
     """
-    server_peaks: dict[int, float] = {}
-    candidates: list[tuple[float, int, int]] = []
-    for summary, offset in parts:
+
+    def __init__(self) -> None:
+        self._server_peaks: dict[int, float] = {}
+        self._candidates: list[tuple[float, int, int]] = []
+        self._totals: list[float] = []
+
+    def add(self, summary: TrafficSummary, offset: int) -> None:
+        """Fold one shard's summary in, rebasing its server ids."""
         for server_id, peak in summary.server_peaks_mbps.items():
             rebased = server_id + offset
-            if rebased in server_peaks:
+            if rebased in self._server_peaks:
                 raise ValueError(
                     f"server id collision at {rebased}: offsets must make "
                     "shard id ranges disjoint"
                 )
-            server_peaks[rebased] = peak
+            self._server_peaks[rebased] = peak
         if summary.peak_server is not None:
-            candidates.append(
+            self._candidates.append(
                 (
                     summary.peak_mbps,
                     summary.peak_server + offset,
                     summary.peak_interval,
                 )
             )
-    total = math.fsum(summary.total_bytes for summary, _ in parts)
-    peak_mbps, peak_server, peak_interval = 0.0, None, None
-    if candidates:
-        best = max(candidate[0] for candidate in candidates)
-        peak_mbps, peak_server, peak_interval = min(
-            (c for c in candidates if c[0] == best),
-            key=lambda c: (c[1], c[2]),
+        self._totals.append(summary.total_bytes)
+
+    def summary(self) -> TrafficSummary:
+        """The merged summary over everything folded so far."""
+        total = math.fsum(self._totals)
+        peak_mbps, peak_server, peak_interval = 0.0, None, None
+        if self._candidates:
+            best = max(candidate[0] for candidate in self._candidates)
+            peak_mbps, peak_server, peak_interval = min(
+                (c for c in self._candidates if c[0] == best),
+                key=lambda c: (c[1], c[2]),
+            )
+        return TrafficSummary(
+            peak_mbps=peak_mbps,
+            peak_server=peak_server,
+            peak_interval=peak_interval,
+            total_bytes=total,
+            server_peaks_mbps=self._server_peaks,
         )
-    return TrafficSummary(
-        peak_mbps=peak_mbps,
-        peak_server=peak_server,
-        peak_interval=peak_interval,
-        total_bytes=total,
-        server_peaks_mbps=server_peaks,
-    )
+
+
+def merge_summaries(
+    parts: Sequence[tuple[TrafficSummary, int]],
+) -> TrafficSummary:
+    """One-shot :class:`TrafficFold` over ``parts`` (kept for callers that
+    already hold every summary in memory)."""
+    fold = TrafficFold()
+    for summary, offset in parts:
+        fold.add(summary, offset)
+    return fold.summary()
 
 
 class TrafficMeter:
@@ -104,6 +130,11 @@ class TrafficMeter:
         self.telemetry = telemetry
         self._uplink: dict[tuple[int, int], float] = defaultdict(float)
         self._downlink: dict[tuple[int, int], float] = defaultdict(float)
+        # Resolved on first record() so metric creation order is exactly
+        # what the per-call lookups produced; record() is hot at city
+        # scale (one call per proactive transfer).
+        self._transfers_counter = None
+        self._bytes_counter = None
 
     def record(
         self, interval: int, source: int, destination: int, nbytes: float
@@ -116,8 +147,15 @@ class TrafficMeter:
         self._uplink[(source, interval)] += nbytes
         self._downlink[(destination, interval)] += nbytes
         if self.telemetry is not None:
-            self.telemetry.counter("net.backhaul_transfers").inc()
-            self.telemetry.counter("net.backhaul_bytes").inc(nbytes)
+            if self._transfers_counter is None:
+                self._transfers_counter = self.telemetry.counter(
+                    "net.backhaul_transfers"
+                )
+                self._bytes_counter = self.telemetry.counter(
+                    "net.backhaul_bytes"
+                )
+            self._transfers_counter.inc()
+            self._bytes_counter.inc(nbytes)
 
     def _summarize(self, table: dict[tuple[int, int], float]) -> TrafficSummary:
         peak = 0.0

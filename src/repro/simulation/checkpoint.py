@@ -36,6 +36,7 @@ from repro.telemetry import Event, MetricsRegistry, event_from_dict
 #: Schema tags (bumped together when the on-disk layout changes).
 CHECKPOINT_SCHEMA = "perdnn-checkpoint/1"
 SHARD_SCHEMA = "perdnn-shard/1"
+MODELS_SCHEMA = "perdnn-models/1"
 
 MANIFEST_NAME = "MANIFEST.json"
 
@@ -100,6 +101,93 @@ def run_fingerprint(
         json.dumps(payload, sort_keys=True, default=str).encode()
     )
     return hasher.hexdigest()
+
+
+def model_fingerprint(
+    dataset: TrajectoryDataset,
+    settings,
+    config: PerDNNConfig,
+    model_names: list[str],
+) -> str:
+    """Digest everything that determines the *trained models*.
+
+    Strictly coarser than :func:`run_fingerprint`: two runs that agree
+    here train bit-identical predictor/estimator pairs even if they
+    differ in shard size, fault profile, horizon, or fast-path toggles —
+    model training consumes only the train split (dataset +
+    ``replay_fraction``), the run seed, the policy (whether a mobility
+    predictor is fit at all), the prediction history length, the
+    contention-estimator toggle, and the partitioner pool (the estimator
+    profiles the first model's layers).
+    """
+    hasher = hashlib.sha256()
+    hasher.update(MODELS_SCHEMA.encode())
+    for trajectory in dataset.trajectories:
+        points = np.ascontiguousarray(trajectory.points, dtype=np.float64)
+        hasher.update(str(points.shape[0]).encode())
+        hasher.update(points.tobytes())
+    payload = {
+        "interval_seconds": dataset.interval_seconds,
+        "replay_fraction": settings.replay_fraction,
+        "seed": settings.seed,
+        "policy": settings.policy.value,
+        "use_contention_estimator": settings.use_contention_estimator,
+        "prediction_history": config.prediction_history,
+        "models": list(model_names),
+    }
+    hasher.update(json.dumps(payload, sort_keys=True, default=str).encode())
+    return hasher.hexdigest()
+
+
+class ModelCache:
+    """On-disk cache of the trained (predictor, estimator) pickle blob.
+
+    Keyed by :func:`model_fingerprint`, so a repeat run over the same
+    dataset/seed skips the dominant fixed cost of city-scale setup —
+    random-forest contention profiling plus SVR mobility training — and
+    broadcasts the cached bytes to shard workers instead.  Pickle
+    round-trips every float bit-exactly and the parent consumes no RNG
+    after training, so a cache hit leaves the merged telemetry
+    byte-identical to a freshly-trained run (pinned by the model-cache
+    test suite).  Writes are atomic (temp file + rename); unreadable or
+    mismatched entries are treated as misses and overwritten.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = os.fspath(directory)
+
+    def prepare(self) -> None:
+        """Create the directory and prove it is writable."""
+        probe = os.path.join(self.directory, ".write-probe")
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(probe, "w", encoding="utf-8") as handle:
+                handle.write("ok")
+            os.remove(probe)
+        except OSError as exc:
+            raise ValueError(
+                f"model cache directory {self.directory!r} is not "
+                f"writable: {exc}"
+            ) from exc
+
+    def path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"models-{fingerprint}.pkl")
+
+    def load(self, fingerprint: str) -> bytes | None:
+        """The cached blob for ``fingerprint``, or None on a miss."""
+        try:
+            with open(self.path(fingerprint), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def store(self, fingerprint: str, blob: bytes) -> str:
+        path = self.path(fingerprint)
+        temp = f"{path}.tmp"
+        with open(temp, "wb") as handle:
+            handle.write(blob)
+        os.replace(temp, path)
+        return path
 
 
 def _summary_to_doc(summary: TrafficSummary) -> dict:

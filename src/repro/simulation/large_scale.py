@@ -48,12 +48,18 @@ from repro.overload import (
 )
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.profiling.profiler import generate_contention_dataset
-from repro.simulation.query_loop import run_local_window, run_query_window
+from repro.simulation.query_loop import (
+    QUERY_LATENCY_BUCKETS,
+    _steady_query_count,
+    run_local_window,
+    run_query_window,
+)
 from repro.simulation.vectorized import ClientArrays, propose_associations
 from repro.telemetry import (
     AssociationEvent,
     ColdStartEvent,
     Histogram,
+    NullEventTrace,
     QueryWindowEvent,
     Telemetry,
 )
@@ -292,6 +298,275 @@ def train_default_estimator(
         rounds_per_count=6,
     )
     return ContentionEstimator(rng=rng).fit(samples)
+
+
+def _batched_query_windows(
+    active: list[MobileClient],
+    master: MasterServer,
+    metrics,
+    telemetry: Telemetry,
+    config: PerDNNConfig,
+    interval: float,
+    step: int,
+    optimal: bool,
+    faults_on: bool,
+    fault_schedule: FaultSchedule | None,
+    local_this_step: set[int],
+    associated_this_step: set[int],
+    count_memo: dict,
+) -> None:
+    """Phase 3 (query windows) over all active clients in one batched pass.
+
+    Byte-identical to the per-client scalar fast path, restructured for
+    throughput:
+
+    * one partitioning plan per distinct ``(server, partitioner)`` pair
+      instead of one ``plan_for`` call per client, with the partitioner's
+      plan-cache hit counters compensated so the per-run cache stats match
+      the scalar path's one-``partition()``-call-per-client semantics;
+    * order-free int counters (windows, completed queries, per-model
+      tallies, cold-start verdicts, plan calls) accumulated locally and
+      incremented once per interval — final counter values are exact ints
+      either way;
+    * order-*sensitive* state replayed per client in client order: the
+      ``query.latency_seconds`` histogram (float sum accumulation), every
+      trace event (cold start, upload-drop fault, query window), upload
+      backoff mutations, and server cache updates;
+    * steady-state windows (nothing left to upload, or uploads gated off)
+      resolved via the shared memoized count recurrence without calling
+      :func:`run_query_window`; windows with upload progress fall through
+      to the exact scalar integrator, which emits its own telemetry
+      in-place so histogram order is preserved.
+
+    Overload and routing runs keep the per-client loop (shedding decides
+    per client whether a server is planned at all, and routing meters
+    per-client backhaul), as do reference (non-fast) runs.  With
+    ``record_timings`` enabled the scalar path would additionally record
+    per-call ``master.plan.seconds`` samples; timings are wall-clock and
+    never byte-deterministic, so the batched path does not reproduce them.
+    """
+    trace = telemetry.trace
+    events_on = not isinstance(trace, NullEventTrace)
+    query_gap = config.query_gap_seconds
+    ttl = config.ttl_intervals
+    hit_fraction = config.hit_byte_fraction
+    uplink_default = config.network.uplink_bps
+    partitioner_for = master.partitioner_for
+    server_of = master.server
+    memo_get = count_memo.get
+    latency_hist: Histogram | None = None
+
+    n_windows = 0
+    completed_total = 0
+    local_fallback_total = 0
+    n_local = 0
+    retries = 0
+    plan_calls = 0
+    coldstart_hits = 0
+    coldstart_misses = 0
+    any_coldstart = False
+    coldstart_queries = 0
+    per_model: dict[str, int] = {}
+    # id(partitioner) -> (model_name, local_latency | None); plans per
+    # (server, partitioner) pair are per-interval (slowdowns re-ping).
+    partitioner_info: dict[int, list] = {}
+    plan_cache: dict[tuple[int, int], object] = {}
+
+    for client in active:
+        cid = client.client_id
+        if faults_on and cid in local_this_step:
+            client_partitioner = partitioner_for(cid)
+            pid = id(client_partitioner)
+            info = partitioner_info.get(pid)
+            if info is None:
+                info = [client_partitioner.graph.name, None]
+                partitioner_info[pid] = info
+            if info[1] is None:
+                info[1] = client_partitioner.local_latency()
+            local_latency = info[1]
+            key = (0.0, local_latency, query_gap, interval)
+            count = memo_get(key)
+            if count is None:
+                count = _steady_query_count(
+                    0.0, local_latency, query_gap, interval, count_memo
+                )
+            n_windows += 1
+            n_local += 1
+            if count:
+                completed_total += count
+                local_fallback_total += count
+                if latency_hist is None:
+                    latency_hist = metrics.histogram(
+                        "query.latency_seconds", QUERY_LATENCY_BUCKETS
+                    )
+                latency_hist.observe_repeated(local_latency, count)
+            model_name = info[0]
+            per_model[model_name] = per_model.get(model_name, 0) + count
+            if events_on:
+                trace.record(
+                    QueryWindowEvent(
+                        interval=step,
+                        client_id=cid,
+                        server_id=None,
+                        queries=count,
+                        coldstart=False,
+                        end_bytes=0.0,
+                    )
+                )
+            continue
+        assert client.current_server is not None
+        server_id = client.current_server
+        server = server_of(server_id)
+        client_partitioner = partitioner_for(cid)
+        pid = id(client_partitioner)
+        info = partitioner_info.get(pid)
+        if info is None:
+            info = [client_partitioner.graph.name, None]
+            partitioner_info[pid] = info
+        plan_key = (server_id, pid)
+        plan = plan_cache.get(plan_key)
+        if plan is None:
+            plan = client_partitioner.partition(
+                master.estimate_slowdown(server)
+            )
+            plan_cache[plan_key] = plan
+        else:
+            # The scalar path calls partition() once per client; after the
+            # first call per (server, partitioner) every later call is a
+            # plan-cache hit on the same quantized key.
+            client_partitioner.cache_hits += 1
+        plan_calls += 1
+        schedule = plan.schedule
+        total_bytes = schedule.total_bytes
+        if optimal:
+            cached = total_bytes
+        else:
+            cached = server.cached_bytes(cid, client.model_version)
+            if cached > total_bytes:
+                cached = total_bytes
+        coldstart = cid in associated_this_step
+        if coldstart:
+            threshold = hit_fraction * total_bytes
+            hit = total_bytes <= 0 or cached + 1e-6 >= threshold
+            if hit:
+                coldstart_hits += 1
+            else:
+                coldstart_misses += 1
+            if events_on:
+                trace.record(
+                    ColdStartEvent(
+                        interval=step,
+                        client_id=cid,
+                        server_id=server_id,
+                        hit=hit,
+                        cached_bytes=cached,
+                        required_bytes=total_bytes,
+                    )
+                )
+        uploading = not optimal
+        uplink_bps = uplink_default
+        if faults_on and uploading:
+            if not client.upload_allowed(step):
+                uploading = False  # backing off after dropped uploads
+            else:
+                if client.upload_failures > 0:
+                    retries += 1
+                if fault_schedule.upload_dropped(cid, step):
+                    client.record_upload_drop(step)
+                    record_fault(
+                        telemetry, step, "upload_drop",
+                        server_id=server_id, client_id=cid,
+                    )
+                    uploading = False
+                else:
+                    client.record_upload_success()
+                    factor = fault_schedule.uplink_factor(step)
+                    if factor < 1.0:
+                        uplink_bps = config.network.degraded(factor).uplink_bps
+        if not uploading or uplink_bps == 0.0 or cached >= total_bytes:
+            # Steady window: constant latency, no byte movement (matches
+            # run_query_window's fast branch value for value).
+            latency = schedule.latency_after_bytes(cached)
+            key = (0.0, latency, query_gap, interval)
+            count = memo_get(key)
+            if count is None:
+                count = _steady_query_count(
+                    0.0, latency, query_gap, interval, count_memo
+                )
+            n_windows += 1
+            if count:
+                completed_total += count
+                if latency_hist is None:
+                    latency_hist = metrics.histogram(
+                        "query.latency_seconds", QUERY_LATENCY_BUCKETS
+                    )
+                latency_hist.observe_repeated(latency, count)
+            end_bytes = (
+                total_bytes if uploading and uplink_bps != 0.0 else cached
+            )
+        else:
+            outcome = run_query_window(
+                schedule,
+                start_bytes=cached,
+                uplink_bps=uplink_bps,
+                duration=interval,
+                query_gap=query_gap,
+                uploading=uploading,
+                telemetry=metrics,
+                fast=True,
+                count_memo=count_memo,
+            )
+            count = outcome.count
+            end_bytes = outcome.end_bytes
+        model_name = info[0]
+        per_model[model_name] = per_model.get(model_name, 0) + count
+        if coldstart:
+            any_coldstart = True
+            coldstart_queries += count
+        if events_on:
+            trace.record(
+                QueryWindowEvent(
+                    interval=step,
+                    client_id=cid,
+                    server_id=server_id,
+                    queries=count,
+                    coldstart=coldstart,
+                    end_bytes=end_bytes,
+                )
+            )
+        if not optimal:
+            if end_bytes - cached > 0:
+                server.add_bytes(cid, end_bytes - cached, step, ttl,
+                                 client.model_version)
+            else:
+                server.refresh_ttl(cid, step, ttl, client.model_version)
+
+    if faults_on:
+        metrics.counter("resilience.client_intervals").inc(len(active))
+        if n_local:
+            metrics.counter("resilience.local_intervals").inc(n_local)
+        if retries:
+            metrics.counter("resilience.retries").inc(retries)
+    if plan_calls:
+        metrics.counter("master.plan.calls").inc(plan_calls)
+    if n_windows:
+        metrics.counter("query.windows").inc(n_windows)
+    if completed_total:
+        metrics.counter("query.completed").inc(completed_total)
+    if local_fallback_total:
+        metrics.counter("query.local_fallback").inc(local_fallback_total)
+    for model_name, count in per_model.items():
+        metrics.counter("sim.queries", {"model": model_name}).inc(count)
+    if coldstart_hits:
+        metrics.counter("sim.cold_start", {"outcome": "hit"}).inc(
+            coldstart_hits
+        )
+    if coldstart_misses:
+        metrics.counter("sim.cold_start", {"outcome": "miss"}).inc(
+            coldstart_misses
+        )
+    if any_coldstart:
+        metrics.counter("sim.coldstart_queries").inc(coldstart_queries)
 
 
 def run_large_scale(
@@ -544,8 +819,20 @@ def run_large_scale(
                 seen_servers.add(server_id)
                 planned_servers.append(master.server(server_id))
             master.estimate_slowdowns(planned_servers)
-        # 3. Query loops.
-        for client in active:
+        # 3. Query loops — one batched pass over every client on the fast
+        # path.  Overload and routing runs keep the per-client loop below
+        # (shedding/redirection decide per client what is planned, and
+        # routing meters per-client backhaul transfers).
+        if fast_sim and not overload_on and not routing:
+            _batched_query_windows(
+                active, master, metrics, telemetry, config, interval, step,
+                optimal, faults_on, fault_schedule, local_this_step,
+                associated_this_step, count_memo,
+            )
+            scalar_query_clients = []
+        else:
+            scalar_query_clients = active
+        for client in scalar_query_clients:
             if faults_on:
                 metrics.counter("resilience.client_intervals").inc()
                 if client.client_id in local_this_step:
@@ -805,10 +1092,16 @@ def run_large_scale(
                     )
         if overload_on:
             admission.export_gauges()
-        # 4. Proactive migration (records its own telemetry).
+        # 4. Proactive migration (records its own telemetry).  The fast
+        # path predicts every client's next location in one batched
+        # predictor call; the per-client transfer logic replays in client
+        # order either way.
         if settings.policy is MigrationPolicy.PERDNN:
-            for client in active:
-                master.proactive_migrate(client, step)
+            if fast_sim:
+                master.proactive_migrate_batch(active, step)
+            else:
+                for client in active:
+                    master.proactive_migrate(client, step)
         # 5. TTL eviction.
         master.expire_caches(step)
         step += 1

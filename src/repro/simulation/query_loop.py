@@ -106,13 +106,13 @@ def run_query_window(
     ``overload.queue_wait_seconds`` histogram.  With ``telemetry`` the
     window records each completed query and its (simulated) latency.
 
-    ``fast`` enables the steady-state shortcut: when no bytes move during
-    the window (nothing left to upload, or not uploading at all) every
-    query has the same latency, so the count comes from the memoized
-    serial recurrence and no per-query records are built.  Telemetry is
-    bit-identical to the scalar loop; only ``outcome.queries`` is empty
-    (``outcome.count`` still reports the tally).  Windows with upload
-    progress fall through to the exact scalar integration.
+    ``fast`` skips materializing per-query records: when no bytes move
+    during the window (nothing left to upload, or not uploading at all)
+    every query has the same latency and the count comes from the
+    memoized serial recurrence; windows with upload progress replay the
+    exact scalar integration record-free.  Telemetry is bit-identical to
+    the scalar loop either way; only ``outcome.queries`` is empty
+    (``outcome.count`` still reports the tally).
     """
     if duration < 0:
         raise ValueError("duration must be non-negative")
@@ -145,6 +145,77 @@ def run_query_window(
                 telemetry.histogram(
                     "query.latency_seconds", QUERY_LATENCY_BUCKETS
                 ).observe_repeated(latency, count)
+        return WindowOutcome(queries=(), end_bytes=end_bytes, num_queries=count)
+    if fast:
+        # Upload in progress: the exact serial integration, minus the
+        # per-query record objects.  Operation for operation the same float
+        # recurrence as the scalar loop below — the latency stage advances
+        # incrementally (received bytes are nondecreasing, so the stage
+        # index only moves right, landing exactly where bisect would) and
+        # consecutive queries at the same latency collapse into one
+        # ``observe_repeated`` replay, which is bit-identical to the
+        # per-query ``observe`` sequence.
+        cumulative = schedule._cumulative_list
+        latencies = schedule.latencies
+        num_stages = len(cumulative)
+        stage = 0
+        count = 0
+        runs: list[tuple[float, int]] = []  # (latency, consecutive queries)
+        run_latency = 0.0
+        run_count = 0
+        t = first_gap + (queue_wait or 0.0)
+        while True:
+            received = min(total, start_bytes + byte_rate * t)
+            nudged = received + 1e-9
+            while stage < num_stages and cumulative[stage] <= nudged:
+                stage += 1
+            latency = latencies[stage] + latency_overhead
+            if stage == num_stages:
+                # Past the last threshold the stage can never advance
+                # again: every remaining query repeats at this latency, so
+                # the tail is the steady recurrence starting at ``t`` —
+                # the memoized replay performs the identical serial
+                # ``t += latency + gap`` walk the loop below would.
+                tail = _steady_query_count(
+                    t, latency, query_gap, duration, count_memo
+                )
+                if tail:
+                    count += tail
+                    if run_count and latency == run_latency:
+                        run_count += tail
+                    else:
+                        if run_count:
+                            runs.append((run_latency, run_count))
+                        run_latency = latency
+                        run_count = tail
+                break
+            if t + latency > duration:
+                break
+            if run_count and latency == run_latency:
+                run_count += 1
+            else:
+                if run_count:
+                    runs.append((run_latency, run_count))
+                run_latency = latency
+                run_count = 1
+            count += 1
+            t += latency + query_gap
+        if run_count:
+            runs.append((run_latency, run_count))
+        end_bytes = min(total, start_bytes + byte_rate * duration)
+        if telemetry is not None:
+            telemetry.counter("query.windows").inc()
+            if queue_wait is not None:
+                telemetry.histogram(
+                    "overload.queue_wait_seconds", QUEUE_WAIT_BUCKETS
+                ).observe(queue_wait)
+            if count:
+                telemetry.counter("query.completed").inc(count)
+                histogram = telemetry.histogram(
+                    "query.latency_seconds", QUERY_LATENCY_BUCKETS
+                )
+                for run_latency, run_count in runs:
+                    histogram.observe_repeated(run_latency, run_count)
         return WindowOutcome(queries=(), end_bytes=end_bytes, num_queries=count)
     records: list[QueryRecord] = []
     t = first_gap + (queue_wait or 0.0)

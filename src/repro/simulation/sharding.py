@@ -48,11 +48,13 @@ from repro.geo.hexgrid import HexGrid
 from repro.ml.tree import fast_predict_enabled, set_fast_predict
 from repro.mobility.predictor import PointPredictor
 from repro.mobility.trajectory import TrajectoryDataset
-from repro.network.traffic import merge_summaries
+from repro.network.traffic import TrafficFold
 from repro.partitioning.partitioner import DNNPartitioner
 from repro.simulation.checkpoint import (
     CheckpointStore,
+    ModelCache,
     ShardRecord,
+    model_fingerprint,
     run_fingerprint,
 )
 from repro.simulation.large_scale import (
@@ -184,10 +186,9 @@ class _ShardJob:
     index: int
     dataset: TrajectoryDataset
     partitioner_blob: bytes  # pickled template: same warm cache per shard
+    models_blob: bytes  # pickled (predictor, estimator): serialized once
     settings: SimulationSettings
     config: PerDNNConfig
-    predictor: PointPredictor | None
-    contention_estimator: ContentionEstimator | None
     fast_simulate: bool
     fast_predict: bool
     record_events: bool
@@ -198,20 +199,23 @@ def _run_shard_job(job: _ShardJob) -> LargeScaleResult:
 
     The fast-path toggles are process globals, so the parent's setting is
     shipped explicitly (a spawned worker would not inherit a context
-    manager entered after the pool was created).
+    manager entered after the pool was created).  The trained models
+    arrive as one shared pickle blob — the parent serializes the forest
+    and SVR object graphs once instead of once per shard job.
     """
     previous_sim = set_fast_simulate(job.fast_simulate)
     previous_predict = set_fast_predict(job.fast_predict)
     try:
         partitioner = pickle.loads(job.partitioner_blob)
+        predictor, contention_estimator = pickle.loads(job.models_blob)
         telemetry = Telemetry.create(record_events=job.record_events)
         return run_large_scale(
             job.dataset,
             partitioner,
             job.settings,
             config=job.config,
-            predictor=job.predictor,
-            contention_estimator=job.contention_estimator,
+            predictor=predictor,
+            contention_estimator=contention_estimator,
             telemetry=telemetry,
         )
     finally:
@@ -279,15 +283,18 @@ def _merge_records(
     ``records`` is consumed *streamingly*, one shard at a time, in shard
     order: the registry fold (:func:`merge_registries`) pulls rebased
     registries from a generator that computes cumulative id offsets,
-    rebases trace events, and collects traffic summaries as a side
-    effect.  With a checkpoint store behind the iterable, no two shard
-    registries ever co-reside in memory — this is ROADMAP item 1(c)'s
-    streaming export.  The fold itself is permutation-invariant, so the
-    merged bytes match the old materialized merge exactly.
+    rebases trace events into the merged trace, and folds traffic
+    summaries into incremental :class:`TrafficFold` accumulators as side
+    effects.  With a checkpoint store behind the iterable, no two shard
+    records ever co-reside in memory — for *any* of the telemetry
+    (registries, events, traffic): merge peak memory is the merged
+    footprint plus a single shard, independent of shard count.  Every
+    fold is permutation-invariant, so the merged bytes match the old
+    materialized merge exactly.
     """
     trace = EventTrace()
-    uplinks: list[tuple] = []
-    downlinks: list[tuple] = []
+    uplink_fold = TrafficFold()
+    downlink_fold = TrafficFold()
     totals = {
         "clients": 0, "servers": 0, "hits": 0, "misses": 0, "shards": 0,
     }
@@ -303,12 +310,12 @@ def _merge_records(
             totals["misses"] += record.cache_misses
             totals["shards"] += 1
             clients_per_shard.append(record.num_clients)
-            for event in record.events:
-                trace.record(
-                    _rebase_event(event, client_offset, server_offset)
-                )
-            uplinks.append((record.uplink, server_offset))
-            downlinks.append((record.downlink, server_offset))
+            trace.extend(
+                _rebase_event(event, client_offset, server_offset)
+                for event in record.events
+            )
+            uplink_fold.add(record.uplink, server_offset)
+            downlink_fold.add(record.downlink, server_offset)
             yield _rebase_registry(record.registry, server_offset)
 
     merged_registry = merge_registries(rebased_registries(), GAUGE_MERGE_RULES)
@@ -346,8 +353,8 @@ def _merge_records(
         "workers": workers,
         "clients_per_shard": clients_per_shard,
     }
-    merged.uplink = merge_summaries(uplinks)
-    merged.downlink = merge_summaries(downlinks)
+    merged.uplink = uplink_fold.summary()
+    merged.downlink = downlink_fold.summary()
     return merged
 
 
@@ -371,15 +378,23 @@ def run_large_scale_sharded(
     supervision: SupervisorConfig | None = None,
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
+    model_cache_dir: str | os.PathLike | None = None,
 ) -> LargeScaleResult:
     """Run the large-scale simulation sharded over supervised workers.
 
     Drop-in sibling of :func:`run_large_scale` for populations far past
     what one interval loop can replay.  The predictor and contention
     estimator are trained once here (same rng order as the unsharded
-    entry point) and shared by every shard; the partitioner is pickled
-    once so each shard starts from an identical (possibly pre-warmed)
-    plan cache regardless of which worker runs it.
+    entry point), pickled into one blob, and broadcast to every shard
+    worker; the partitioner is likewise pickled once so each shard starts
+    from an identical (possibly pre-warmed) plan cache regardless of
+    which worker runs it.  With ``model_cache_dir`` the trained blob is
+    additionally persisted to disk keyed by :func:`model_fingerprint`,
+    so a repeat run over the same dataset/seed skips training entirely —
+    pickle round-trips every float bit-exactly and the parent consumes no
+    RNG after training, so a cache hit changes no merged bytes.  The
+    cache only engages when this call would train the default models
+    (explicitly passed ``predictor``/``contention_estimator`` bypass it).
 
     Shards run under :func:`~repro.simulation.supervisor.supervise`:
     worker crashes and per-shard timeouts are retried with
@@ -430,22 +445,50 @@ def run_large_scale_sharded(
     if checkpoint_dir is not None:
         store = CheckpointStore(checkpoint_dir)
         store.prepare()  # fail now if the directory is unusable
+    model_cache = None
+    if model_cache_dir is not None:
+        model_cache = ModelCache(model_cache_dir)
+        model_cache.prepare()  # same fail-fast as the checkpoint store
     config = config or PerDNNConfig(
         migration_radius_m=settings.migration_radius_m
     )
+    model_names = sorted({p.graph.name for p in pool})
     # Mirror run_large_scale's training order so both entry points derive
-    # identical models from the same seed.
+    # identical models from the same seed.  The cache keys on everything
+    # training consumes, and only engages when the default models would
+    # be trained right here (caller-supplied models bypass it).
     rng = np.random.default_rng(settings.seed)
     train, _ = dataset.split_time(settings.replay_fraction)
+    needs_predictor = (
+        settings.policy is MigrationPolicy.PERDNN and predictor is None
+    )
+    needs_estimator = (
+        contention_estimator is None and settings.use_contention_estimator
+    )
+    models_blob: bytes | None = None
+    cache_key: str | None = None
+    if (
+        model_cache is not None
+        and predictor is None
+        and contention_estimator is None
+        and (needs_predictor or needs_estimator)
+    ):
+        cache_key = model_fingerprint(dataset, settings, config, model_names)
+        models_blob = model_cache.load(cache_key)
+        if models_blob is not None:
+            predictor, contention_estimator = pickle.loads(models_blob)
     if settings.policy is MigrationPolicy.PERDNN and predictor is None:
         predictor = train_default_predictor(
             train, config.prediction_history, rng
         )
     if contention_estimator is None and settings.use_contention_estimator:
         contention_estimator = train_default_estimator(pool[0], rng)
+    if models_blob is None:
+        models_blob = pickle.dumps((predictor, contention_estimator))
+        if model_cache is not None and cache_key is not None:
+            model_cache.store(cache_key, models_blob)
     partitioner_blob = pickle.dumps(partitioner)
     shards = plan_shards(dataset, config, settings, shard_size)
-    model_names = sorted({p.graph.name for p in pool})
 
     completed: set[int] = set()
     if store is not None:
@@ -471,12 +514,11 @@ def run_large_scale_sharded(
             index=shard.index,
             dataset=_sub_dataset(dataset, shard.trajectory_indices),
             partitioner_blob=partitioner_blob,
+            models_blob=models_blob,
             settings=replace(
                 settings, seed=shard_seed(settings.seed, shard.index)
             ),
             config=config,
-            predictor=predictor,
-            contention_estimator=contention_estimator,
             fast_simulate=fast_simulate_enabled(),
             fast_predict=fast_predict_enabled(),
             record_events=record_events,

@@ -11,7 +11,7 @@ traces (there are no timestamps — ``interval`` is simulation time).
 from __future__ import annotations
 
 from collections import Counter as TallyCounter
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from dataclasses import asdict, dataclass, fields
 from typing import ClassVar
 
@@ -167,6 +167,15 @@ class EventTrace:
     def record(self, event: Event) -> None:
         self._events.append(event)
 
+    def extend(self, events: Iterable[Event]) -> None:
+        """Bulk-append ``events`` in iteration order.
+
+        Equivalent to :meth:`record` per event; used by the sharded merge
+        to fold one shard's (rebased) events at a time without a Python
+        call per event.
+        """
+        self._events.extend(events)
+
     def __len__(self) -> int:
         return len(self._events)
 
@@ -201,4 +210,7 @@ class NullEventTrace(EventTrace):
     """
 
     def record(self, event: Event) -> None:  # noqa: ARG002 - deliberate drop
+        return None
+
+    def extend(self, events: Iterable[Event]) -> None:  # noqa: ARG002
         return None

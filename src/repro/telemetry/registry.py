@@ -17,7 +17,10 @@ Design constraints (see ISSUE 1):
 
 from __future__ import annotations
 
+import functools
+import itertools
 import math
+import operator
 import time
 from collections.abc import Iterator, Mapping
 from contextlib import contextmanager
@@ -153,8 +156,12 @@ class Histogram:
                 index = i
                 break
         self.counts[index] += times
-        for _ in range(times):
-            self.sum += value
+        # Serial left fold at C speed: ((sum + v) + v) + ... performs the
+        # exact same one-addition-per-observation sequence as the Python
+        # loop ``for _ in range(times): self.sum += value`` — only faster.
+        self.sum = functools.reduce(
+            operator.add, itertools.repeat(value, times), self.sum
+        )
         self.count += times
 
     @property
@@ -224,6 +231,13 @@ class MetricsRegistry:
         self.record_timings = record_timings
         self._clock = clock or time.perf_counter
         self._metrics: dict[tuple[str, Labels], Metric] = {}
+        # Resolution fast paths for the simulator's hot loops: unlabeled
+        # counters by name, histograms by (name, identity of the buckets
+        # tuple the caller passed).  Pure lookup caches over
+        # ``_get_or_create`` — creation order and validation behaviour are
+        # unchanged (a cache miss takes the full path).
+        self._unlabeled_counters: dict[str, Counter] = {}
+        self._unlabeled_histograms: dict[str, tuple[Histogram, object]] = {}
 
     # ------------------------------------------------------------------
     # Get-or-create
@@ -256,6 +270,13 @@ class MetricsRegistry:
     def counter(
         self, name: str, labels: Mapping[str, str] | None = None
     ) -> Counter:
+        if labels is None:
+            cached = self._unlabeled_counters.get(name)
+            if cached is not None:
+                return cached
+            metric = self._get_or_create(Counter, name, None)
+            self._unlabeled_counters[name] = metric
+            return metric
         return self._get_or_create(Counter, name, labels)
 
     def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
@@ -267,6 +288,17 @@ class MetricsRegistry:
         buckets: tuple[float, ...],
         labels: Mapping[str, str] | None = None,
     ) -> Histogram:
+        if labels is None:
+            cached = self._unlabeled_histograms.get(name)
+            # Identity check on the buckets argument: hot callers pass the
+            # same module-level constant every time, which skips the
+            # per-call bounds re-validation; any other object falls
+            # through to the full checked path.
+            if cached is not None and cached[1] is buckets:
+                return cached[0]
+            metric = self._get_or_create(Histogram, name, None, buckets=buckets)
+            self._unlabeled_histograms[name] = (metric, buckets)
+            return metric
         return self._get_or_create(Histogram, name, labels, buckets=buckets)
 
     # ------------------------------------------------------------------
@@ -336,6 +368,8 @@ class MetricsRegistry:
     def clear(self) -> None:
         """Drop every registration."""
         self._metrics.clear()
+        self._unlabeled_counters.clear()
+        self._unlabeled_histograms.clear()
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other`` into this registry in place and return self.

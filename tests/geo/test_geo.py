@@ -116,6 +116,61 @@ class TestRegistry:
         far = registry.servers_within(grid.center(HexCell(0, 0)), 500.0)
         assert len(near) < len(far) <= 5
 
+    def test_servers_within_matches_reference(self):
+        # The vectorized radius query must agree with the cell-enumerating
+        # reference exactly — same ids, same (cell-sorted) order — for
+        # arbitrary query points and distances, including ones that land
+        # exactly on a centre distance (the float comparison on survivors
+        # is the reference's own).
+        grid = HexGrid(50.0)
+        rng = np.random.default_rng(23)
+        points = rng.uniform(-1500.0, 1500.0, size=(400, 2))
+        registry = EdgeServerRegistry.from_visited_points(grid, points)
+        for _ in range(200):
+            point = tuple(rng.uniform(-1600.0, 1600.0, size=2))
+            distance = float(rng.uniform(0.0, 600.0))
+            assert registry.servers_within(point, distance) == (
+                registry._servers_within_reference(point, distance)
+            )
+        # Exact-boundary probes: query from one centre at the exact
+        # distance of another.
+        centers = [
+            registry.server_location(server)
+            for server in registry.server_ids[:20]
+        ]
+        origin = centers[0]
+        for target in centers[1:]:
+            distance = math.hypot(
+                target[0] - origin[0], target[1] - origin[1]
+            )
+            assert registry.servers_within(origin, distance) == (
+                registry._servers_within_reference(origin, distance)
+            )
+
+    def test_servers_within_batch_matches_scalar(self):
+        # The chunked many-point query must reproduce the per-point query
+        # row for row (the proactive migration pass depends on it).
+        grid = HexGrid(50.0)
+        rng = np.random.default_rng(31)
+        seeds = rng.uniform(-1500.0, 1500.0, size=(300, 2))
+        registry = EdgeServerRegistry.from_visited_points(grid, seeds)
+        probes = [
+            tuple(rng.uniform(-1600.0, 1600.0, size=2)) for _ in range(150)
+        ]
+        for distance in (0.0, 60.0, 100.0, 450.0):
+            batch = registry.servers_within_batch(probes, distance)
+            assert batch == [
+                registry.servers_within(point, distance) for point in probes
+            ]
+        assert registry.servers_within_batch([], 100.0) == []
+
+    def test_servers_within_index_invalidated_by_allocation(self):
+        grid = HexGrid(50.0)
+        registry = EdgeServerRegistry.from_visited_points(grid, [(0.0, 0.0)])
+        assert len(registry.servers_within((0.0, 0.0), 1000.0)) == 1
+        registry.ensure_server(grid.cell_of((200.0, 0.0)))
+        assert len(registry.servers_within((0.0, 0.0), 1000.0)) == 2
+
 
 class TestVectorizedGeo:
     """The array passes must agree with the scalar helpers bit for bit —

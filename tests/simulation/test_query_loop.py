@@ -120,15 +120,27 @@ class TestFastSteadyState:
         assert fast.queries == ()
         assert metrics_csv(fast_metrics) == metrics_csv(slow_metrics)
 
-    def test_upload_in_progress_falls_through_to_scalar(self):
-        schedule = make_schedule([80.0], [1.0, 0.25])
-        outcome = run_query_window(
-            schedule, 0.0, 8.0, 100.0, 0.5, fast=True,
+    @pytest.mark.parametrize("start_bytes", [0.0, 24.0])
+    @pytest.mark.parametrize("uplink_bps", [8.0, 64.0, 1000.0])
+    def test_upload_in_progress_matches_scalar(self, start_bytes, uplink_bps):
+        from repro.telemetry import metrics_csv
+
+        schedule = make_schedule([40.0, 40.0], [1.0, 0.5, 0.25])
+        slow_metrics, fast_metrics = self._registries()
+        # Bytes move during this window, so the fast path runs the exact
+        # per-query integration — just without materializing records.
+        slow = run_query_window(
+            schedule, start_bytes, uplink_bps, 100.0, 0.5,
+            telemetry=slow_metrics,
         )
-        # Bytes move during this window, so the fast path must decline
-        # and the exact per-query integration run instead.
-        assert outcome.num_queries is None
-        assert len(outcome.queries) == outcome.count > 0
+        fast = run_query_window(
+            schedule, start_bytes, uplink_bps, 100.0, 0.5,
+            telemetry=fast_metrics, fast=True,
+        )
+        assert fast.queries == ()
+        assert fast.count == slow.count > 0
+        assert fast.end_bytes == slow.end_bytes
+        assert metrics_csv(fast_metrics) == metrics_csv(slow_metrics)
 
     def test_queue_wait_recorded_identically(self):
         from repro.telemetry import metrics_csv

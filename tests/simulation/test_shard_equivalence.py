@@ -172,6 +172,148 @@ class TestEventTraceOption:
         assert lean.total_queries == full.total_queries
 
 
+class TestChaosIdentity:
+    def test_chaos_kills_do_not_change_bytes(self, dataset, tiny_partitioner):
+        # Worker kills force retries in fresh processes; the retried
+        # shard re-runs the same deterministic seed, so the merged
+        # snapshot must match an undisturbed run byte for byte.
+        from repro.faults import WorkerChaos
+        from repro.simulation.supervisor import SupervisorConfig
+
+        settings = make_settings(faults=get_profile("churn"))
+        calm = run_sharded(dataset, tiny_partitioner, settings, workers=2)
+        chaotic = run_sharded(
+            dataset, tiny_partitioner, settings, workers=2,
+            supervision=SupervisorConfig(
+                max_attempts=3,
+                chaos=WorkerChaos(seed=11, kill_rate=1.0,
+                                  max_injections_per_shard=1),
+            ),
+        )
+        assert chaotic.extras["sharding"]["retries"] > 0
+        assert calm.telemetry.dumps() == chaotic.telemetry.dumps()
+
+    def test_chaos_fast_vs_reference(self, dataset, tiny_partitioner):
+        # Batched-vs-scalar identity must hold under chaos too: the
+        # supervision layer and the fast path are orthogonal.
+        from repro.faults import WorkerChaos
+        from repro.simulation.supervisor import SupervisorConfig
+
+        settings = make_settings(faults=get_profile("churn"))
+        supervision = SupervisorConfig(
+            max_attempts=3,
+            chaos=WorkerChaos(seed=11, kill_rate=1.0,
+                              max_injections_per_shard=1),
+        )
+        fast = run_sharded(
+            dataset, tiny_partitioner, settings, workers=2,
+            supervision=supervision,
+        )
+        with reference_simulate():
+            reference = run_sharded(
+                dataset, tiny_partitioner, settings, workers=2,
+                supervision=supervision,
+            )
+        assert fast.telemetry.dumps() == reference.telemetry.dumps()
+
+
+class TestModelBroadcast:
+    def test_explicit_models_match_default_training(
+        self, dataset, tiny_partitioner
+    ):
+        # The broadcast blob carries models trained once in the parent;
+        # handing the identically-trained models in explicitly must not
+        # change a byte (same rng order as the entry point's own
+        # training).
+        from repro.core.config import PerDNNConfig
+        from repro.simulation.large_scale import (
+            train_default_estimator,
+            train_default_predictor,
+        )
+
+        settings = make_settings()
+        config = PerDNNConfig(migration_radius_m=settings.migration_radius_m)
+        rng = np.random.default_rng(settings.seed)
+        train, _ = dataset.split_time(settings.replay_fraction)
+        predictor = train_default_predictor(
+            train, config.prediction_history, rng
+        )
+        estimator = train_default_estimator(tiny_partitioner, rng)
+        implicit = run_sharded(dataset, tiny_partitioner, settings, workers=2)
+        explicit = run_sharded(
+            dataset, tiny_partitioner, settings, workers=2,
+            predictor=predictor, contention_estimator=estimator,
+        )
+        assert implicit.telemetry.dumps() == explicit.telemetry.dumps()
+
+    def test_model_cache_hit_is_byte_identical(
+        self, dataset, tiny_partitioner, tmp_path, monkeypatch
+    ):
+        cache_dir = tmp_path / "models"
+        settings = make_settings()
+        trained = run_sharded(
+            dataset, tiny_partitioner, settings,
+            model_cache_dir=cache_dir,
+        )
+        cached_blobs = list(cache_dir.glob("models-*.pkl"))
+        assert len(cached_blobs) == 1
+        # Prove the second run loads instead of training: training must
+        # never be reached.
+        import repro.simulation.sharding as sharding
+
+        def boom(*args, **kwargs):
+            raise AssertionError("cache hit should skip training")
+
+        monkeypatch.setattr(sharding, "train_default_predictor", boom)
+        monkeypatch.setattr(sharding, "train_default_estimator", boom)
+        cached = run_sharded(
+            dataset, tiny_partitioner, settings,
+            model_cache_dir=cache_dir,
+        )
+        assert trained.telemetry.dumps() == cached.telemetry.dumps()
+
+    def test_model_cache_keys_on_seed(
+        self, dataset, tiny_partitioner, tmp_path
+    ):
+        cache_dir = tmp_path / "models"
+        run_sharded(
+            dataset, tiny_partitioner, make_settings(seed=3),
+            model_cache_dir=cache_dir,
+        )
+        run_sharded(
+            dataset, tiny_partitioner, make_settings(seed=4),
+            model_cache_dir=cache_dir,
+        )
+        assert len(list(cache_dir.glob("models-*.pkl"))) == 2
+
+    def test_explicit_models_bypass_cache(
+        self, dataset, tiny_partitioner, tmp_path
+    ):
+        from repro.core.config import PerDNNConfig
+        from repro.simulation.large_scale import (
+            train_default_estimator,
+            train_default_predictor,
+        )
+
+        settings = make_settings()
+        config = PerDNNConfig(migration_radius_m=settings.migration_radius_m)
+        rng = np.random.default_rng(settings.seed)
+        train, _ = dataset.split_time(settings.replay_fraction)
+        predictor = train_default_predictor(
+            train, config.prediction_history, rng
+        )
+        estimator = train_default_estimator(tiny_partitioner, rng)
+        cache_dir = tmp_path / "models"
+        run_sharded(
+            dataset, tiny_partitioner, settings,
+            predictor=predictor, contention_estimator=estimator,
+            model_cache_dir=cache_dir,
+        )
+        # Caller-supplied models are not the default-trained pair, so
+        # nothing may be cached under the default fingerprint.
+        assert list(cache_dir.glob("models-*.pkl")) == []
+
+
 class TestShardPlan:
     def test_partition_is_exact(self, dataset, tiny_partitioner):
         settings = make_settings()
