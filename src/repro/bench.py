@@ -56,6 +56,13 @@ REQUIRED_RESULTS: dict[str, tuple[str, ...]] = {
         "speedup_vs_10k_per_worker",
         "peak_rss_mb",
     ),
+    "large_scale_sharded_1m": (
+        "seconds_median",
+        "clients_steps_per_second",
+        "clients_steps_per_second_per_worker",
+        "speedup_vs_100k_per_worker",
+        "peak_rss_mb",
+    ),
 }
 
 #: Per-worker throughput (clients x steps / second / worker) of the 10k
@@ -65,6 +72,13 @@ REQUIRED_RESULTS: dict[str, tuple[str, ...]] = {
 #: so the speedup is comparable across machines of different core counts
 #: and across reruns of the harness.
 SEED_10K_CLIENT_STEPS_PER_WORKER = 6056.5
+
+#: Per-worker throughput of the ``large_scale_sharded_100k`` case as
+#: committed by the 100k scaling PR (BENCH_perf.json at commit d0ab55b).
+#: The 1M-shape case normalizes against this fixed point the same way the
+#: 100k case normalizes against the 10k seed, giving a machine-portable
+#: per-client-step speedup chain: 10k -> 100k -> 1M.
+SEED_100K_CLIENT_STEPS_PER_WORKER = 23805.876
 
 
 def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
@@ -378,16 +392,31 @@ def bench_large_scale_sharded_checkpointed(
     seed: int,
     repeats: int,
     workload: dict | None = None,
-    baseline_seconds: float | None = None,
 ) -> dict:
     """The sharded workload again, with per-shard checkpoint spill.
 
     Every timed run writes each completed shard to a fresh temporary
     checkpoint directory and streams the merge back from those files —
     the full fault-tolerant path (supervisor + spill + streaming fold).
-    ``overhead_fraction`` tracks its cost against the in-memory merge of
-    ``large_scale_sharded`` on the identical workload; the acceptance
-    target is < 5% wall-clock at the 10k-client shape.
+    ``overhead_fraction`` tracks its cost against the in-memory merge on
+    the identical workload; the acceptance target is < 5% wall-clock at
+    the 10k-client shape.
+
+    Both sides are measured *inside this case*, after one shared warmup
+    run, so they see identical process state (import caches, allocator
+    high-water marks, trained models).  Importing the earlier
+    ``large_scale_sharded`` median as the baseline — measured minutes
+    earlier in a colder process — used to report a *negative* overhead,
+    i.e. the delta was warmup noise, not spill cost.  The sides are
+    also *interleaved* pair by pair, and ``overhead_fraction`` is the
+    *median of the pairwise ratios*: a block of baseline runs followed
+    by a block of spill runs puts each side in a different multi-minute
+    host scheduling window, which swamps a ratio this small (observed
+    ±20% on identical work), whereas the two halves of an adjacent pair
+    almost always share a window — the ratio cancels it — and the
+    median rejects the occasional pair a window shift lands inside.
+    ``seconds_median``/``baseline_seconds_median`` stay the per-side
+    minima (the noise-floor throughput figures).
     """
     import shutil
     import tempfile
@@ -402,8 +431,30 @@ def bench_large_scale_sharded_checkpointed(
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
 
-    seconds = _median_seconds(run, repeats)
+    # Shared warmup: one spill run touches every code path both sides
+    # use (the plain run's paths are a strict subset), so the baseline
+    # and checkpointed medians below start from the same warm state.
     result = run()
+    baseline_times: list[float] = []
+    spill_times: list[float] = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        _run_sharded_workload(workload)
+        baseline_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        run()
+        spill_times.append(time.perf_counter() - start)
+    baseline_seconds = min(baseline_times)
+    seconds = min(spill_times)
+    ratios = sorted(
+        spill / base for spill, base in zip(spill_times, baseline_times)
+    )
+    mid = len(ratios) // 2
+    median_ratio = (
+        ratios[mid]
+        if len(ratios) % 2
+        else (ratios[mid - 1] + ratios[mid]) / 2.0
+    )
     entry = {
         "seconds_median": seconds,
         "clients_steps_per_second": result.num_clients * max_steps / seconds,
@@ -412,13 +463,11 @@ def bench_large_scale_sharded_checkpointed(
         "shards": result.extras["sharding"]["shards"],
         "shard_size": workload["shard_size"],
         "workers": workload["workers"],
+        "baseline_seconds_median": baseline_seconds,
+        "baseline_seconds_all": baseline_times,
+        "seconds_all": spill_times,
+        "overhead_fraction": median_ratio - 1.0,
     }
-    if baseline_seconds is None:
-        baseline_seconds = _median_seconds(
-            lambda: _run_sharded_workload(workload), repeats
-        )
-    entry["baseline_seconds_median"] = baseline_seconds
-    entry["overhead_fraction"] = seconds / baseline_seconds - 1.0
     return {"large_scale_sharded_checkpointed": entry}
 
 
@@ -438,6 +487,68 @@ def _child_entry(conn, fn: Callable[[], dict]) -> None:
         }
     )
     conn.close()
+
+
+def _child_entry_repeats(conn, setup, run, repeats: int) -> None:
+    import resource
+
+    state = setup()
+    runs = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        payload = run(state)
+        runs.append({"seconds": time.perf_counter() - start, "payload": payload})
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    conn.send({"runs": runs, "peak_rss_mb": max(self_kb, child_kb) / 1024.0})
+    conn.close()
+
+
+def _measure_repeats_in_child(setup, run, repeats: int) -> dict:
+    """Fork first, then build ``state = setup()`` and time ``run(state)``
+    ``repeats`` times in that one child.
+
+    Forking *before* setup matters beyond the fresh ``ru_maxrss`` mark:
+    when the parent builds population-scale state and the child only
+    inherits it, CPython's refcount updates write to every inherited page
+    that holds a dataset object, so the child spends the whole run
+    copy-on-write-faulting gigabytes and the measured time tracks the
+    parent's heap size (observed 10-25% inflation at the 1M shape,
+    growing with how many earlier cases the bench process had run).  A
+    child that builds the state itself owns those pages outright.
+    Repeats share the one setup; the reported ``peak_rss_mb`` covers
+    setup plus the largest shard worker, as before.  Falls back to an
+    in-process loop where fork is unavailable.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        import resource
+
+        state = setup()
+        runs = []
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            payload = run(state)
+            runs.append(
+                {"seconds": time.perf_counter() - start, "payload": payload}
+            )
+        self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        return {"runs": runs, "peak_rss_mb": max(self_kb, child_kb) / 1024.0}
+    context = multiprocessing.get_context("fork")
+    parent_conn, child_conn = context.Pipe(duplex=False)
+    process = context.Process(
+        target=_child_entry_repeats, args=(child_conn, setup, run, repeats)
+    )
+    process.start()
+    child_conn.close()
+    try:
+        measured = parent_conn.recv()
+    finally:
+        process.join()
+        parent_conn.close()
+    return measured
 
 
 def _measure_in_child(fn: Callable[[], dict]) -> dict:
@@ -482,17 +593,20 @@ def _measure_in_child(fn: Callable[[], dict]) -> dict:
 
 
 def bench_large_scale_sharded_100k(quick: bool, seed: int, repeats: int) -> dict:
-    """The 100k-client shape through the sharded driver, timed once.
+    """The 100k-client shape through the sharded driver.
 
     The scaling headline of ROADMAP item 1: a population an order of
     magnitude past the 10k case, run with ``record_events=False`` through
     the batched query-window/migration paths and the streaming merge.
     Reported per-worker throughput is normalized against the committed
-    pre-scaling 10k baseline (:data:`SEED_10K_CLIENT_STEPS_PER_WORKER`),
-    and peak RSS comes from a forked child so the figure is the run's
-    own, not the harness's high-water mark.  A single timed run
-    (``repeats`` is ignored): at this shape the simulation dwarfs timer
-    noise and a median would triple a multi-minute case.
+    pre-scaling 10k baseline (:data:`SEED_10K_CLIENT_STEPS_PER_WORKER`).
+    Measured with :func:`_measure_repeats_in_child`: one forked child
+    builds the dataset and models itself (no copy-on-write refcount
+    penalty on inherited state, and a fresh ``ru_maxrss`` mark), then
+    times ``repeats`` full runs; the *minimum* wall-clock is reported —
+    for CPU-bound work slowdowns are additive and speedups are not, so
+    the minimum is the noise-robust estimator against multi-minute host
+    scheduling windows.
 
     Setup is untimed and deliberately amortized: the mobility predictor
     trains on a 10k-user subsample of the train split (SVR training is
@@ -515,27 +629,33 @@ def bench_large_scale_sharded_100k(quick: bool, seed: int, repeats: int) -> dict
         (2000, 12, 3, 128) if quick else (100_000, 25, 8, 512)
     )
     workers = max(1, min(os.cpu_count() or 1, 8))
-    rng = np.random.default_rng(seed)
-    dataset = kaist_like(rng, num_users=users, duration_steps=dataset_steps)
     config = PerDNNConfig(migration_radius_m=100.0)
     settings = SimulationSettings(
         policy=MigrationPolicy.PERDNN, max_steps=max_steps, seed=seed
     )
-    partitioner = _build_partitioner("mobilenet")
-    train, _ = dataset.split_time(settings.replay_fraction)
-    train_sub = TrajectoryDataset(
-        name=train.name,
-        interval_seconds=train.interval_seconds,
-        bbox=train.bbox,
-        trajectories=train.trajectories[: min(users, 10_000)],
-    )
-    aux_rng = np.random.default_rng(seed)
-    predictor = train_default_predictor(
-        train_sub, config.prediction_history, aux_rng
-    )
-    estimator = train_default_estimator(partitioner, aux_rng)
 
-    def run() -> dict:
+    def setup():
+        rng = np.random.default_rng(seed)
+        dataset = kaist_like(
+            rng, num_users=users, duration_steps=dataset_steps
+        )
+        partitioner = _build_partitioner("mobilenet")
+        train, _ = dataset.split_time(settings.replay_fraction)
+        train_sub = TrajectoryDataset(
+            name=train.name,
+            interval_seconds=train.interval_seconds,
+            bbox=train.bbox,
+            trajectories=train.trajectories[: min(users, 10_000)],
+        )
+        aux_rng = np.random.default_rng(seed)
+        predictor = train_default_predictor(
+            train_sub, config.prediction_history, aux_rng
+        )
+        estimator = train_default_estimator(partitioner, aux_rng)
+        return dataset, predictor, estimator
+
+    def run(state) -> dict:
+        dataset, predictor, estimator = state
         result = run_large_scale_sharded(
             dataset,
             _build_partitioner("mobilenet"),
@@ -550,9 +670,10 @@ def bench_large_scale_sharded_100k(quick: bool, seed: int, repeats: int) -> dict
         info = result.extras["sharding"]
         return {"clients": result.num_clients, "shards": info["shards"]}
 
-    measured = _measure_in_child(run)
-    seconds = measured["seconds"]
-    num_clients = measured["payload"]["clients"]
+    measured = _measure_repeats_in_child(setup, run, repeats)
+    best = min(measured["runs"], key=lambda m: m["seconds"])
+    seconds = best["seconds"]
+    num_clients = best["payload"]["clients"]
     per_second = num_clients * max_steps / seconds
     per_worker = per_second / workers
     return {
@@ -563,10 +684,131 @@ def bench_large_scale_sharded_100k(quick: bool, seed: int, repeats: int) -> dict
             "speedup_vs_10k_per_worker": (
                 per_worker / SEED_10K_CLIENT_STEPS_PER_WORKER
             ),
+            "seconds_all": [m["seconds"] for m in measured["runs"]],
             "peak_rss_mb": measured["peak_rss_mb"],
             "clients": num_clients,
             "steps": max_steps,
-            "shards": measured["payload"]["shards"],
+            "shards": best["payload"]["shards"],
+            "shard_size": shard_size,
+            "workers": workers,
+        }
+    }
+
+
+def bench_large_scale_sharded_1m(quick: bool, seed: int, repeats: int) -> dict:
+    """The 1M-client shape: spill-backed sharding at metropolitan scale.
+
+    The next order of magnitude past the 100k case, run with
+    ``spill_datasets=True`` so the driver never holds per-shard
+    trajectory slices (the dataset is spilled to per-shard files at plan
+    time and released before any shard runs).  Full mode uses a
+    reduced-step shape — 12 trace steps, a 4-step horizon, 32768-client
+    shards (at metropolitan density the hex cells are big enough that
+    smaller shard sizes just multiply per-shard setup: registry build,
+    spill load, client construction) — because at one million clients
+    the per-client-step cost,
+    not the horizon, is what the case exists to measure; throughput is
+    normalized per client-step and per worker, and
+    ``speedup_vs_100k_per_worker`` tracks it against the committed 100k
+    figure (:data:`SEED_100K_CLIENT_STEPS_PER_WORKER`).  The reported
+    step count is the number of steps the replay actually simulated
+    (the throughput figures use it, never the requested horizon).
+
+    Measured with :func:`_measure_repeats_in_child`: one forked child
+    builds the million-user dataset and the models itself — forking
+    *after* parent-side setup made the child pay copy-on-write refcount
+    faults across the whole inherited population for the entire run,
+    inflating this case 10-25% depending on the bench parent's heap —
+    then times ``repeats`` full runs and the *minimum* wall-clock is
+    reported.  At a couple of minutes per run the measurement is exposed
+    to multi-minute host scheduling windows (observed spread on the same
+    workload exceeds 1.5x), and for CPU-bound work the minimum is the
+    standard noise-robust estimator — slowdowns are additive, speedups
+    are not.  Setup (trace synthesis, predictor training on a 10k-user
+    subsample) stays untimed and is shared across the repeats.
+    """
+    from repro.core.config import PerDNNConfig
+    from repro.core.master import MigrationPolicy
+    from repro.mobility.trajectory import TrajectoryDataset
+    from repro.simulation.large_scale import (
+        SimulationSettings,
+        train_default_estimator,
+        train_default_predictor,
+    )
+    from repro.simulation.sharding import run_large_scale_sharded
+    from repro.trajectories.synthetic import kaist_like
+
+    users, dataset_steps, max_steps, shard_size = (
+        (4000, 12, 4, 1024) if quick else (1_000_000, 12, 4, 32768)
+    )
+    workers = max(1, min(os.cpu_count() or 1, 8))
+    config = PerDNNConfig(migration_radius_m=100.0)
+    settings = SimulationSettings(
+        policy=MigrationPolicy.PERDNN, max_steps=max_steps, seed=seed
+    )
+
+    def setup():
+        rng = np.random.default_rng(seed)
+        dataset = kaist_like(
+            rng, num_users=users, duration_steps=dataset_steps
+        )
+        partitioner = _build_partitioner("mobilenet")
+        train, _ = dataset.split_time(settings.replay_fraction)
+        train_sub = TrajectoryDataset(
+            name=train.name,
+            interval_seconds=train.interval_seconds,
+            bbox=train.bbox,
+            trajectories=train.trajectories[: min(users, 10_000)],
+        )
+        aux_rng = np.random.default_rng(seed)
+        predictor = train_default_predictor(
+            train_sub, config.prediction_history, aux_rng
+        )
+        estimator = train_default_estimator(partitioner, aux_rng)
+        return dataset, predictor, estimator
+
+    def run(state) -> dict:
+        dataset, predictor, estimator = state
+        result = run_large_scale_sharded(
+            dataset,
+            _build_partitioner("mobilenet"),
+            settings,
+            config=config,
+            shard_size=shard_size,
+            workers=workers,
+            predictor=predictor,
+            contention_estimator=estimator,
+            record_events=False,
+            spill_datasets=True,
+        )
+        info = result.extras["sharding"]
+        return {
+            "clients": result.num_clients,
+            "steps": result.steps,
+            "shards": info["shards"],
+        }
+
+    measured = _measure_repeats_in_child(setup, run, repeats)
+    best = min(measured["runs"], key=lambda m: m["seconds"])
+    seconds = best["seconds"]
+    peak_rss_mb = measured["peak_rss_mb"]
+    num_clients = best["payload"]["clients"]
+    steps_simulated = best["payload"]["steps"]
+    per_second = num_clients * steps_simulated / seconds
+    per_worker = per_second / workers
+    return {
+        "large_scale_sharded_1m": {
+            "seconds_median": seconds,
+            "clients_steps_per_second": per_second,
+            "clients_steps_per_second_per_worker": per_worker,
+            "speedup_vs_100k_per_worker": (
+                per_worker / SEED_100K_CLIENT_STEPS_PER_WORKER
+            ),
+            "seconds_all": [m["seconds"] for m in measured["runs"]],
+            "peak_rss_mb": peak_rss_mb,
+            "clients": num_clients,
+            "steps": steps_simulated,
+            "shards": best["payload"]["shards"],
             "shard_size": shard_size,
             "workers": workers,
         }
@@ -584,6 +826,7 @@ BENCH_CASES: dict[str, Callable[[bool, int, int], dict]] = {
     "large_scale_sharded": bench_large_scale_sharded,
     "large_scale_sharded_checkpointed": bench_large_scale_sharded_checkpointed,
     "large_scale_sharded_100k": bench_large_scale_sharded_100k,
+    "large_scale_sharded_1m": bench_large_scale_sharded_1m,
 }
 
 
@@ -624,12 +867,10 @@ def run_benchmarks(
         results.update(
             bench_large_scale_sharded_checkpointed(
                 quick, seed, repeats, workload=workload,
-                baseline_seconds=(
-                    results["large_scale_sharded"]["seconds_median"]
-                ),
             )
         )
         results.update(bench_large_scale_sharded_100k(quick, seed, repeats))
+        results.update(bench_large_scale_sharded_1m(quick, seed, repeats))
     doc = {
         "schema": SCHEMA,
         "mode": "quick" if quick else "full",
@@ -742,7 +983,7 @@ def summary_lines(doc: dict) -> list[str]:
         lines.append(
             f"sharded + checkpoint spill:"
             f" {checkpointed['seconds_median']:9.2f} s"
-            f" ({checkpointed['seconds_median'] / checkpointed['baseline_seconds_median'] - 1.0:+.1%}"
+            f" ({checkpointed.get('overhead_fraction', checkpointed['seconds_median'] / checkpointed['baseline_seconds_median'] - 1.0):+.1%}"
             f" vs in-memory merge)"
         )
     hundred_k = results.get("large_scale_sharded_100k")
@@ -756,5 +997,17 @@ def summary_lines(doc: dict) -> list[str]:
             f" client-steps/s/worker,"
             f" {hundred_k['speedup_vs_10k_per_worker']:.2f}x vs committed 10k,"
             f" peak RSS {hundred_k['peak_rss_mb']:,.0f} MB)"
+        )
+    one_m = results.get("large_scale_sharded_1m")
+    if one_m is not None:
+        lines.append(
+            f"sharded 1M shape ({one_m['clients']} clients,"
+            f" {one_m['steps']} steps, {one_m['shards']} shards x"
+            f" {one_m['workers']} workers, dataset spill):"
+            f" {one_m['seconds_median']:9.2f} s"
+            f" ({one_m['clients_steps_per_second_per_worker']:,.0f}"
+            f" client-steps/s/worker,"
+            f" {one_m['speedup_vs_100k_per_worker']:.2f}x vs committed 100k,"
+            f" peak RSS {one_m['peak_rss_mb']:,.0f} MB)"
         )
     return lines

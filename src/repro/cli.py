@@ -191,6 +191,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         args.workers > 1
         or args.shard_size is not None
         or args.checkpoint_dir is not None
+        or args.spill_datasets
+        or bool(args.remote_worker)
     )
     sharded_only = {
         "--resume": args.resume,
@@ -225,13 +227,33 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         faults=profile,
         overload=overload,
     )
+    shard_profile_path = None
+    if args.profile_top is not None and sharded:
+        if args.remote_worker:
+            print(
+                "error: --profile cannot follow shards onto remote "
+                "workers; drop --remote-worker, or profile locally with "
+                "--workers 1 --profile",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers > 1 or supervision.needs_processes:
+            # The simulation work happens in worker processes the parent
+            # profiler cannot see: designate the lowest-index shard's
+            # worker, dump its cProfile stats to a scratch file, and
+            # merge them into the parent profile below.
+            import os
+            import tempfile
+
+            fd, shard_profile_path = tempfile.mkstemp(
+                prefix="repro-shard-profile-", suffix=".pstats"
+            )
+            os.close(fd)
     profiler = None
     if args.profile_top is not None:
-        # Parent-process view: for sharded runs the shard simulations
-        # execute in worker processes, so the profile shows setup,
-        # supervision, and the streaming merge — which is exactly the
-        # parent-side cost worth inspecting.  Unsharded runs profile the
-        # whole simulation.
+        # Parent-process view: setup, supervision, and the streaming
+        # merge for sharded runs; the whole simulation otherwise.  The
+        # shard-worker dump above adds the worker-side view.
         import cProfile
 
         profiler = cProfile.Profile()
@@ -249,6 +271,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 resume=args.resume,
                 model_cache_dir=args.model_cache,
+                spill_datasets=args.spill_datasets,
+                remote_workers=tuple(args.remote_worker or ()),
+                profile_path=shard_profile_path,
             )
         except ShardError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -271,15 +296,30 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         result = run_large_scale(dataset, partitioner, settings, config=config)
     if profiler is not None:
         import io
+        import os
         import pstats
 
         profiler.disable()
         buffer = io.StringIO()
         stats = pstats.Stats(profiler, stream=buffer)
+        merged_worker = False
+        if shard_profile_path is not None:
+            try:
+                if os.path.getsize(shard_profile_path) > 0:
+                    stats.add(shard_profile_path)
+                    merged_worker = True
+            except OSError:
+                pass
+            os.remove(shard_profile_path)
         stats.strip_dirs().sort_stats("cumulative").print_stats(
             args.profile_top
         )
-        print(f"profile (top {args.profile_top} by cumulative time):")
+        scope = (
+            "parent + shard-0 worker, merged" if merged_worker else "parent"
+        )
+        print(
+            f"profile ({scope}; top {args.profile_top} by cumulative time):"
+        )
         print(buffer.getvalue().rstrip())
     if args.telemetry:
         assert result.telemetry is not None
@@ -317,6 +357,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"sharding:           {info['shards']} shards "
               f"(target size {info['shard_size']}), "
               f"{info['workers']} worker(s)")
+        if info.get("spill_datasets"):
+            print("dataset spill:      on (per-shard subsets streamed "
+                  "from disk)")
+        if info.get("remote_workers"):
+            print(f"remote workers:     "
+                  f"{', '.join(info['remote_workers'])}")
         if info.get("retries"):
             print(f"shard retries:      {info['retries']}")
         if info.get("resumed_shards"):
@@ -360,6 +406,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_faults(args: argparse.Namespace) -> int:
     _print_profiles(sys.stdout)
+    return 0
+
+
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.simulation.remote import DEFAULT_PORT, serve
+
+    def announce(host: str, port: int) -> None:
+        print(f"shard-worker listening on {host}:{port}", flush=True)
+
+    try:
+        served = serve(
+            args.host,
+            DEFAULT_PORT if args.port is None else args.port,
+            max_requests=args.max_requests,
+            on_ready=announce,
+        )
+    except OSError as exc:
+        print(f"error: cannot listen: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 130
+    print(f"shard-worker served {served} request(s)")
     return 0
 
 
@@ -498,10 +566,25 @@ def build_parser() -> argparse.ArgumentParser:
                                "blob here, keyed by a model fingerprint; "
                                "repeat runs over the same dataset/seed "
                                "skip training (sharded runs only)")
+    simulate.add_argument("--spill-datasets", action="store_true",
+                          help="spill each shard's trajectory subset to "
+                               "disk at plan time and stream results, so "
+                               "the parent's memory stays flat in the "
+                               "client count (implies sharding)")
+    simulate.add_argument("--remote-worker", metavar="HOST:PORT",
+                          action="append", default=None,
+                          help="dispatch shards to this `repro "
+                               "shard-worker` listener as an extra "
+                               "supervision slot (repeatable; implies "
+                               "sharding; trusted links only — the wire "
+                               "protocol is pickle)")
     simulate.add_argument("--profile", type=positive_int, default=None,
                           metavar="N", dest="profile_top",
                           help="run under cProfile and print the top N "
-                               "functions by cumulative time")
+                               "functions by cumulative time (sharded "
+                               "multi-worker runs also profile the "
+                               "lowest-index shard's worker and merge "
+                               "the stats)")
     simulate.add_argument("--allow-partial", action="store_true",
                           help="merge without shards that exhausted their "
                                "retry budget instead of failing the run; "
@@ -542,6 +625,22 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--list", action="store_true",
                         help="list the profiles (the default action)")
 
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="serve remote shard dispatch (pair with simulate "
+             "--remote-worker; trusted links only)",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default: 127.0.0.1)")
+    shard_worker.add_argument("--port", type=int, default=None,
+                              help="listen port; 0 binds an ephemeral "
+                                   "port, printed on startup "
+                                   "(default: 7077)")
+    shard_worker.add_argument("--max-requests", type=positive_int,
+                              default=None,
+                              help="exit after serving this many shard "
+                                   "attempts (default: serve forever)")
+
     telemetry = sub.add_parser(
         "telemetry", help="summarize an exported telemetry snapshot"
     )
@@ -562,7 +661,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a single benchmark case (forest, "
                             "partition, large_scale, large_scale_sharded, "
                             "large_scale_sharded_checkpointed, "
-                            "large_scale_sharded_100k); the document is "
+                            "large_scale_sharded_100k, "
+                            "large_scale_sharded_1m); the document is "
                             "marked partial")
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="write the BENCH_perf.json document here")
@@ -583,6 +683,7 @@ _COMMANDS = {
     "handoff": cmd_handoff,
     "simulate": cmd_simulate,
     "faults": cmd_faults,
+    "shard-worker": cmd_shard_worker,
     "telemetry": cmd_telemetry,
     "bench": cmd_bench,
     "predictors": cmd_predictors,

@@ -25,6 +25,9 @@ class MobileClient:
         self.client_id = client_id
         self.trajectory = trajectory
         self.history = history
+        # Replay traces are immutable; caching the final index keeps the
+        # per-step ``finished``/``advance`` checks off the len() chain.
+        self._final_step = len(trajectory) - 1
         self._recent: deque[tuple[float, float]] = deque(maxlen=history)
         self.current_server: int | None = None
         self.step_index = -1
@@ -91,11 +94,11 @@ class MobileClient:
 
     @property
     def finished(self) -> bool:
-        return self.step_index >= len(self.trajectory) - 1
+        return self.step_index >= self._final_step
 
     def advance(self) -> tuple[float, float] | None:
         """Move to the next trajectory point; None when the trace ended."""
-        if self.finished:
+        if self.step_index >= self._final_step:
             return None
         self.step_index += 1
         point = self.trajectory.points[self.step_index]

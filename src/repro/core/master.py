@@ -17,6 +17,7 @@ and the mobility predictor.  Every simulation interval it:
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Mapping
+from contextlib import contextmanager
 from dataclasses import dataclass
 from enum import Enum
 
@@ -39,6 +40,43 @@ from repro.telemetry import (
     MigrationEvent,
     Telemetry,
 )
+
+
+#: Global fast-path switch for the proactive-migration pass, mirroring
+#: :data:`repro.simulation.large_scale._FAST_SIMULATE`.  True routes
+#: :meth:`MasterServer.proactive_migrate_batch` through the array-form
+#: passes (grouped plan probes, one slowdown batch per interval, hoisted
+#: byte accounting); False replays the per-client transfer loop.  Both
+#: paths export byte-identical telemetry — the equivalence tests pin
+#: them against each other.
+_FAST_MIGRATE = True
+
+
+def fast_migrate_enabled() -> bool:
+    """Is the array-form proactive-migration pass active?"""
+    return _FAST_MIGRATE
+
+
+def set_fast_migrate(enabled: bool) -> bool:
+    """Enable/disable the array-form pass; returns the previous setting."""
+    global _FAST_MIGRATE
+    previous = _FAST_MIGRATE
+    _FAST_MIGRATE = bool(enabled)
+    return previous
+
+
+@contextmanager
+def reference_migrate():
+    """Force the per-client reference migration loop within the block.
+
+    Used by the equivalence tests and by ``repro bench`` to time the
+    pre-vectorization reference on identical inputs.
+    """
+    previous = set_fast_migrate(False)
+    try:
+        yield
+    finally:
+        set_fast_migrate(previous)
 
 
 class MigrationPolicy(str, Enum):
@@ -373,10 +411,251 @@ class MasterServer:
         targets_list = self.registry.servers_within_batch(
             points, self.config.migration_radius_m
         )
+        if fast_migrate_enabled():
+            self._migrate_batch_fast(
+                [client for client, _ in eligible], targets_list, interval
+            )
+            return
         for (client, _), point, targets in zip(
             eligible, points, targets_list
         ):
             self._migrate_to_predicted(client, interval, point, targets)
+
+    def _migrate_batch_fast(
+        self,
+        clients: list[MobileClient],
+        targets_list: list[list[int]],
+        interval: int,
+    ) -> None:
+        """Array-form :meth:`_migrate_to_predicted` over one interval.
+
+        Byte-identical to replaying the per-client transfer loop,
+        restructured for throughput:
+
+        * **Pass 1** (client order) resolves each client's source server
+          and live targets exactly as the scalar loop would — servers are
+          instantiated in the same order (``step_gpu``/``expire``
+          iteration and merged traces depend on it) and dead-target skips
+          are tallied locally and incremented once (int counters are
+          exact under batching);
+        * **Pass 2** predicts every fresh target's slowdown in one
+          batched :meth:`estimate_slowdowns` call.  First-seen order
+          across clients equals the scalar loop's per-client ping order
+          (the per-interval memo dedups either way), so the shared RNG
+          consumes noise draws in an identical sequence;
+        * **Pass 3** probes one partitioning plan per distinct
+          ``(partitioner, target)`` pair instead of one ``partition()``
+          call per (client, target), compensating the partitioner's
+          plan-cache hit counter for the skipped calls (after the first
+          probe per pair, every scalar call is a hit on the same
+          quantized key — target slowdowns are memoized per interval).
+          Per-pair byte budgets are grouped on the same key and the
+          ``sendable`` caps are computed in one vectorized ``minimum``
+          over the interval's pairs (IEEE-identical to the scalar
+          ``min``);
+        * **Pass 4** replays the order-sensitive state in (client,
+          target) order: cache reads/writes, TTL refreshes, traffic
+          records, ``migration.bytes`` float-counter increments (float
+          accumulation order matters), and trace events.
+
+        Crowded-server runs fall back to per-pair budget arithmetic
+        (budgets then depend on the *source* too, which the
+        per-(partitioner, target) grouping cannot capture); the
+        expressions match the scalar path exactly, so bytes still agree.
+        """
+        fault_schedule = self.fault_schedule
+        telemetry = self.telemetry
+        registry = telemetry.registry if telemetry is not None else None
+        backhaul_factor = (
+            fault_schedule.backhaul_factor(interval)
+            if fault_schedule is not None else 1.0
+        )
+        faults_on = fault_schedule is not None
+        # Pass 1: sources and live targets, in client order.
+        pending: list[
+            tuple[MobileClient, EdgeServer, float, list[EdgeServer]]
+        ] = []
+        dead_skips = 0
+        ping_order: list[EdgeServer] = []
+        fresh_targets: set[int] = set()
+        slowdown_memo = self._slowdown_cache
+        for client, targets in zip(clients, targets_list):
+            source = self.server(client.current_server)
+            source_bytes = source.cached_bytes(
+                client.client_id, client.model_version
+            )
+            if source_bytes <= 0:
+                continue  # nothing to send yet (client still uploading)
+            source_id = source.server_id
+            live: list[EdgeServer] = []
+            for target_id in targets:
+                if target_id == source_id:
+                    continue
+                if faults_on and fault_schedule.server_down(
+                    target_id, interval
+                ):
+                    dead_skips += 1
+                    continue
+                target = self.server(target_id)
+                live.append(target)
+                if (
+                    target_id not in fresh_targets
+                    and target_id not in slowdown_memo
+                ):
+                    fresh_targets.add(target_id)
+                    ping_order.append(target)
+            if live:
+                pending.append((client, source, source_bytes, live))
+        if dead_skips and registry is not None:
+            registry.counter("resilience.dead_target_skips").inc(dead_skips)
+        if not pending:
+            return
+        # Pass 2: one slowdown batch; afterwards every live target is in
+        # the per-interval memo, which pass 3 reads directly.
+        self.estimate_slowdowns(ping_order)
+        # Pass 3: grouped plan probes and byte budgets.  ``plan_info``
+        # maps (partitioner id, target id) to (plan bytes, budget after
+        # backhaul truncation, truncated flag); the crowded path keeps
+        # budgets per pair.
+        crowded_on = bool(self.crowded_servers)
+        degraded = backhaul_factor < 1.0
+        plan_info: dict[tuple[int, int], tuple[float, float]] = {}
+        pair_clients: list[int] = []  # index into ``pending``
+        pair_targets: list[EdgeServer] = []
+        pair_needed: list[float] = []
+        pair_plan_bytes: list[float] = []
+        source_bytes_by_client: list[float] = []
+        for client_index, (client, source, source_bytes, live) in enumerate(
+            pending
+        ):
+            partitioner = self.partitioner_for(client.client_id)
+            pid = id(partitioner)
+            source_id = source.server_id
+            source_crowded = crowded_on and source_id in self.crowded_servers
+            source_bytes_by_client.append(source_bytes)
+            for target in live:
+                target_id = target.server_id
+                key = (pid, target_id)
+                info = plan_info.get(key)
+                if info is None:
+                    future_plan = partitioner.partition(
+                        slowdown_memo[target_id]
+                    )
+                    plan_bytes = future_plan.server_bytes
+                    needed = plan_bytes
+                    if degraded:
+                        needed = min(needed, backhaul_factor * plan_bytes)
+                    info = (plan_bytes, needed)
+                    plan_info[key] = info
+                else:
+                    # The scalar loop calls partition() once per
+                    # (client, target); after the first probe per pair
+                    # every later call is a plan-cache hit on the same
+                    # quantized key.
+                    partitioner.cache_hits += 1
+                plan_bytes, needed = info
+                if crowded_on and (
+                    source_crowded or target_id in self.crowded_servers
+                ):
+                    needed = min(plan_bytes, self.crowded_byte_budget)
+                    if degraded:
+                        needed = min(needed, backhaul_factor * plan_bytes)
+                pair_clients.append(client_index)
+                pair_targets.append(target)
+                pair_needed.append(needed)
+                pair_plan_bytes.append(plan_bytes)
+        # Vectorized transfer caps over every (client, target) pair of
+        # the interval: np.minimum on float64 equals the scalar min().
+        needed_arr = np.asarray(pair_needed, dtype=np.float64)
+        source_arr = np.asarray(source_bytes_by_client, dtype=np.float64)[
+            np.asarray(pair_clients, dtype=np.intp)
+        ]
+        sendable_arr = np.minimum(needed_arr, source_arr)
+        # Pass 4: order-sensitive replay in (client, target) order.
+        ttl_intervals = self.config.ttl_intervals
+        traffic_meter = self.traffic_meter
+        migrations = self.migrations
+        trace = telemetry.trace if telemetry is not None else None
+        counter_count = counter_bytes = None
+        truncations = 0
+        for pair_index, client_index in enumerate(pair_clients):
+            client, source, _, _ = pending[client_index]
+            target = pair_targets[pair_index]
+            target_id = target.server_id
+            client_id = client.client_id
+            version = client.model_version
+            needed = pair_needed[pair_index]
+            if telemetry is not None and needed < pair_plan_bytes[pair_index]:
+                truncations += 1
+                trace.record(
+                    FractionalTruncationEvent(
+                        interval=interval,
+                        client_id=client_id,
+                        source_server=source.server_id,
+                        target_server=target_id,
+                        plan_bytes=pair_plan_bytes[pair_index],
+                        budget_bytes=needed,
+                    )
+                )
+            already = target.cached_bytes(client_id, version)
+            if already >= needed - 1e-6:
+                # Duplicate send avoided; just reset the TTL (§3.B.2).
+                target.refresh_ttl(
+                    client_id, interval, ttl_intervals, version
+                )
+                continue
+            delta = float(sendable_arr[pair_index]) - already
+            if delta <= 0:
+                target.refresh_ttl(
+                    client_id, interval, ttl_intervals, version
+                )
+                continue
+            if faults_on and fault_schedule.migration_dropped(
+                client_id, source.server_id, target_id, interval
+            ):
+                if telemetry is not None:
+                    record_fault(
+                        telemetry, interval, "migration_drop",
+                        server_id=target_id, client_id=client_id,
+                    )
+                continue
+            target.add_bytes(
+                client_id, delta, interval, ttl_intervals, version
+            )
+            if traffic_meter is not None:
+                traffic_meter.record(
+                    interval, source.server_id, target_id, delta
+                )
+            migrations.append(
+                MigrationRecord(
+                    client_id=client_id,
+                    source_server=source.server_id,
+                    target_server=target_id,
+                    nbytes=delta,
+                    interval=interval,
+                )
+            )
+            if registry is not None:
+                if counter_count is None:
+                    counter_count = registry.counter("migration.count")
+                    counter_bytes = registry.counter("migration.bytes")
+                counter_count.inc()
+                # Float accumulation order matters: one inc per record,
+                # in record order, exactly like the scalar loop.
+                counter_bytes.inc(delta)
+                trace.record(
+                    MigrationEvent(
+                        interval=interval,
+                        client_id=client_id,
+                        source_server=source.server_id,
+                        target_server=target_id,
+                        nbytes=delta,
+                    )
+                )
+        if truncations and registry is not None:
+            registry.counter("migration.fractional_truncations").inc(
+                truncations
+            )
 
     def _migrate_to_predicted(
         self,

@@ -164,7 +164,11 @@ class EdgeServerRegistry:
         ]
 
     def servers_within_batch(
-        self, points: Sequence[tuple[float, float]], distance: float
+        self,
+        points: Sequence[tuple[float, float]],
+        distance: float,
+        *,
+        _chunk_rows: int | None = None,
     ) -> list[list[int]]:
         """:meth:`servers_within` for many points in one array pass.
 
@@ -186,8 +190,9 @@ class EdgeServerRegistry:
         threshold = (distance * (1.0 + 1e-9)) ** 2 + 1e-9
         out: list[list[int]] = []
         # Chunk rows so the candidate matrix stays small regardless of
-        # how many points one interval asks about.
-        chunk = max(1, 4_000_000 // max(1, centers.shape[0]))
+        # how many points one interval asks about.  ``_chunk_rows`` forces
+        # a chunk size (tests pin the boundary behaviour with it).
+        chunk = _chunk_rows or max(1, 4_000_000 // max(1, centers.shape[0]))
         cx = centers[:, 0]
         cy = centers[:, 1]
         for start in range(0, pts.shape[0], chunk):

@@ -153,6 +153,34 @@ class TrajectoryDataset:
         )
         return make(train_parts, "train"), make(test_parts, "test")
 
+    def replay_split(self, test_fraction: float) -> "TrajectoryDataset":
+        """Just the replay (late) half of :meth:`split_time`.
+
+        Identical content to ``split_time(f)[1]`` — same per-trajectory
+        cut points, same dataset name — without materializing the
+        training half.  The sharded runner hands every shard pre-trained
+        predictors, so per-shard training slices are pure waste there.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        test_parts = []
+        for trajectory in self.trajectories:
+            n = len(trajectory)
+            cut = max(1, min(n - 1, int(round(n * (1.0 - test_fraction)))))
+            test_parts.append(
+                Trajectory(
+                    trajectory.user_id,
+                    self.interval_seconds,
+                    trajectory.points[cut:].copy(),
+                )
+            )
+        return TrajectoryDataset(
+            name=f"{self.name}-test",
+            interval_seconds=self.interval_seconds,
+            bbox=self.bbox,
+            trajectories=tuple(test_parts),
+        )
+
     def subsample(self, factor: int) -> "TrajectoryDataset":
         """Dataset resampled at ``factor`` times the interval."""
         return TrajectoryDataset(

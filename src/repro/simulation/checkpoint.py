@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -50,6 +51,7 @@ def run_fingerprint(
     record_events: bool,
     fast_simulate: bool,
     fast_predict: bool,
+    fast_migrate: bool = True,
 ) -> str:
     """Digest everything that determines the per-shard results.
 
@@ -96,6 +98,7 @@ def run_fingerprint(
         "record_events": bool(record_events),
         "fast_simulate": bool(fast_simulate),
         "fast_predict": bool(fast_predict),
+        "fast_migrate": bool(fast_migrate),
     }
     hasher.update(
         json.dumps(payload, sort_keys=True, default=str).encode()
@@ -188,6 +191,89 @@ class ModelCache:
             handle.write(blob)
         os.replace(temp, path)
         return path
+
+
+class ShardDatasetStore:
+    """On-disk spill of per-shard trajectory subsets.
+
+    The sharded driver normally slices the full
+    :class:`~repro.mobility.trajectory.TrajectoryDataset` into one
+    sub-dataset per shard and keeps every slice alive in the job list
+    until its worker finishes — which pins the whole population in the
+    parent for the duration of the run.  Spilling writes each shard's
+    subset to ``dataset-00042.pkl`` once at plan time (atomic temp file +
+    rename, same discipline as :class:`CheckpointStore`) and hands the
+    job only the *path*; the worker loads its own file and the parent can
+    drop the population entirely.  Pickle round-trips the float64
+    trajectory arrays bit-exactly, so a spilled run is byte-identical to
+    an in-memory one (pinned by the equivalence suite).
+
+    The files are scratch, not checkpoints: every invocation re-spills
+    the shards it is about to run, so :meth:`cleanup` removes them as
+    soon as the supervisor returns.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = os.fspath(directory)
+
+    def prepare(self) -> None:
+        """Create the directory and prove it is writable."""
+        probe = os.path.join(self.directory, ".write-probe")
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(probe, "w", encoding="utf-8") as handle:
+                handle.write("ok")
+            os.remove(probe)
+        except OSError as exc:
+            raise ValueError(
+                f"dataset spill directory {self.directory!r} is not "
+                f"writable: {exc}"
+            ) from exc
+
+    def path(self, index: int) -> str:
+        return os.path.join(self.directory, f"dataset-{index:05d}.pkl")
+
+    def store(self, index: int, dataset: TrajectoryDataset) -> str:
+        """Atomically spill one shard's sub-dataset; returns its path."""
+        path = self.path(index)
+        temp = f"{path}.tmp"
+        with open(temp, "wb") as handle:
+            pickle.dump(dataset, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)
+        return path
+
+    @staticmethod
+    def read(path: str) -> TrajectoryDataset:
+        """Load a spilled sub-dataset (worker side)."""
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+
+    @staticmethod
+    def read_bytes(path: str) -> bytes:
+        """The raw pickle bytes of a spilled sub-dataset.
+
+        Used by the remote executor to ship a spilled dataset in-band to
+        a shard worker that cannot see the local filesystem.
+        """
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def cleanup(self) -> None:
+        """Best-effort removal of every spilled file and the directory."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return
+        for name in names:
+            if name.startswith("dataset-"):
+                try:
+                    os.remove(os.path.join(self.directory, name))
+                except OSError:
+                    pass
+        try:
+            os.rmdir(self.directory)
+        except OSError:
+            pass
 
 
 def _summary_to_doc(summary: TrafficSummary) -> dict:

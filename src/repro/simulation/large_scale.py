@@ -22,6 +22,7 @@ per-server per-interval backhaul traffic (§4.B.4, Fig 10).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -352,9 +353,20 @@ def _batched_query_windows(
     hit_fraction = config.hit_byte_fraction
     uplink_default = config.network.uplink_bps
     partitioner_for = master.partitioner_for
+    # Homogeneous runs share one partitioner across every client; hoist
+    # the per-call Mapping check out of the per-client loop.
+    shared_partitioner = (
+        None if isinstance(master.partitioner, Mapping) else master.partitioner
+    )
     server_of = master.server
     memo_get = count_memo.get
     latency_hist: Histogram | None = None
+    # Steady windows observe one latency per client into the (order-
+    # sensitive) histogram; consecutive clients that observe the *same*
+    # value continue the same serial ``sum += value`` chain, so they
+    # collapse into one observe_repeated call without moving a bit.
+    pending_value = 0.0
+    pending_times = 0
 
     n_windows = 0
     completed_total = 0
@@ -375,7 +387,10 @@ def _batched_query_windows(
     for client in active:
         cid = client.client_id
         if faults_on and cid in local_this_step:
-            client_partitioner = partitioner_for(cid)
+            client_partitioner = (
+                shared_partitioner if shared_partitioner is not None
+                else partitioner_for(cid)
+            )
             pid = id(client_partitioner)
             info = partitioner_info.get(pid)
             if info is None:
@@ -399,7 +414,11 @@ def _batched_query_windows(
                     latency_hist = metrics.histogram(
                         "query.latency_seconds", QUERY_LATENCY_BUCKETS
                     )
-                latency_hist.observe_repeated(local_latency, count)
+                if pending_times and pending_value != local_latency:
+                    latency_hist.observe_repeated(pending_value, pending_times)
+                    pending_times = 0
+                pending_value = local_latency
+                pending_times += count
             model_name = info[0]
             per_model[model_name] = per_model.get(model_name, 0) + count
             if events_on:
@@ -417,7 +436,10 @@ def _batched_query_windows(
         assert client.current_server is not None
         server_id = client.current_server
         server = server_of(server_id)
-        client_partitioner = partitioner_for(cid)
+        client_partitioner = (
+            shared_partitioner if shared_partitioner is not None
+            else partitioner_for(cid)
+        )
         pid = id(client_partitioner)
         info = partitioner_info.get(pid)
         if info is None:
@@ -500,11 +522,20 @@ def _batched_query_windows(
                     latency_hist = metrics.histogram(
                         "query.latency_seconds", QUERY_LATENCY_BUCKETS
                     )
-                latency_hist.observe_repeated(latency, count)
+                if pending_times and pending_value != latency:
+                    latency_hist.observe_repeated(pending_value, pending_times)
+                    pending_times = 0
+                pending_value = latency
+                pending_times += count
             end_bytes = (
                 total_bytes if uploading and uplink_bps != 0.0 else cached
             )
         else:
+            if pending_times:
+                # run_query_window observes the same histogram in-place;
+                # drain the grouped tail first to keep the serial order.
+                latency_hist.observe_repeated(pending_value, pending_times)
+                pending_times = 0
             outcome = run_query_window(
                 schedule,
                 start_bytes=cached,
@@ -541,6 +572,8 @@ def _batched_query_windows(
             else:
                 server.refresh_ttl(cid, step, ttl, client.model_version)
 
+    if pending_times:
+        latency_hist.observe_repeated(pending_value, pending_times)
     if faults_on:
         metrics.counter("resilience.client_intervals").inc(len(active))
         if n_local:
@@ -597,9 +630,14 @@ def run_large_scale(
     rng = np.random.default_rng(settings.seed)
     grid = HexGrid(config.cell_radius_m)
     registry = EdgeServerRegistry.from_visited_points(grid, dataset.all_points())
-    train, replay = dataset.split_time(settings.replay_fraction)
     if settings.policy is MigrationPolicy.PERDNN and predictor is None:
+        train, replay = dataset.split_time(settings.replay_fraction)
         predictor = train_default_predictor(train, config.prediction_history, rng)
+    else:
+        # Pre-trained predictor (or a policy that never predicts): only
+        # the replay half is ever read, so skip building the train half —
+        # at shard fan-out that is half the split cost per shard.
+        replay = dataset.replay_split(settings.replay_fraction)
     partitioner_pool = (
         list(partitioner) if isinstance(partitioner, list) else [partitioner]
     )

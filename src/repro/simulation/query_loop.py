@@ -164,12 +164,21 @@ def run_query_window(
         run_latency = 0.0
         run_count = 0
         t = first_gap + (queue_wait or 0.0)
+        # Cache the next stage threshold so the (frequent) queries that do
+        # not cross one skip the stage walk; ``nudged >= next_bound`` is
+        # the same float comparison the walk's first iteration would make.
+        next_bound = cumulative[0] if num_stages else None
+        latency = latencies[0] + latency_overhead
         while True:
             received = min(total, start_bytes + byte_rate * t)
             nudged = received + 1e-9
-            while stage < num_stages and cumulative[stage] <= nudged:
-                stage += 1
-            latency = latencies[stage] + latency_overhead
+            if next_bound is not None and nudged >= next_bound:
+                while stage < num_stages and cumulative[stage] <= nudged:
+                    stage += 1
+                next_bound = (
+                    cumulative[stage] if stage < num_stages else None
+                )
+                latency = latencies[stage] + latency_overhead
             if stage == num_stages:
                 # Past the last threshold the stage can never advance
                 # again: every remaining query repeats at this latency, so

@@ -35,13 +35,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import shutil
+import tempfile
 from dataclasses import dataclass, fields, replace
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.core.config import PerDNNConfig
-from repro.core.master import MigrationPolicy
+from repro.core.master import (
+    MigrationPolicy,
+    fast_migrate_enabled,
+    set_fast_migrate,
+)
 from repro.estimation.estimator import ContentionEstimator
 from repro.faults import FaultSchedule
 from repro.geo.hexgrid import HexGrid
@@ -53,10 +59,12 @@ from repro.partitioning.partitioner import DNNPartitioner
 from repro.simulation.checkpoint import (
     CheckpointStore,
     ModelCache,
+    ShardDatasetStore,
     ShardRecord,
     model_fingerprint,
     run_fingerprint,
 )
+from repro.simulation.remote import RemoteExecutor
 from repro.simulation.large_scale import (
     LargeScaleResult,
     SimulationSettings,
@@ -67,6 +75,7 @@ from repro.simulation.large_scale import (
     train_default_predictor,
 )
 from repro.simulation.supervisor import (
+    LocalProcessExecutor,
     SupervisionReport,
     SupervisorConfig,
     supervise,
@@ -135,17 +144,24 @@ def plan_shards(
     """
     if shard_size < 1:
         raise ValueError("shard_size must be >= 1")
+    if not 0.0 < settings.replay_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
     grid = HexGrid(config.cell_radius_m)
-    _, replay = dataset.split_time(settings.replay_fraction)
     n = len(dataset.trajectories)
     if n == 0:
         return []
+    # Only the replay tail decides usability and home cells, and only its
+    # first point and length are read — compute the split_time cut per
+    # trajectory instead of materializing copies of every replay half
+    # (which used to dominate the planner's footprint at 1M clients).
     firsts = np.zeros((n, 2), dtype=float)
     usable = np.zeros(n, dtype=bool)
-    for i, trajectory in enumerate(replay.trajectories):
-        usable[i] = len(trajectory) >= 2
-        source = trajectory if len(trajectory) else dataset.trajectories[i]
-        firsts[i] = source.points[0]
+    keep = 1.0 - settings.replay_fraction
+    for i, trajectory in enumerate(dataset.trajectories):
+        points = len(trajectory)
+        cut = max(1, min(points - 1, int(round(points * keep))))
+        usable[i] = points - cut >= 2
+        firsts[i] = trajectory.points[cut if points - cut > 0 else 0]
     cells = grid.cells_of(firsts)
     groups: dict[tuple[int, int], list[int]] = {}
     for i in range(n):
@@ -184,14 +200,17 @@ class _ShardJob:
     """Everything one worker needs to run one shard (spawn-safe)."""
 
     index: int
-    dataset: TrajectoryDataset
+    dataset: TrajectoryDataset | None  # None when spilled to dataset_path
     partitioner_blob: bytes  # pickled template: same warm cache per shard
     models_blob: bytes  # pickled (predictor, estimator): serialized once
     settings: SimulationSettings
     config: PerDNNConfig
     fast_simulate: bool
     fast_predict: bool
+    fast_migrate: bool
     record_events: bool
+    dataset_path: str | None = None  # spilled sub-dataset pickle
+    profile_path: str | None = None  # dump this worker's cProfile here
 
 
 def _run_shard_job(job: _ShardJob) -> LargeScaleResult:
@@ -201,16 +220,33 @@ def _run_shard_job(job: _ShardJob) -> LargeScaleResult:
     shipped explicitly (a spawned worker would not inherit a context
     manager entered after the pool was created).  The trained models
     arrive as one shared pickle blob — the parent serializes the forest
-    and SVR object graphs once instead of once per shard job.
+    and SVR object graphs once instead of once per shard job.  A spilled
+    job carries only ``dataset_path``: the worker loads its own subset
+    from disk, so the parent never held it.
     """
     previous_sim = set_fast_simulate(job.fast_simulate)
     previous_predict = set_fast_predict(job.fast_predict)
+    previous_migrate = set_fast_migrate(job.fast_migrate)
+    profiler = None
     try:
+        dataset = job.dataset
+        if dataset is None:
+            if job.dataset_path is None:
+                raise ValueError(
+                    f"shard {job.index} has neither an in-memory dataset "
+                    "nor a dataset_path"
+                )
+            dataset = ShardDatasetStore.read(job.dataset_path)
         partitioner = pickle.loads(job.partitioner_blob)
         predictor, contention_estimator = pickle.loads(job.models_blob)
         telemetry = Telemetry.create(record_events=job.record_events)
+        if job.profile_path is not None:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         return run_large_scale(
-            job.dataset,
+            dataset,
             partitioner,
             job.settings,
             config=job.config,
@@ -219,8 +255,12 @@ def _run_shard_job(job: _ShardJob) -> LargeScaleResult:
             telemetry=telemetry,
         )
     finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(job.profile_path)
         set_fast_simulate(previous_sim)
         set_fast_predict(previous_predict)
+        set_fast_migrate(previous_migrate)
 
 
 def _sub_dataset(
@@ -271,7 +311,7 @@ def _rebase_event(event: Event, client_offset: int, server_offset: int) -> Event
 
 
 def _merge_records(
-    dataset: TrajectoryDataset,
+    dataset_name: str,
     settings: SimulationSettings,
     model: str,
     records: Iterable[ShardRecord],
@@ -329,7 +369,7 @@ def _merge_records(
     telemetry = Telemetry(registry=merged_registry, trace=trace)
     merged = LargeScaleResult(
         policy=settings.policy.value,
-        dataset=dataset.name,
+        dataset=dataset_name,
         model=model,
         num_servers=totals["servers"],
         num_clients=totals["clients"],
@@ -379,6 +419,9 @@ def run_large_scale_sharded(
     checkpoint_dir: str | os.PathLike | None = None,
     resume: bool = False,
     model_cache_dir: str | os.PathLike | None = None,
+    spill_datasets: bool = False,
+    remote_workers: Sequence[str] = (),
+    profile_path: str | os.PathLike | None = None,
 ) -> LargeScaleResult:
     """Run the large-scale simulation sharded over supervised workers.
 
@@ -418,6 +461,33 @@ def run_large_scale_sharded(
     and histograms are unaffected) — at hundreds of thousands of client
     windows the trace dominates memory and inter-process transfer.
 
+    ``spill_datasets=True`` writes each shard's trajectory subset to
+    disk once at plan time (under ``checkpoint_dir/datasets``, or a
+    temporary scratch directory removed on return) and hands jobs the
+    *path*; workers load their own file, the driver drops its dataset
+    reference after planning, and — when no ``checkpoint_dir`` streams
+    results already — completed shards are spilled through a scratch
+    checkpoint store and merged streamingly, so the driver process holds
+    only the plan, one in-flight shard record, and the merged result
+    regardless of population size.  Pickle round-trips the trajectory
+    arrays bit-exactly: spilled runs export the same bytes as in-memory
+    ones (pinned by the equivalence suite).
+
+    ``remote_workers`` adds shard-worker addresses (``host:port``, see
+    ``repro shard-worker``) as extra supervision slots next to the
+    ``workers`` local ones; shards are dispatched over TCP with the same
+    retry/timeout/quarantine semantics, and local vs remote vs mixed
+    fleets export identical bytes.  Repeat an address to run several
+    shards there concurrently.  The wire protocol is pickle — use
+    trusted hosts and links only.
+
+    ``profile_path`` profiles the *lowest-index* shard's worker under
+    ``cProfile`` and dumps its stats there (merged by the CLI into the
+    parent profile) — this is how ``--profile`` stays useful when the
+    simulation work happens in worker processes.  Profiling changes no
+    results; it is refused alongside ``remote_workers`` because the
+    designated shard could land on a machine that cannot see the path.
+
     The returned result is the deterministic, order-independent merge of
     the per-shard results; ``result.extras["sharding"]`` records the
     decomposition and the supervision outcome.  Exported telemetry bytes
@@ -440,6 +510,22 @@ def run_large_scale_sharded(
         raise ValueError("at least one partitioner is required")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
+    remote_workers = list(remote_workers or ())
+    if profile_path is not None and remote_workers:
+        raise ValueError(
+            "profile_path designates a local shard worker; it cannot be "
+            "combined with remote_workers (the profiled shard could be "
+            "dispatched to a machine that cannot write the path)"
+        )
+    executors = None
+    if remote_workers:
+        # Validate every address before any expensive work.
+        remote_executors = [
+            RemoteExecutor(address) for address in remote_workers
+        ]
+        executors = [
+            LocalProcessExecutor(_pool_context()) for _ in range(workers)
+        ] + remote_executors
     supervision = supervision or SupervisorConfig()
     store = None
     if checkpoint_dir is not None:
@@ -489,12 +575,14 @@ def run_large_scale_sharded(
             model_cache.store(cache_key, models_blob)
     partitioner_blob = pickle.dumps(partitioner)
     shards = plan_shards(dataset, config, settings, shard_size)
+    dataset_name = dataset.name
 
     completed: set[int] = set()
     if store is not None:
         fingerprint = run_fingerprint(
             dataset, settings, config, shard_size, model_names,
             record_events, fast_simulate_enabled(), fast_predict_enabled(),
+            fast_migrate_enabled(),
         )
         if resume:
             store.check_fingerprint(fingerprint)
@@ -509,58 +597,110 @@ def run_large_scale_sharded(
             fingerprint, len(shards), shard_size, record_events
         )
 
-    jobs = [
-        _ShardJob(
-            index=shard.index,
-            dataset=_sub_dataset(dataset, shard.trajectory_indices),
-            partitioner_blob=partitioner_blob,
-            models_blob=models_blob,
-            settings=replace(
-                settings, seed=shard_seed(settings.seed, shard.index)
-            ),
-            config=config,
-            fast_simulate=fast_simulate_enabled(),
-            fast_predict=fast_predict_enabled(),
-            record_events=record_events,
-        )
-        for shard in shards
-        if shard.index not in completed
-    ]
+    # Dataset spill: sub-datasets go to disk at plan time and jobs carry
+    # only paths.  Without a user checkpoint directory the results are
+    # spilled too (through a scratch store removed on return), so the
+    # driver's client-scale footprint is one in-flight shard plus the
+    # merged result — independent of the population size.
+    scratch_dir: str | None = None
+    dataset_store: ShardDatasetStore | None = None
+    result_store = store
+    if spill_datasets:
+        if store is not None:
+            dataset_store = ShardDatasetStore(
+                os.path.join(store.directory, "datasets")
+            )
+        else:
+            scratch_dir = tempfile.mkdtemp(prefix="repro-shard-spill-")
+            dataset_store = ShardDatasetStore(
+                os.path.join(scratch_dir, "datasets")
+            )
+            result_store = CheckpointStore(
+                os.path.join(scratch_dir, "results")
+            )
+            result_store.prepare()
+        dataset_store.prepare()
 
-    def spill(index: int, result: LargeScaleResult) -> None:
-        store.write_shard(ShardRecord.from_result(index, result))
+    try:
+        jobs = []
+        for shard in shards:
+            if shard.index in completed:
+                continue
+            if dataset_store is not None:
+                job_dataset = None
+                job_path = dataset_store.store(
+                    shard.index,
+                    _sub_dataset(dataset, shard.trajectory_indices),
+                )
+            else:
+                job_dataset = _sub_dataset(dataset, shard.trajectory_indices)
+                job_path = None
+            jobs.append(
+                _ShardJob(
+                    index=shard.index,
+                    dataset=job_dataset,
+                    partitioner_blob=partitioner_blob,
+                    models_blob=models_blob,
+                    settings=replace(
+                        settings, seed=shard_seed(settings.seed, shard.index)
+                    ),
+                    config=config,
+                    fast_simulate=fast_simulate_enabled(),
+                    fast_predict=fast_predict_enabled(),
+                    fast_migrate=fast_migrate_enabled(),
+                    record_events=record_events,
+                    dataset_path=job_path,
+                )
+            )
+        if profile_path is not None and jobs:
+            jobs[0] = replace(jobs[0], profile_path=os.fspath(profile_path))
+        if spill_datasets:
+            # Every subset is on disk; the driver no longer needs the
+            # population (the caller may drop its own reference too).
+            dataset = None  # type: ignore[assignment]
 
-    results, report = supervise(
-        jobs,
-        _run_shard_job,
-        workers=workers,
-        config=supervision,
-        mp_context=_pool_context(),
-        on_result=spill if store is not None else None,
-        # With a store the merge streams from disk; holding every shard
-        # result in memory as well would defeat the point.
-        keep_results=store is None,
-    )
+        def spill(index: int, result: LargeScaleResult) -> None:
+            result_store.write_shard(ShardRecord.from_result(index, result))
 
-    surviving = sorted(completed | set(results))
-    if store is not None:
-        records: Iterable[ShardRecord] = (
-            store.load_shard(index) for index in surviving
+        results, report = supervise(
+            jobs,
+            _run_shard_job,
+            workers=workers,
+            config=supervision,
+            mp_context=_pool_context(),
+            on_result=spill if result_store is not None else None,
+            # With a store the merge streams from disk; holding every
+            # shard result in memory as well would defeat the point.
+            keep_results=result_store is None,
+            executors=executors,
         )
-    else:
-        records = (
-            ShardRecord.from_result(index, results[index])
-            for index in surviving
+        if dataset_store is not None:
+            dataset_store.cleanup()  # scratch, not checkpoints
+
+        surviving = sorted(completed | set(results))
+        if result_store is not None:
+            records: Iterable[ShardRecord] = (
+                result_store.load_shard(index) for index in surviving
+            )
+        else:
+            records = (
+                ShardRecord.from_result(index, results[index])
+                for index in surviving
+            )
+        merged = _merge_records(
+            dataset_name,
+            settings,
+            "+".join(model_names),
+            records,
+            shard_size=shard_size,
+            workers=workers,
         )
-    merged = _merge_records(
-        dataset,
-        settings,
-        "+".join(model_names),
-        records,
-        shard_size=shard_size,
-        workers=workers,
-    )
+    finally:
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
     _annotate_supervision(merged, shards, completed, report)
+    merged.extras["sharding"]["spill_datasets"] = spill_datasets
+    merged.extras["sharding"]["remote_workers"] = list(remote_workers)
     return merged
 
 

@@ -164,13 +164,81 @@ def _default_context() -> multiprocessing.context.BaseContext:
     )
 
 
+class LocalProcessExecutor:
+    """One supervision slot backed by disposable local worker processes.
+
+    This is the default transport: each :meth:`launch` forks/spawns a
+    fresh process running :func:`_process_entry` and returns a
+    :class:`LocalAttempt` handle.  A slot runs at most one attempt at a
+    time — the supervisor builds one executor per requested worker.
+
+    The executor seam (``launch(runner, job, attempt, chaos) -> handle``
+    where the handle exposes ``waitable``/``receive``/``finish``/
+    ``kill``/``crash_detail``) is what remote dispatch plugs into: see
+    :class:`repro.simulation.remote.RemoteExecutor` for the TCP
+    implementation with identical retry/timeout/quarantine semantics.
+    """
+
+    def __init__(self, mp_context=None):
+        self._ctx = mp_context or _default_context()
+
+    def launch(self, runner, job, attempt, chaos) -> "LocalAttempt":
+        receiver, sender = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_process_entry,
+            args=(sender, runner, job, attempt, chaos),
+        )
+        process.start()
+        sender.close()
+        return LocalAttempt(process, receiver)
+
+    def describe(self) -> str:
+        return "local"
+
+
+class LocalAttempt:
+    """Handle for one in-flight local worker process."""
+
+    def __init__(self, process, receiver):
+        self._process = process
+        self._receiver = receiver
+
+    @property
+    def waitable(self):
+        """Object accepted by :func:`multiprocessing.connection.wait`."""
+        return self._receiver
+
+    def receive(self):
+        """The worker's ``(status, payload)``; raises ``EOFError`` /
+        ``OSError`` when the worker died before delivering one."""
+        return self._receiver.recv()
+
+    def finish(self) -> None:
+        """Reap a worker that delivered (or visibly died)."""
+        self._process.join()
+        self._receiver.close()
+
+    def kill(self) -> None:
+        """Tear down a worker that must not deliver (timeout, abort)."""
+        self._process.terminate()
+        self._process.join()
+        self._receiver.close()
+
+    def crash_detail(self) -> str:
+        return (
+            f"worker exited with code {self._process.exitcode} "
+            "before delivering a result"
+        )
+
+
 @dataclass
 class _Active:
     """One in-flight worker attempt."""
 
     job: Any
     attempt: int
-    process: Any
+    handle: Any
+    executor: Any
     deadline: float | None
 
 
@@ -250,10 +318,17 @@ def _supervise_inprocess(
 
 
 def _supervise_processes(
-    jobs, runner, config: SupervisorConfig, workers, mp_context, deliver
+    jobs, runner, config: SupervisorConfig, executors, deliver
 ) -> _Tracker:
-    """Fan shard attempts out over disposable worker processes."""
-    ctx = mp_context or _default_context()
+    """Fan shard attempts out over executor slots.
+
+    Each element of ``executors`` is one concurrency slot (a
+    :class:`LocalProcessExecutor`, a remote executor, or any object with
+    the same ``launch`` contract); a slot holds at most one in-flight
+    attempt.  Which slot runs which shard never affects the results —
+    shards are deterministic and the merge is order-independent — so
+    local, remote, and mixed fleets export identical bytes.
+    """
     tracker = _Tracker(config)
     # (ready_at, shard index, attempt, job): retries re-enter with a
     # backoff timestamp; launch order prefers earliest-ready then lowest
@@ -263,21 +338,23 @@ def _supervise_processes(
         (0.0, job.index, 0, job) for job in jobs
     ]
     active: dict[Any, _Active] = {}
+    free: list[Any] = list(executors)
 
     def launch(job, attempt) -> None:
-        receiver, sender = ctx.Pipe(duplex=False)
-        process = ctx.Process(
-            target=_process_entry,
-            args=(sender, runner, job, attempt, config.chaos),
-        )
-        process.start()
-        sender.close()
+        # FIFO slot rotation: a slot that just failed an attempt (e.g. an
+        # unreachable remote) re-enters at the back, so the retry prefers
+        # whichever other slot freed up first instead of bouncing off the
+        # same dead transport until quarantine.
+        executor = free.pop(0)
+        handle = executor.launch(runner, job, attempt, config.chaos)
         deadline = (
             time.monotonic() + config.timeout_seconds
             if config.timeout_seconds is not None
             else None
         )
-        active[receiver] = _Active(job, attempt, process, deadline)
+        active[handle.waitable] = _Active(
+            job, attempt, handle, executor, deadline
+        )
 
     def fail(entry: _Active, cause: str, detail: str) -> None:
         delay = tracker.record_failure(
@@ -293,11 +370,14 @@ def _supervise_processes(
                 )
             )
 
+    def release(entry: _Active) -> None:
+        free.append(entry.executor)
+
     try:
         while pending or active:
             now = time.monotonic()
             pending.sort(key=lambda entry: (entry[0], entry[1]))
-            while pending and len(active) < workers and pending[0][0] <= now:
+            while pending and free and pending[0][0] <= now:
                 _, _, attempt, job = pending.pop(0)
                 launch(job, attempt)
             if not active:
@@ -306,33 +386,30 @@ def _supervise_processes(
                 time.sleep(max(0.0, min(pending[0][0] - now, _POLL_SECONDS)))
                 continue
             ready = mp_connection.wait(list(active), timeout=_POLL_SECONDS)
-            for conn in ready:
-                entry = active.pop(conn)
+            for waitable in ready:
+                entry = active.pop(waitable)
                 try:
-                    status, payload = conn.recv()
+                    status, payload = entry.handle.receive()
                 except (EOFError, OSError):
-                    # Abrupt worker death: chaos kill, OOM, segfault.
-                    entry.process.join()
-                    conn.close()
-                    fail(
-                        entry, CAUSE_CRASH,
-                        f"worker exited with code {entry.process.exitcode} "
-                        "before delivering a result",
-                    )
+                    # Abrupt worker death: chaos kill, OOM, segfault, a
+                    # remote worker dropping the connection.  Reap first
+                    # so the crash detail can see the exit code.
+                    entry.handle.finish()
+                    release(entry)
+                    fail(entry, CAUSE_CRASH, entry.handle.crash_detail())
                     continue
-                entry.process.join()
-                conn.close()
+                entry.handle.finish()
+                release(entry)
                 if status == "ok":
                     deliver(entry.job.index, payload)
                 else:
                     fail(entry, CAUSE_ERROR, payload)
             now = time.monotonic()
-            for conn, entry in list(active.items()):
+            for waitable, entry in list(active.items()):
                 if entry.deadline is not None and now >= entry.deadline:
-                    active.pop(conn)
-                    entry.process.terminate()
-                    entry.process.join()
-                    conn.close()
+                    active.pop(waitable)
+                    entry.handle.kill()
+                    release(entry)
                     fail(
                         entry, CAUSE_TIMEOUT,
                         f"no result within {config.timeout_seconds:g}s; "
@@ -341,10 +418,8 @@ def _supervise_processes(
     finally:
         # Fail-fast (ShardError) or an interrupt: reap every in-flight
         # worker so nothing leaks past the supervisor.
-        for conn, entry in active.items():
-            entry.process.terminate()
-            entry.process.join()
-            conn.close()
+        for entry in active.values():
+            entry.handle.kill()
     return tracker
 
 
@@ -357,6 +432,7 @@ def supervise(
     mp_context=None,
     on_result: Callable[[int, Any], None] | None = None,
     keep_results: bool = True,
+    executors=None,
 ) -> tuple[dict[int, Any], SupervisionReport]:
     """Run every job under supervision; returns (results, report).
 
@@ -366,6 +442,12 @@ def supervise(
     with ``keep_results=False`` delivered results are dropped afterwards
     — ``results[index]`` is then ``None`` — so huge runs never hold every
     shard's telemetry in memory at once.
+
+    ``executors`` overrides the transport: a sequence of slot objects
+    (each runs one attempt at a time) replacing the default fleet of
+    ``workers`` :class:`LocalProcessExecutor` slots.  Passing executors
+    always engages the slot loop — remote slots need real dispatch even
+    when one local worker alone would have run in-process.
 
     Raises :class:`ShardError` the moment any shard exhausts its attempts
     (unless ``config.allow_partial``); already-completed shards will have
@@ -382,10 +464,15 @@ def supervise(
             on_result(index, result)
         results[index] = result if keep_results else None
 
-    if workers == 1 and not config.needs_processes:
+    if executors is None and workers == 1 and not config.needs_processes:
         tracker = _supervise_inprocess(jobs, runner, config, deliver)
     else:
+        if executors is None:
+            ctx = mp_context or _default_context()
+            executors = [LocalProcessExecutor(ctx) for _ in range(workers)]
+        if not executors:
+            raise ValueError("at least one executor slot is required")
         tracker = _supervise_processes(
-            jobs, runner, config, workers, mp_context, deliver
+            jobs, runner, config, executors, deliver
         )
     return results, tracker.report()

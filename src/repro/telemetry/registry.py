@@ -156,12 +156,17 @@ class Histogram:
                 index = i
                 break
         self.counts[index] += times
-        # Serial left fold at C speed: ((sum + v) + v) + ... performs the
-        # exact same one-addition-per-observation sequence as the Python
-        # loop ``for _ in range(times): self.sum += value`` — only faster.
-        self.sum = functools.reduce(
-            operator.add, itertools.repeat(value, times), self.sum
-        )
+        if times == 1:
+            # The fast query path emits one call per latency *run*, which
+            # is frequently a single observation; skip the fold machinery.
+            self.sum += value
+        else:
+            # Serial left fold at C speed: ((sum + v) + v) + ... performs
+            # the exact same one-addition-per-observation sequence as the
+            # Python loop ``for _ in range(times): self.sum += value``.
+            self.sum = functools.reduce(
+                operator.add, itertools.repeat(value, times), self.sum
+            )
         self.count += times
 
     @property

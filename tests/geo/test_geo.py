@@ -164,6 +164,55 @@ class TestRegistry:
             ]
         assert registry.servers_within_batch([], 100.0) == []
 
+    def test_servers_within_batch_chunk_boundaries(self):
+        # Point counts that straddle the chunk size — one short of a
+        # boundary, exactly on it, one past it, and several chunks plus a
+        # remainder — must all reproduce the per-point query row for row.
+        grid = HexGrid(50.0)
+        rng = np.random.default_rng(41)
+        seeds = rng.uniform(-800.0, 800.0, size=(120, 2))
+        registry = EdgeServerRegistry.from_visited_points(grid, seeds)
+        chunk = 4
+        for count in (chunk - 1, chunk, chunk + 1, 3 * chunk + 2):
+            probes = [
+                tuple(rng.uniform(-900.0, 900.0, size=2))
+                for _ in range(count)
+            ]
+            batch = registry.servers_within_batch(
+                probes, 150.0, _chunk_rows=chunk
+            )
+            assert batch == [
+                registry.servers_within(point, 150.0) for point in probes
+            ]
+            assert len(batch) == count
+
+    def test_servers_within_batch_zero_servers(self):
+        # A registry with no allocated servers answers every probe with an
+        # empty row (and an empty probe list with an empty result).
+        registry = EdgeServerRegistry(HexGrid(50.0))
+        probes = [(0.0, 0.0), (100.0, -50.0), (1e6, 1e6)]
+        assert registry.servers_within_batch(probes, 500.0) == [[], [], []]
+        assert registry.servers_within_batch([], 500.0) == []
+
+    def test_servers_within_batch_all_points_filtered(self):
+        # Rows whose prefilter keeps no candidates: every probe far from
+        # every server, across several chunks, and a mix where only some
+        # rows survive — row alignment must not drift when np.nonzero
+        # returns nothing for a whole block.
+        grid = HexGrid(50.0)
+        seeds = [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0)]
+        registry = EdgeServerRegistry.from_visited_points(grid, seeds)
+        far = [(1e5 + 10.0 * i, -1e5) for i in range(7)]
+        assert registry.servers_within_batch(far, 200.0, _chunk_rows=3) == [
+            [] for _ in far
+        ]
+        mixed = [far[0], (0.0, 0.0), far[1], far[2], (100.0, 0.0), far[3]]
+        batch = registry.servers_within_batch(mixed, 200.0, _chunk_rows=2)
+        assert batch == [
+            registry.servers_within(point, 200.0) for point in mixed
+        ]
+        assert batch[0] == [] and batch[2] == [] and batch[1] != []
+
     def test_servers_within_index_invalidated_by_allocation(self):
         grid = HexGrid(50.0)
         registry = EdgeServerRegistry.from_visited_points(grid, [(0.0, 0.0)])

@@ -1,0 +1,34 @@
+"""Shared fixtures for the simulation test tree."""
+
+import multiprocessing
+
+import pytest
+
+
+def _listener_main(conn):
+    from repro.simulation.remote import serve
+
+    serve("127.0.0.1", 0, on_ready=lambda host, port: conn.send((host, port)))
+
+
+@pytest.fixture(scope="package")
+def shard_worker():
+    """A loopback ``repro shard-worker`` listener; yields its address.
+
+    Runs in a non-daemon fork-context process (the listener itself forks
+    a disposable handler per request, which daemonic processes may not
+    do).  One listener serves every test in the package — each shard
+    attempt is its own connection, so tests never interfere.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("loopback shard worker requires the fork start method")
+    ctx = multiprocessing.get_context("fork")
+    receiver, sender = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=_listener_main, args=(sender,))
+    process.start()
+    sender.close()
+    host, port = receiver.recv()
+    receiver.close()
+    yield f"{host}:{port}"
+    process.terminate()
+    process.join(timeout=10)

@@ -78,6 +78,42 @@ class TestChaosInvariant:
         )
         assert chaotic.telemetry.dumps() == clean.telemetry.dumps()
 
+    def test_chaos_with_spill_and_remote(
+        self, dataset, tiny_partitioner, clean, shard_worker
+    ):
+        # The full stack at once: dataset spill, a mixed local/remote
+        # fleet, and chaos killing every shard's first attempt.  A chaos
+        # injection inside the remote listener kills only its disposable
+        # handler process; the supervisor sees the dropped connection,
+        # retries, and the merged bytes never move.
+        chaotic = run_sharded(
+            dataset, tiny_partitioner, make_settings(),
+            workers=2, remote_workers=[shard_worker], spill_datasets=True,
+            supervision=SupervisorConfig(
+                chaos=KILL_ALL_ONCE, backoff_base_seconds=0.0,
+                max_attempts=5,
+            ),
+        )
+        assert chaotic.telemetry.dumps() == clean.telemetry.dumps()
+        info = chaotic.extras["sharding"]
+        assert info["retries"] >= info["planned_shards"]
+        assert info["failed_shards"] == []
+
+    def test_chaos_with_reference_migrate(self, dataset, tiny_partitioner, clean):
+        # Chaos retries must stay byte-stable on the scalar migration
+        # tail too — supervision and the migrate toggle are orthogonal.
+        from repro.core.master import reference_migrate
+
+        with reference_migrate():
+            chaotic = run_sharded(
+                dataset, tiny_partitioner, make_settings(),
+                workers=2,
+                supervision=SupervisorConfig(
+                    chaos=KILL_ALL_ONCE, backoff_base_seconds=0.0
+                ),
+            )
+        assert chaotic.telemetry.dumps() == clean.telemetry.dumps()
+
     def test_hang_with_timeout_bytes_identical(
         self, dataset, tiny_partitioner, clean
     ):

@@ -84,6 +84,50 @@ class TestDegenerateDatasets:
         assert result.total_queries == 0
         assert result.telemetry.dumps()
 
+    def test_all_unusable_never_closes_a_shard_early(self):
+        # With zero usable clients the greedy packer never reaches
+        # shard_size, so the whole population lands in one trailing shard
+        # regardless of how many cells it spans.
+        dataset = single_point_dataset(9)
+        shards = plan_shards(
+            dataset, PerDNNConfig(), make_settings(), shard_size=2
+        )
+        assert len(shards) == 1
+        assert shards[0].num_usable == 0
+        assert sorted(shards[0].trajectory_indices) == list(range(9))
+
+    def test_one_cell_larger_than_shard_size(self, tiny_partitioner):
+        # Cells are atomic: a single home cell holding more clients than
+        # shard_size becomes one oversized shard, never split.
+        rng = np.random.default_rng(19)
+        trajectories = tuple(
+            Trajectory(
+                user_id=i,
+                interval_seconds=30.0,
+                points=np.array([[10.0, 10.0]])
+                + rng.uniform(0.0, 1.0, size=(6, 2)).cumsum(axis=0),
+            )
+            for i in range(10)
+        )
+        dataset = TrajectoryDataset(
+            name="one-cell",
+            interval_seconds=30.0,
+            bbox=BoundingBox(0.0, 0.0, 100.0, 100.0),
+            trajectories=trajectories,
+        )
+        shards = plan_shards(
+            dataset, PerDNNConfig(), make_settings(), shard_size=4
+        )
+        assert len(shards) == 1
+        assert len(shards[0].trajectory_indices) == 10
+        assert len(shards[0].cells) == 1
+        assert shards[0].num_usable == 10
+        result = run_large_scale_sharded(
+            dataset, tiny_partitioner, make_settings(), shard_size=4
+        )
+        assert result.num_clients == 10
+        assert result.extras["sharding"]["shards"] == 1
+
     def test_mixed_usable_and_unusable_worker_invariant(
         self, tiny_partitioner
     ):

@@ -359,6 +359,167 @@ class TestShardPlan:
             plan_shards(dataset, config, settings, shard_size=0)
 
 
+class TestMigrationToggle:
+    @pytest.mark.parametrize("subsystem", ["plain", "faults"])
+    def test_fast_vs_reference_migrate(
+        self, dataset, tiny_partitioner, subsystem
+    ):
+        # The array-form migration tail and the per-client scalar pass
+        # must agree byte for byte, sharded, with and without faults.
+        from repro.core.master import reference_migrate
+
+        settings = make_settings(**SUBSYSTEMS[subsystem])
+        fast = run_sharded(dataset, tiny_partitioner, settings, workers=2)
+        with reference_migrate():
+            reference = run_sharded(
+                dataset, tiny_partitioner, settings, workers=2
+            )
+        assert fast.telemetry.dumps() == reference.telemetry.dumps()
+
+    def test_toggle_roundtrip(self):
+        from repro.core.master import (
+            fast_migrate_enabled,
+            reference_migrate,
+            set_fast_migrate,
+        )
+
+        assert fast_migrate_enabled()
+        previous = set_fast_migrate(False)
+        assert previous is True
+        assert not fast_migrate_enabled()
+        set_fast_migrate(True)
+        with reference_migrate():
+            assert not fast_migrate_enabled()
+        assert fast_migrate_enabled()
+
+
+class TestDatasetSpill:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_spill_matches_in_memory(
+        self, dataset, tiny_partitioner, workers
+    ):
+        settings = make_settings(faults=get_profile("churn"))
+        in_memory = run_sharded(
+            dataset, tiny_partitioner, settings, workers=1
+        )
+        spilled = run_sharded(
+            dataset, tiny_partitioner, settings,
+            workers=workers, spill_datasets=True,
+        )
+        assert spilled.telemetry.dumps() == in_memory.telemetry.dumps()
+        assert spilled.extras["sharding"]["spill_datasets"] is True
+        assert in_memory.extras["sharding"]["spill_datasets"] is False
+
+    def test_spill_scratch_is_cleaned_up(self, dataset, tiny_partitioner):
+        import glob
+        import os
+        import tempfile
+
+        pattern = os.path.join(
+            tempfile.gettempdir(), "repro-shard-spill-*"
+        )
+        before = set(glob.glob(pattern))
+        run_sharded(
+            dataset, tiny_partitioner, make_settings(),
+            workers=2, spill_datasets=True,
+        )
+        assert set(glob.glob(pattern)) == before
+
+    def test_spill_with_checkpoint_dir(
+        self, dataset, tiny_partitioner, tmp_path
+    ):
+        # Spill composes with checkpointing: datasets land under the
+        # checkpoint directory, and the merged bytes stay pinned.
+        settings = make_settings()
+        plain = run_sharded(dataset, tiny_partitioner, settings, workers=1)
+        spilled = run_sharded(
+            dataset, tiny_partitioner, settings, workers=2,
+            spill_datasets=True, checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert spilled.telemetry.dumps() == plain.telemetry.dumps()
+
+
+class TestRemoteDispatch:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_remote_and_mixed_match_local(
+        self, dataset, tiny_partitioner, shard_worker, workers
+    ):
+        # Local-only, loopback-remote, and a mixed fleet must export the
+        # same bytes at every worker count: dispatch is pure transport.
+        settings = make_settings(faults=get_profile("churn"))
+        local = run_sharded(
+            dataset, tiny_partitioner, settings, workers=1
+        )
+        remote = run_sharded(
+            dataset, tiny_partitioner, settings,
+            workers=workers, remote_workers=[shard_worker],
+        )
+        assert remote.telemetry.dumps() == local.telemetry.dumps()
+        assert remote.extras["sharding"]["remote_workers"] == [shard_worker]
+
+    def test_remote_with_spill_hydrates_datasets(
+        self, dataset, tiny_partitioner, shard_worker
+    ):
+        # Spilled jobs are hydrated executor-side before hitting the
+        # wire, so the listener never reads the driver's spill files.
+        settings = make_settings()
+        local = run_sharded(dataset, tiny_partitioner, settings, workers=1)
+        mixed = run_sharded(
+            dataset, tiny_partitioner, settings,
+            workers=2, remote_workers=[shard_worker], spill_datasets=True,
+        )
+        assert mixed.telemetry.dumps() == local.telemetry.dumps()
+
+    def test_unreachable_worker_surfaces_as_crash(self):
+        # A connect failure must flow through the supervisor's normal
+        # crash path: an already-readable handle whose receive raises.
+        import socket
+
+        from repro.simulation.remote import RemoteExecutor, _DeadAttempt
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        executor = RemoteExecutor(
+            f"127.0.0.1:{port}", connect_timeout=0.5
+        )
+        handle = executor.launch(None, None, 1, None)
+        assert isinstance(handle, _DeadAttempt)
+        assert "unreachable" in handle.crash_detail()
+        with pytest.raises(EOFError):
+            handle.receive()
+        handle.finish()
+
+    def test_parse_address(self):
+        from repro.simulation.remote import DEFAULT_PORT, parse_address
+
+        assert parse_address("10.0.0.2:7100") == ("10.0.0.2", 7100)
+        assert parse_address("edge-host") == ("edge-host", DEFAULT_PORT)
+        with pytest.raises(ValueError, match="host:port"):
+            parse_address("edge-host:notaport")
+        with pytest.raises(ValueError, match="port out of range"):
+            parse_address("edge-host:70000")
+
+    def test_frame_roundtrip_and_truncation(self):
+        import socket
+
+        from repro.simulation.remote import recv_frame, send_frame
+
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"shard": 3, "payload": list(range(10))})
+            assert recv_frame(b) == {"shard": 3, "payload": list(range(10))}
+            # A peer dying mid-frame surfaces as EOFError (crash
+            # semantics), not a hang or a partial object.
+            a.sendall(b"\x00\x00\x00\x00\x00\x00\x00\xff")
+            a.close()
+            with pytest.raises(EOFError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
 class TestValidation:
     def test_workers_must_be_positive(self, dataset, tiny_partitioner):
         with pytest.raises(ValueError, match="workers"):
